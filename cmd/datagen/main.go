@@ -1,0 +1,52 @@
+// Command datagen writes one of the synthetic evaluation datasets as CSV.
+//
+// Usage:
+//
+//	datagen -dataset gdelt -rows 100000 -out gdelt.csv [-seed 1]
+//
+// Known datasets: income, gdelt, susy, tlc (synthetic stand-ins for the
+// thesis' evaluation data; see DESIGN.md §1) and flights (the 14-row running
+// example of Table 1.1, -rows ignored).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sirum/internal/datagen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	name := fs.String("dataset", "", "dataset name: income|gdelt|susy|tlc|flights")
+	rows := fs.Int("rows", 10000, "number of rows")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("-dataset is required")
+	}
+	ds, err := datagen.ByName(*name, *rows, *seed)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return ds.WriteCSV(stdout)
+	}
+	if err := ds.WriteCSVFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows x %d dims to %s\n", ds.NumRows(), ds.NumDims(), *out)
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dataset", "flights"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "Day,Origin,Destination,Delay") {
+		t.Errorf("unexpected header:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 15 {
+		t.Errorf("want 15 lines (header + 14 rows):\n%s", out)
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var sb strings.Builder
+	if err := run([]string{"-dataset", "income", "-rows", "100", "-out", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{{}, {"-dataset", "bogus"}, {"-badflag"}} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

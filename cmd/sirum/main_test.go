@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBuiltinDataset(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-dataset", "flights", "-k", "3", "-sample", "0"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Destination=London", "Day=Fri", "KL divergence", "information gain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSVInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.csv")
+	csv := "id,day,dest,delay\n1,Fri,LHR,20\n2,Fri,LHR,22\n3,Mon,JFK,5\n4,Mon,JFK,6\n5,Tue,JFK,4\n6,Tue,LHR,21\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-input", path, "-measure", "delay", "-ignore", "id", "-k", "2", "-sample", "0"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dest=LHR") {
+		t.Errorf("expected the LHR rule:\n%s", sb.String())
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{},                                   // neither input nor dataset
+		{"-input", "x.csv"},                  // missing -measure
+		{"-input", "x.csv", "-dataset", "y"}, // both
+		{"-dataset", "unknown"},              // bad dataset
+		{"-input", "/does/not/exist.csv", "-measure", "m"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Data cleansing: find where the dirty records hide (Section 1, Table 1.5).
+//
+// The measure attribute is a data-quality flag (1 = the record is missing
+// its Actor2 type, 0 = clean). SIRUM surfaces the dimension-value
+// combinations whose average flag deviates most from the overall dirty rate
+// — the signature use of informative rules for data-quality diagnosis (cf.
+// Data X-Ray and Data Auditor).
+//
+//	go run ./examples/dataquality
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sirum"
+)
+
+func main() {
+	// A GDELT-like event log; the synthetic generator plants correlations
+	// between certain event profiles and the measure, playing the role of
+	// systematically incomplete records.
+	ds, err := sirum.Generate("income", 30000, 7) // binary measure: use as dirty flag
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset:", ds.Summary())
+	fmt.Println("\ntreating the binary measure as a dirty-record flag;")
+	fmt.Println("rules with AVG far above the base rate localize the quality problem:")
+
+	res, err := ds.Mine(sirum.Options{K: 6, SampleSize: 64, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n  %-55s %9s %8s\n", "rule", "dirty%", "records")
+	for _, r := range res.Rules {
+		fmt.Printf("  %-55s %8.1f%% %8d\n", r, 100*r.Avg, r.Count)
+	}
+	fmt.Printf("\nrule set explains the dirty-flag distribution with KL %.5f (info gain %.5f)\n",
+		res.KL, res.InfoGain)
+	fmt.Println("\ndrill-down: records matching the top rule deserve a look —")
+	fmt.Println("an average of 1.0 would mean every matching record is dirty (Table 1.5).")
+}

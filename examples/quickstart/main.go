@@ -1,0 +1,54 @@
+// Quickstart: mine the informative rule set of the thesis' running example.
+//
+// The flight-delay relation of Table 1.1 has 14 flights with (Day, Origin,
+// Destination) dimensions and the delay in minutes as the measure. Mining
+// k=3 rules recovers exactly Table 1.2: London-bound flights are late (15.3
+// min average vs 10.4 overall), and Friday and Saturday flights are worse
+// still.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sirum"
+)
+
+func main() {
+	ds, err := sirum.Generate("flights", 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset:", ds.Summary())
+
+	res, err := ds.Mine(sirum.Options{K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ninformative rules (Table 1.2 of the thesis):")
+	fmt.Printf("  %-40s %10s %7s %9s\n", "rule", "AVG(Late)", "count", "gain")
+	fmt.Printf("  %-40s %10s %7s %9s\n", "(*)", "10.4", "14", "-")
+	for _, r := range res.Rules {
+		fmt.Printf("  %-40s %10.1f %7d %9.2f\n", r, r.Avg, r.Count, r.Gain)
+	}
+	fmt.Printf("\nKL divergence %.4f, information gain %.4f, %d iterations\n",
+		res.KL, res.InfoGain, res.Iterations)
+
+	// What do those rules "say" about individual flights? Fit the maximum-
+	// entropy model the rules imply and compare estimates to actual delays.
+	est, _, err := ds.Fit([][]sirum.Condition{
+		{{Attr: "Destination", Value: "London"}},
+		{{Attr: "Day", Value: "Fri"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nestimated delay for the first four flights under those two rules")
+	fmt.Println("(the m̂3 column of Table 1.1 up to the Sat rule):")
+	for i := 0; i < 4; i++ {
+		fmt.Printf("  flight %d: %.1f minutes\n", i+1, est[i])
+	}
+}

@@ -1,0 +1,171 @@
+// Package bitset provides a compact, fixed-capacity bit array used to record
+// which rules cover a tuple (the "BA" arrays of Algorithm 3 in the SIRUM
+// thesis). Rule lists are small (the thesis assumes at most ~50 rules, so a
+// single machine word usually suffices) but the type supports arbitrary
+// widths.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitset is a fixed-capacity array of bits. The zero value is an empty bitset
+// with capacity zero; use New to allocate capacity. Bitsets are not safe for
+// concurrent mutation.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns a bitset with capacity for n bits, all zero.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative size %d", n))
+	}
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a bitset of capacity n with the given bits set.
+func FromIndices(n int, idx ...int) *Bitset {
+	b := New(n)
+	for _, i := range idx {
+		b.Set(i)
+	}
+	return b
+}
+
+// Len returns the capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i to one.
+func (b *Bitset) Set(i int) {
+	b.check(i)
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to zero.
+func (b *Bitset) Clear(i int) {
+	b.check(i)
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool {
+	b.check(i)
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+func (b *Bitset) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersects reports whether b and o share at least one set bit. It
+// corresponds to the "BA & r.BA != 0" test of Algorithm 3.
+func (b *Bitset) Intersects(o *Bitset) bool {
+	n := min(len(b.words), len(o.words))
+	for i := 0; i < n; i++ {
+		if b.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether the two bitsets have the same capacity and contents.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of b.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}
+
+// Key returns the bit contents as a string usable as a map key. Two bitsets
+// with equal contents and capacity produce equal keys.
+func (b *Bitset) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(b.words) * 8)
+	for _, w := range b.words {
+		for s := 0; s < 64; s += 8 {
+			sb.WriteByte(byte(w >> uint(s)))
+		}
+	}
+	return sb.String()
+}
+
+// Indices returns the positions of the set bits in increasing order.
+func (b *Bitset) Indices() []int {
+	out := make([]int, 0, b.Count())
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+tz)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// String renders the bitset most-significant-bit last, e.g. "1100" for bits
+// {0,1} of a 4-bit set, matching the BA notation of the thesis (bit 1 is the
+// first rule).
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Word64 is a convenience fast path: it returns the first word of the bitset.
+// Valid only when Len() <= 64.
+func (b *Bitset) Word64() uint64 {
+	if b.n > wordBits {
+		panic("bitset: Word64 on bitset wider than 64 bits")
+	}
+	if len(b.words) == 0 {
+		return 0
+	}
+	return b.words[0]
+}

@@ -1,0 +1,218 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Errorf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for _, i := range []int{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%d) did not panic", i)
+				}
+			}()
+			New(10).Set(i)
+		}()
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAny(t *testing.T) {
+	b := New(70)
+	if b.Any() {
+		t.Error("empty bitset reports Any")
+	}
+	b.Set(69)
+	if !b.Any() {
+		t.Error("bitset with bit 69 set reports !Any")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromIndices(100, 3, 64, 99)
+	b := FromIndices(100, 64)
+	c := FromIndices(100, 4, 65)
+	if !a.Intersects(b) {
+		t.Error("a and b should intersect at 64")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	if !b.Intersects(a) {
+		t.Error("Intersects not symmetric")
+	}
+	empty := New(100)
+	if a.Intersects(empty) || empty.Intersects(a) {
+		t.Error("intersection with empty set")
+	}
+}
+
+func TestEqualCloneKey(t *testing.T) {
+	a := FromIndices(90, 1, 2, 88)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	if a.Key() != b.Key() {
+		t.Error("clone key differs")
+	}
+	b.Set(50)
+	if a.Equal(b) {
+		t.Error("mutated clone still equal")
+	}
+	if a.Key() == b.Key() {
+		t.Error("mutated clone has same key")
+	}
+	if a.Get(50) {
+		t.Error("mutating clone affected original")
+	}
+	short := FromIndices(4, 1, 2)
+	long := FromIndices(90, 1, 2)
+	if short.Equal(long) {
+		t.Error("different capacities reported equal")
+	}
+}
+
+func TestIndices(t *testing.T) {
+	want := []int{0, 5, 63, 64, 120}
+	b := FromIndices(128, want...)
+	got := b.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	b := FromIndices(4, 0, 1)
+	if got := b.String(); got != "1100" {
+		t.Errorf("String = %q, want %q", got, "1100")
+	}
+}
+
+func TestWord64(t *testing.T) {
+	b := FromIndices(10, 0, 3)
+	if got := b.Word64(); got != 0b1001 {
+		t.Errorf("Word64 = %b, want 1001", got)
+	}
+	if New(0).Word64() != 0 {
+		t.Error("empty bitset Word64 != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Word64 on wide bitset did not panic")
+		}
+	}()
+	New(65).Word64()
+}
+
+// refSet is a map-based reference implementation used by property tests.
+type refSet map[int]bool
+
+func randomPair(r *rand.Rand, n int) (*Bitset, refSet) {
+	b := New(n)
+	ref := refSet{}
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			b.Set(i)
+			ref[i] = true
+		}
+	}
+	return b, ref
+}
+
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%150 + 1
+		r := rand.New(rand.NewSource(seed))
+		b, ref := randomPair(r, n)
+		if b.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if b.Get(i) != ref[i] {
+				return false
+			}
+		}
+		// Indices must round-trip.
+		rt := New(n)
+		for _, i := range b.Indices() {
+			rt.Set(i)
+		}
+		return rt.Equal(b) && rt.Key() == b.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectsMatchesReference(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%100 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, ra := randomPair(r, n)
+		b, rb := randomPair(r, n)
+		want := false
+		for i := range ra {
+			if rb[i] {
+				want = true
+			}
+		}
+		return a.Intersects(b) == want && b.Intersects(a) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIntersects64(b *testing.B) {
+	x := FromIndices(64, 0, 13, 63)
+	y := FromIndices(64, 13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !x.Intersects(y) {
+			b.Fatal("expected intersection")
+		}
+	}
+}

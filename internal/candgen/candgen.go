@@ -1,0 +1,320 @@
+// Package candgen implements SIRUM's candidate rule generation: sample-based
+// candidate pruning (Section 3.1.1), its inverted-index acceleration
+// (Section 4.2), the sample-count fix-up of the aggregates, exhaustive
+// candidate enumeration, and distributed top-k selection by information
+// gain.
+package candgen
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sirum/internal/cube"
+	"sirum/internal/dataset"
+	"sirum/internal/engine"
+	"sirum/internal/maxent"
+	"sirum/internal/metrics"
+	"sirum/internal/rule"
+)
+
+// Sample is the broadcast random sample s drawn from D: |s| dimension-code
+// rows plus per-attribute domain sizes for index construction.
+type Sample struct {
+	D       int
+	Rows    [][]int32
+	Domains []int
+}
+
+// DrawSample projects n uniformly sampled rows of ds onto their dimension
+// codes.
+func DrawSample(ds *dataset.Dataset, r *rand.Rand, n int) *Sample {
+	sub := ds.Sample(r, n)
+	s := &Sample{D: ds.NumDims(), Domains: ds.DomainSizes()}
+	for i := 0; i < sub.NumRows(); i++ {
+		row, _ := sub.Row(i, nil)
+		s.Rows = append(s.Rows, row)
+	}
+	return s
+}
+
+// Bytes estimates the broadcast payload of the sample.
+func (s *Sample) Bytes() int64 { return int64(len(s.Rows)) * int64(s.D) * 4 }
+
+// Size returns |s|.
+func (s *Sample) Size() int { return len(s.Rows) }
+
+// MatchCount returns the number of sample tuples covered by r, the divisor
+// of the aggregate fix-up.
+func (s *Sample) MatchCount(r rule.Rule) int {
+	n := 0
+	for _, row := range s.Rows {
+		if r.MatchesCodes(row) {
+			n++
+		}
+	}
+	return n
+}
+
+// InvertedIndex is the per-attribute index over the sample of Section 4.2:
+// for attribute j and value code v, Posting(j, v) lists the sample rows with
+// that value. Dictionary codes are dense, so postings are slice-indexed.
+type InvertedIndex struct {
+	d        int
+	postings [][][]int32 // postings[j][v] = sample row ids
+}
+
+// BuildIndex constructs the inverted index for s.
+func BuildIndex(s *Sample) *InvertedIndex {
+	ix := &InvertedIndex{d: s.D, postings: make([][][]int32, s.D)}
+	for j := 0; j < s.D; j++ {
+		ix.postings[j] = make([][]int32, s.Domains[j])
+	}
+	for si, row := range s.Rows {
+		for j, v := range row {
+			ix.postings[j][v] = append(ix.postings[j][v], int32(si))
+		}
+	}
+	return ix
+}
+
+// Posting returns the sample rows holding value v in attribute j.
+func (ix *InvertedIndex) Posting(j int, v int32) []int32 {
+	p := ix.postings[j]
+	if v < 0 || int(v) >= len(p) {
+		return nil
+	}
+	return p[v]
+}
+
+// Bytes estimates the broadcast payload of the index (postings plus sample).
+func (ix *InvertedIndex) Bytes() int64 {
+	var n int64
+	for _, attr := range ix.postings {
+		for _, post := range attr {
+			n += int64(len(post)) * 4
+		}
+		n += int64(len(attr)) * 8
+	}
+	return n
+}
+
+// LCAParts computes the locally combined LCA aggregates LCA(s, D): for every
+// (sample tuple, data tuple) pair, the least common ancestor keyed by rule,
+// carrying (t[m], t[m̂], 1). One output map per data block. When indexed is
+// true the inverted-index strategy of Section 4.2 replaces the attribute-by-
+// attribute cross product; both strategies produce identical output, and the
+// comparison counter records the work saved.
+func LCAParts(c *engine.Cluster, data *engine.CachedData, s *Sample, indexed bool) (*engine.PColl[map[string]cube.Agg], error) {
+	if s.Size() == 0 {
+		return nil, fmt.Errorf("candgen: empty sample")
+	}
+	var ix *InvertedIndex
+	if indexed {
+		ix = BuildIndex(s)
+		c.Broadcast(ix.Bytes() + s.Bytes())
+	} else {
+		c.Broadcast(s.Bytes())
+	}
+	out := make([]map[string]cube.Agg, data.NumBlocks())
+	comparisons := make([]int64, data.NumBlocks())
+	err := data.Scan("candgen/lca", false, func(bi int, b *engine.TupleBlock) {
+		local := make(map[string]cube.Agg)
+		if indexed {
+			comparisons[bi] = lcaIndexed(b, s, ix, local)
+		} else {
+			comparisons[bi] = lcaNaive(b, s, local)
+		}
+		out[bi] = local
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, n := range comparisons {
+		total += n
+	}
+	c.Reg.Add(metrics.CtrLCAComparisons, total)
+	return engine.NewPColl(out), nil
+}
+
+// lcaNaive computes each pair's LCA with d attribute comparisons.
+func lcaNaive(b *engine.TupleBlock, s *Sample, local map[string]cube.Agg) int64 {
+	d := len(b.Dims)
+	lca := make(rule.Rule, d)
+	var comps int64
+	for i := 0; i < b.NumRows(); i++ {
+		agg := cube.Agg{SumM: b.M[i], SumMhat: b.Mhat[i], Count: 1}
+		for _, srow := range s.Rows {
+			for j := 0; j < d; j++ {
+				if srow[j] == b.Dims[j][i] {
+					lca[j] = srow[j]
+				} else {
+					lca[j] = rule.Wildcard
+				}
+			}
+			comps += int64(d)
+			k := lca.Key()
+			if old, ok := local[k]; ok {
+				local[k] = cube.Merge(old, agg)
+			} else {
+				local[k] = agg
+			}
+		}
+	}
+	return comps
+}
+
+// lcaIndexed initializes all |s| LCAs of a tuple to all-wildcards and uses
+// the index to write back only the agreeing constants (Section 4.2): one
+// lookup per attribute plus one write per agreement, instead of |s|·d
+// comparisons.
+func lcaIndexed(b *engine.TupleBlock, s *Sample, ix *InvertedIndex, local map[string]cube.Agg) int64 {
+	d := len(b.Dims)
+	ns := s.Size()
+	template := make([]int32, ns*d)
+	for i := range template {
+		template[i] = rule.Wildcard
+	}
+	buf := make([]int32, ns*d)
+	var ops int64
+	for i := 0; i < b.NumRows(); i++ {
+		copy(buf, template)
+		for j := 0; j < d; j++ {
+			v := b.Dims[j][i]
+			ops++ // one index lookup per attribute
+			for _, si := range ix.Posting(j, v) {
+				buf[int(si)*d+j] = v
+				ops++
+			}
+		}
+		agg := cube.Agg{SumM: b.M[i], SumMhat: b.Mhat[i], Count: 1}
+		for si := 0; si < ns; si++ {
+			k := rule.Rule(buf[si*d : (si+1)*d]).Key()
+			if old, ok := local[k]; ok {
+				local[k] = cube.Merge(old, agg)
+			} else {
+				local[k] = agg
+			}
+		}
+	}
+	return ops
+}
+
+// AdjustForSample applies the fix-up of Section 3.1.1: a candidate covering
+// c sample tuples received every covered data tuple's contribution c times,
+// so its aggregates are divided by c. After adjustment, SumM and Count equal
+// the candidate's true support sums over D. Candidates covering no sample
+// tuple cannot exist (every candidate is an ancestor of an LCA, hence of a
+// sample tuple); they would indicate corruption and so panic.
+func AdjustForSample(c *engine.Cluster, candidates *engine.PColl[map[string]cube.Agg], s *Sample, d int) *engine.PColl[map[string]cube.Agg] {
+	c.Broadcast(s.Bytes())
+	return engine.MapParts(c, candidates, "candgen/adjust", func(_ int, part map[string]cube.Agg) map[string]cube.Agg {
+		out := make(map[string]cube.Agg, len(part))
+		for key, agg := range part {
+			r, err := rule.FromKey(key, d)
+			if err != nil {
+				panic(fmt.Sprintf("candgen: corrupt candidate key: %v", err))
+			}
+			mc := s.MatchCount(r)
+			if mc == 0 {
+				panic(fmt.Sprintf("candgen: candidate %v covers no sample tuple", r))
+			}
+			f := float64(mc)
+			out[key] = cube.Agg{SumM: agg.SumM / f, SumMhat: agg.SumMhat / f, Count: agg.Count / f}
+		}
+		return out
+	})
+}
+
+// ExhaustiveParts turns every data tuple into a full-constant rule instance,
+// the input for exhaustive candidate exploration (no sampling; the MIR
+// baseline of Section 3.1.1 and the cube-exploration application).
+func ExhaustiveParts(c *engine.Cluster, data *engine.CachedData) (*engine.PColl[map[string]cube.Agg], error) {
+	out := make([]map[string]cube.Agg, data.NumBlocks())
+	err := data.Scan("candgen/exhaustive", false, func(bi int, b *engine.TupleBlock) {
+		local := make(map[string]cube.Agg)
+		d := len(b.Dims)
+		key := make(rule.Rule, d)
+		for i := 0; i < b.NumRows(); i++ {
+			for j := 0; j < d; j++ {
+				key[j] = b.Dims[j][i]
+			}
+			k := key.Key()
+			agg := cube.Agg{SumM: b.M[i], SumMhat: b.Mhat[i], Count: 1}
+			if old, ok := local[k]; ok {
+				local[k] = cube.Merge(old, agg)
+			} else {
+				local[k] = agg
+			}
+		}
+		out[bi] = local
+	})
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewPColl(out), nil
+}
+
+// Candidate is a scored candidate rule.
+type Candidate struct {
+	Key  string
+	Gain float64
+	Agg  cube.Agg
+}
+
+// candHeap is a min-heap by gain used for per-partition top-n.
+type candHeap []Candidate
+
+func (h candHeap) Len() int           { return len(h) }
+func (h candHeap) Less(i, j int) bool { return h[i].Gain < h[j].Gain }
+func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)        { *h = append(*h, x.(Candidate)) }
+func (h *candHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h candHeap) Peek() Candidate    { return h[0] }
+
+// TopByGain scores every candidate with the information-gain estimate
+// (Equation 2.2) and returns the global top n in descending gain order,
+// skipping keys in exclude (already-selected rules) and non-positive gains.
+// The reduction runs as per-partition heaps followed by a driver merge, the
+// standard distributed top-k.
+func TopByGain(c *engine.Cluster, candidates *engine.PColl[map[string]cube.Agg], n int, exclude map[string]bool) []Candidate {
+	if n <= 0 {
+		return nil
+	}
+	tops := engine.MapParts(c, candidates, "candgen/topk", func(_ int, part map[string]cube.Agg) []Candidate {
+		h := make(candHeap, 0, n+1)
+		for key, agg := range part {
+			if exclude[key] {
+				continue
+			}
+			g := maxent.Gain(agg.SumM, agg.SumMhat)
+			if g <= 0 {
+				continue
+			}
+			if len(h) < n {
+				heap.Push(&h, Candidate{Key: key, Gain: g, Agg: agg})
+			} else if g > h.Peek().Gain {
+				h[0] = Candidate{Key: key, Gain: g, Agg: agg}
+				heap.Fix(&h, 0)
+			}
+		}
+		return h
+	})
+	var all []Candidate
+	for _, part := range tops.Parts() {
+		all = append(all, part...)
+	}
+	c.AdvanceSim(0) // gather cost negligible: n candidates per partition
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Gain != all[j].Gain {
+			return all[i].Gain > all[j].Gain
+		}
+		return all[i].Key < all[j].Key // deterministic tie-break
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

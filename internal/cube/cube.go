@@ -1,0 +1,178 @@
+// Package cube implements the distributed data-cube computation SIRUM's rule
+// generation is built on (Section 3.1, after Nandi et al. [25]): every input
+// rule instance emits its ancestors along the cube lattice, and aggregates
+// (Σm, Σm̂, count) are combined per distinct candidate rule.
+//
+// Two strategies are provided, selected by how the dimension attributes are
+// grouped:
+//
+//   - a single group of all attributes reproduces the one-round algorithm of
+//     BJ SIRUM, where each mapper emits a rule's entire cube lattice;
+//   - g ordered column groups reproduce the multi-stage pipeline of Section
+//     4.3, where stage j only wildcards attributes of group Gⱼ and feeds its
+//     reduced output to stage j+1, shrinking the emitted intermediate volume
+//     (Figure 5.8). Appendix A proves the outputs identical; this package's
+//     property tests check it.
+package cube
+
+import (
+	"fmt"
+
+	"sirum/internal/engine"
+	"sirum/internal/metrics"
+	"sirum/internal/rule"
+)
+
+// Agg carries the aggregates of one candidate rule: the sums of actual and
+// estimated measure values over contributing instances and the instance
+// count. For LCA instances the count is 1 per (sample tuple, data tuple)
+// pair; after the sample fix-up it equals the support size |S_D(r)|.
+type Agg struct {
+	SumM    float64
+	SumMhat float64
+	Count   float64
+}
+
+// Merge combines two aggregates.
+func Merge(a, b Agg) Agg {
+	return Agg{SumM: a.SumM + b.SumM, SumMhat: a.SumMhat + b.SumMhat, Count: a.Count + b.Count}
+}
+
+// aggBytes estimates a shuffled record's size for cost accounting: the rule
+// key plus three float64 fields.
+func aggBytes(k string, _ Agg) int { return len(k) + 24 }
+
+// SplitGroups partitions the attribute positions 0..d-1 into g contiguous,
+// near-even ordered groups (the thesis' evaluation splits "evenly into two
+// groups"). g is clamped to [1, d].
+func SplitGroups(d, g int) [][]int {
+	if g < 1 {
+		g = 1
+	}
+	if g > d {
+		g = d
+	}
+	if d == 0 {
+		return [][]int{{}}
+	}
+	out := make([][]int, 0, g)
+	per := (d + g - 1) / g
+	for start := 0; start < d; start += per {
+		end := min(start+per, d)
+		grp := make([]int, 0, end-start)
+		for p := start; p < end; p++ {
+			grp = append(grp, p)
+		}
+		out = append(out, grp)
+	}
+	return out
+}
+
+// validateGroups checks the groups cover 0..d-1 exactly once.
+func validateGroups(d int, groups [][]int) error {
+	seen := make([]bool, d)
+	n := 0
+	for _, g := range groups {
+		for _, p := range g {
+			if p < 0 || p >= d {
+				return fmt.Errorf("cube: group position %d outside [0,%d)", p, d)
+			}
+			if seen[p] {
+				return fmt.Errorf("cube: position %d in multiple groups", p)
+			}
+			seen[p] = true
+			n++
+		}
+	}
+	if n != d {
+		return fmt.Errorf("cube: groups cover %d of %d positions", n, d)
+	}
+	return nil
+}
+
+// Compute runs the (possibly multi-stage) data-cube over per-partition rule
+// aggregates. Input partitions map rule keys (rule.Key of arity d) to their
+// aggregates — for sample-based pruning these are the locally combined LCA
+// instances; for exhaustive exploration, the tuples themselves. The result
+// partitions every candidate rule (each input rule and all its ancestors)
+// uniquely with fully merged aggregates.
+//
+// Every stage is one map-reduce round: a JobBoundary is charged per round,
+// and each emitted ancestor counts toward metrics.CtrPairsEmitted, the
+// quantity Figure 5.8 plots.
+func Compute(c *engine.Cluster, in *engine.PColl[map[string]Agg], d int, groups [][]int) (*engine.PColl[map[string]Agg], error) {
+	if err := validateGroups(d, groups); err != nil {
+		return nil, err
+	}
+	parts := c.Config().Partitions
+	// Round 0: key-partition the input so every rule lives in exactly one
+	// partition (the reduce of "computing LCA(s,D)" in the thesis).
+	cur := engine.ShuffleByKey(c, in, "cube/partition", parts, Merge, aggBytes)
+	c.JobBoundary()
+
+	for gi, group := range groups {
+		group := group
+		stage := fmt.Sprintf("cube/stage%d", gi+1)
+		// Map: emit the proper ancestors of every current rule obtained by
+		// wildcarding non-empty subsets of this group's attributes,
+		// combining locally (the combiner of the MR round).
+		gen := engine.MapParts(c, cur, stage+"/map", func(_ int, part map[string]Agg) map[string]Agg {
+			local := make(map[string]Agg)
+			var emitted int64
+			buf := make(rule.Rule, d)
+			for key, agg := range part {
+				r, err := rule.FromKey(key, d)
+				if err != nil {
+					panic(fmt.Sprintf("cube: corrupt rule key: %v", err))
+				}
+				copy(buf, r)
+				buf.ForEachGeneralization(group, false, func(anc rule.Rule) {
+					k := anc.Key()
+					if old, ok := local[k]; ok {
+						local[k] = Merge(old, agg)
+					} else {
+						local[k] = agg
+					}
+					emitted++
+				})
+			}
+			c.Reg.Add(metrics.CtrPairsEmitted, emitted)
+			return local
+		})
+		// Reduce: co-partition the generated ancestors with the pass-through
+		// rules (same hash, same partition count) and merge.
+		genRed := engine.ShuffleByKey(c, gen, stage+"/shuffle", parts, Merge, aggBytes)
+		merged := make([]map[string]Agg, parts)
+		c.RunStage(stage+"/merge", parts, func(b int) {
+			out := cur.Part(b)
+			for k, v := range genRed.Part(b) {
+				if old, ok := out[k]; ok {
+					out[k] = Merge(old, v)
+				} else {
+					out[k] = v
+				}
+			}
+			merged[b] = out
+		})
+		cur = engine.NewPColl(merged)
+		c.JobBoundary()
+	}
+	return cur, nil
+}
+
+// ComputeSingleStage is Compute with all attributes in one group — the
+// one-round algorithm of Naive/BJ SIRUM where mappers emit full cube
+// lattices.
+func ComputeSingleStage(c *engine.Cluster, in *engine.PColl[map[string]Agg], d int) (*engine.PColl[map[string]Agg], error) {
+	return Compute(c, in, d, SplitGroups(d, 1))
+}
+
+// CountCandidates sums the number of distinct candidate rules across the
+// result partitions.
+func CountCandidates(c *engine.Cluster, candidates *engine.PColl[map[string]Agg]) int64 {
+	var total int64
+	for _, p := range candidates.Parts() {
+		total += int64(len(p))
+	}
+	return total
+}

@@ -1,0 +1,166 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"sirum/internal/rule"
+)
+
+// TestFlightsMatchesTable11 pins the fixture against Table 1.1.
+func TestFlightsMatchesTable11(t *testing.T) {
+	ds := Flights()
+	if ds.NumRows() != 14 || ds.NumDims() != 3 {
+		t.Fatalf("rows=%d dims=%d", ds.NumRows(), ds.NumDims())
+	}
+	if ds.TotalMeasure() != 145 {
+		t.Errorf("total delay = %v, want 145", ds.TotalMeasure())
+	}
+	if math.Abs(ds.MeanMeasure()-145.0/14.0) > 1e-12 {
+		t.Errorf("mean = %v", ds.MeanMeasure())
+	}
+	if ds.DimValue(0, 0) != "Fri" || ds.DimValue(0, 1) != "SF" || ds.DimValue(0, 2) != "London" {
+		t.Error("tuple 1 mismatch")
+	}
+	if ds.Measure[13] != 4 || ds.DimValue(13, 1) != "Frankfurt" {
+		t.Error("tuple 14 mismatch")
+	}
+	if err := ds.Validate(); err != nil {
+		t.Error(err)
+	}
+	sizes := ds.DomainSizes()
+	if sizes[0] != 7 || sizes[1] != 6 || sizes[2] != 7 {
+		t.Errorf("domain sizes = %v, want [7 6 7]", sizes)
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	if _, err := Generate(Spec{Rows: -1, Dims: []DimSpec{{Name: "a", Domain: 2}}}); err == nil {
+		t.Error("negative rows accepted")
+	}
+	if _, err := Generate(Spec{Rows: 10}); err == nil {
+		t.Error("no dims accepted")
+	}
+	if _, err := Generate(Spec{Rows: 10, Dims: []DimSpec{{Name: "a", Domain: 0}}}); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Income(500, 7)
+	b := Income(500, 7)
+	if a.NumRows() != 500 {
+		t.Fatalf("rows = %d", a.NumRows())
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		if a.Measure[i] != b.Measure[i] {
+			t.Fatal("same seed produced different measures")
+		}
+		for j := 0; j < a.NumDims(); j++ {
+			if a.Dims[j][i] != b.Dims[j][i] {
+				t.Fatal("same seed produced different dims")
+			}
+		}
+	}
+	c := Income(500, 8)
+	same := true
+	for i := 0; i < c.NumRows() && same; i++ {
+		if a.Measure[i] != c.Measure[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical measure columns")
+	}
+}
+
+func TestDatasetShapes(t *testing.T) {
+	cases := []struct {
+		name   string
+		rows   int
+		dims   int
+		binary bool
+	}{
+		{"income", 400, 9, true},
+		{"gdelt", 400, 9, false},
+		{"susy", 400, 18, true},
+		{"tlc", 400, 9, false},
+	}
+	for _, c := range cases {
+		ds, err := ByName(c.name, c.rows, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.NumRows() != c.rows || ds.NumDims() != c.dims {
+			t.Errorf("%s: rows=%d dims=%d", c.name, ds.NumRows(), ds.NumDims())
+		}
+		if err := ds.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		if c.binary {
+			for i, v := range ds.Measure {
+				if v != 0 && v != 1 {
+					t.Errorf("%s: measure[%d] = %v not binary", c.name, i, v)
+					break
+				}
+			}
+		}
+		for _, v := range ds.Measure {
+			if v < 0 {
+				t.Errorf("%s: negative measure", c.name)
+				break
+			}
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nope", 10, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	fl, err := ByName("flights", 999, 1)
+	if err != nil || fl.NumRows() != 14 {
+		t.Errorf("flights via ByName: %v rows=%d", err, fl.NumRows())
+	}
+}
+
+// TestPlantedRuleIsInformative checks the planted structure is actually
+// there: tuples matching a planted rule must have a visibly shifted average
+// measure — otherwise the mining experiments would chase noise.
+func TestPlantedRuleIsInformative(t *testing.T) {
+	ds := Income(20000, 3)
+	// Planted: education=2? plant(0.35, 2, 0) fixes dim 2 (education) to 0.
+	r := rule.AllWildcards(9)
+	r[2] = 0
+	sum, count := r.SupportSums(ds)
+	if count < 100 {
+		t.Fatalf("planted rule support too small: %d", count)
+	}
+	overall := ds.MeanMeasure()
+	avg := sum / float64(count)
+	if avg < overall+0.15 {
+		t.Errorf("planted rule avg %v not shifted above overall %v", avg, overall)
+	}
+}
+
+func TestSUSYNearUniformBuckets(t *testing.T) {
+	ds := SUSY(6000, 5)
+	// Each attribute has 3 buckets; near-uniform means each bucket holds
+	// roughly a third (unplanted attributes).
+	counts := make([]int, 3)
+	for _, v := range ds.Dims[10] {
+		counts[v]++
+	}
+	for b, c := range counts {
+		if c < 1400 || c > 2600 {
+			t.Errorf("bucket %d count %d far from uniform", b, c)
+		}
+	}
+}
+
+func TestTLCMeasurePositive(t *testing.T) {
+	ds := TLC(3000, 9)
+	if ds.MeanMeasure() <= 0 {
+		t.Error("TLC payments not positive on average")
+	}
+}

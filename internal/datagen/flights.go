@@ -1,0 +1,45 @@
+// Package datagen builds the datasets used throughout the repository: the
+// thesis' 14-tuple flight-delay running example (Table 1.1) exactly, and
+// synthetic equivalents of the four evaluation datasets (Income, GDELT,
+// SUSY, TLC) whose originals are not redistributable here. See DESIGN.md §1
+// for the substitution rationale.
+package datagen
+
+import "sirum/internal/dataset"
+
+// Flights returns the exact flight-delay relation of Table 1.1 of the
+// thesis: 14 tuples, dimension attributes (Day, Origin, Destination) and
+// measure attribute Delay. The thesis' worked examples (the m̂ columns of
+// Table 1.1, the rule set of Table 1.2, the RCT of Table 4.1) are golden
+// tests over this dataset.
+func Flights() *dataset.Dataset {
+	b := dataset.NewBuilder(dataset.Schema{
+		DimNames:    []string{"Day", "Origin", "Destination"},
+		MeasureName: "Delay",
+	})
+	rows := []struct {
+		day, origin, dest string
+		delay             float64
+	}{
+		{"Fri", "SF", "London", 20},
+		{"Fri", "London", "LA", 16},
+		{"Sun", "Tokyo", "Frankfurt", 10},
+		{"Sun", "Chicago", "London", 15},
+		{"Sat", "Beijing", "Frankfurt", 13},
+		{"Sat", "Frankfurt", "London", 19},
+		{"Tue", "Chicago", "LA", 5},
+		{"Wed", "London", "Chicago", 6},
+		{"Thu", "SF", "Frankfurt", 15},
+		{"Mon", "Beijing", "SF", 4},
+		{"Mon", "SF", "London", 7},
+		{"Mon", "SF", "Frankfurt", 5},
+		{"Mon", "Tokyo", "Beijing", 6},
+		{"Mon", "Frankfurt", "Tokyo", 4},
+	}
+	for _, r := range rows {
+		if err := b.Add([]string{r.day, r.origin, r.dest}, r.delay); err != nil {
+			panic(err) // unreachable: fixed-arity literals
+		}
+	}
+	return b.MustBuild()
+}

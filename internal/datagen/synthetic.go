@@ -1,0 +1,296 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sirum/internal/dataset"
+	"sirum/internal/stats"
+)
+
+// DimSpec describes one synthetic dimension attribute.
+type DimSpec struct {
+	Name    string
+	Domain  int     // number of distinct values
+	Skew    float64 // Zipf exponent; <=1 gives near-uniform draws
+	Uniform bool    // draw uniformly instead of Zipf
+}
+
+// PlantedRule injects structure for the miner to find: tuples matching the
+// conjunction get their measure drawn from a shifted distribution, so the
+// rule carries real information about the measure.
+type PlantedRule struct {
+	// Attrs maps dimension index to the value code the rule fixes.
+	Attrs map[int]int32
+	// Shift is added to the measure of matching tuples (binary measures
+	// interpret Shift as an increase of the success probability).
+	Shift float64
+}
+
+// Spec describes a synthetic dataset.
+type Spec struct {
+	Name    string
+	Rows    int
+	Dims    []DimSpec
+	Measure MeasureSpec
+	Planted []PlantedRule
+	Seed    int64
+}
+
+// MeasureKind selects the measure attribute's distribution.
+type MeasureKind int
+
+const (
+	// MeasureBinary draws 0/1 with a base probability (Income, SUSY).
+	MeasureBinary MeasureKind = iota
+	// MeasureCounts draws non-negative heavy-tailed counts (GDELT mentions).
+	MeasureCounts
+	// MeasurePositive draws positive continuous values (TLC payments).
+	MeasurePositive
+)
+
+// MeasureSpec describes the measure attribute.
+type MeasureSpec struct {
+	Name string
+	Kind MeasureKind
+	Base float64 // base probability (binary) or location (counts/positive)
+}
+
+// Generate materializes the spec into a dataset.
+func Generate(spec Spec) (*dataset.Dataset, error) {
+	if spec.Rows < 0 {
+		return nil, fmt.Errorf("datagen: negative row count %d", spec.Rows)
+	}
+	if len(spec.Dims) == 0 {
+		return nil, fmt.Errorf("datagen: no dimension attributes")
+	}
+	r := stats.NewRand(spec.Seed)
+	names := make([]string, len(spec.Dims))
+	for j, dim := range spec.Dims {
+		names[j] = dim.Name
+	}
+	b := dataset.NewBuilder(dataset.Schema{DimNames: names, MeasureName: spec.Measure.Name})
+	// Pre-register domains so codes are dense and stable across runs.
+	for j, dim := range spec.Dims {
+		if dim.Domain <= 0 {
+			return nil, fmt.Errorf("datagen: dimension %q has empty domain", dim.Name)
+		}
+		for v := 0; v < dim.Domain; v++ {
+			b.Dict(j).Code(fmt.Sprintf("%s_%d", dim.Name, v))
+		}
+	}
+	samplers := make([]*stats.Zipf, len(spec.Dims))
+	for j, dim := range spec.Dims {
+		if !dim.Uniform {
+			skew := dim.Skew
+			if skew <= 1 {
+				skew = 1.3
+			}
+			samplers[j] = stats.NewZipf(r, skew, dim.Domain)
+		}
+	}
+	codes := make([]int32, len(spec.Dims))
+	for i := 0; i < spec.Rows; i++ {
+		for j, dim := range spec.Dims {
+			if dim.Uniform || samplers[j] == nil {
+				codes[j] = int32(r.Intn(dim.Domain))
+			} else {
+				codes[j] = int32(samplers[j].Draw())
+			}
+		}
+		shift := 0.0
+		for _, p := range spec.Planted {
+			match := true
+			for attr, val := range p.Attrs {
+				if codes[attr] != val {
+					match = false
+					break
+				}
+			}
+			if match {
+				shift += p.Shift
+			}
+		}
+		m := drawMeasure(r, spec.Measure, shift)
+		if err := b.AddCodes(codes, m); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// MustGenerate is Generate for program-controlled specs.
+func MustGenerate(spec Spec) *dataset.Dataset {
+	ds, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func drawMeasure(r *rand.Rand, ms MeasureSpec, shift float64) float64 {
+	switch ms.Kind {
+	case MeasureBinary:
+		p := ms.Base + shift
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		if r.Float64() < p {
+			return 1
+		}
+		return 0
+	case MeasureCounts:
+		// Geometric-ish heavy tail around Base.
+		v := ms.Base * (1 + r.ExpFloat64())
+		return float64(int(v + shift))
+	default: // MeasurePositive
+		v := ms.Base + shift + r.NormFloat64()*ms.Base*0.3
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+}
+
+// plant builds a PlantedRule literal tersely.
+func plant(shift float64, pairs ...int32) PlantedRule {
+	p := PlantedRule{Attrs: map[int]int32{}, Shift: shift}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		p.Attrs[int(pairs[i])] = pairs[i+1]
+	}
+	return p
+}
+
+// Income returns a synthetic stand-in for the IPUMS census dataset of the
+// thesis: 9 skewed categorical demographic attributes and a binary
+// high-income indicator, with household-profile rules planted at several
+// granularities. The real dataset has ~1.5M rows; pass the row count that
+// fits the experiment's scale.
+func Income(rows int, seed int64) *dataset.Dataset {
+	dims := []DimSpec{
+		{Name: "children", Domain: 8, Skew: 1.6},
+		{Name: "marital", Domain: 6, Skew: 1.4},
+		{Name: "education", Domain: 12, Skew: 1.3},
+		{Name: "occupation", Domain: 25, Skew: 1.4},
+		{Name: "sex", Domain: 2, Uniform: true},
+		{Name: "age_band", Domain: 10, Skew: 1.2},
+		{Name: "region", Domain: 9, Skew: 1.3},
+		{Name: "housing", Domain: 4, Skew: 1.5},
+		{Name: "veteran", Domain: 2, Skew: 2.0},
+	}
+	return MustGenerate(Spec{
+		Name: "income", Rows: rows, Dims: dims, Seed: seed,
+		Measure: MeasureSpec{Name: "high_income", Kind: MeasureBinary, Base: 0.18},
+		Planted: []PlantedRule{
+			plant(0.45, 2, 1, 3, 0), // education band + top occupation
+			plant(0.30, 5, 3),       // an age band
+			plant(-0.12, 1, 2),      // a marital status
+			plant(0.25, 6, 0, 7, 1), // region + housing
+			plant(0.35, 2, 0),       // highest education
+			plant(-0.10, 0, 4),      // many children
+		},
+	})
+}
+
+// GDELT returns a synthetic stand-in for the GDELT event extract: 9
+// categorical event attributes (CAMEO-like domains) and a heavy-tailed
+// numeric measure (the number of mentions of the event).
+func GDELT(rows int, seed int64) *dataset.Dataset {
+	dims := []DimSpec{
+		{Name: "actor1_country", Domain: 40, Skew: 1.5},
+		{Name: "actor1_type", Domain: 12, Skew: 1.4},
+		{Name: "is_root_event", Domain: 2, Skew: 1.8},
+		{Name: "event_base_code", Domain: 20, Skew: 1.3},
+		{Name: "event_class", Domain: 4, Skew: 1.2},
+		{Name: "actor1_geo", Domain: 8, Skew: 1.3},
+		{Name: "actor2_geo", Domain: 8, Skew: 1.3},
+		{Name: "action_geo", Domain: 8, Skew: 1.3},
+		{Name: "year_band", Domain: 6, Uniform: true},
+	}
+	return MustGenerate(Spec{
+		Name: "gdelt", Rows: rows, Dims: dims, Seed: seed,
+		Measure: MeasureSpec{Name: "mentions", Kind: MeasureCounts, Base: 4},
+		Planted: []PlantedRule{
+			plant(30, 0, 0, 4, 1), // top country + conflict class
+			plant(18, 3, 2),       // a frequent base code
+			plant(-2, 2, 1),       // non-root events
+			plant(12, 1, 0, 5, 0), // media actor near top geo
+			plant(25, 4, 3),       // rare event class
+		},
+	})
+}
+
+// SUSY returns a synthetic stand-in for the SUSY physics dataset: 18
+// near-uniform dimension attributes of 3 buckets each (the thesis bucketizes
+// the real-valued features into three bins) and a binary signal/background
+// measure. The near-uniform 3-value domains are what drive the ancestor-
+// generation blowup the FastAncestor experiments measure.
+func SUSY(rows int, seed int64) *dataset.Dataset {
+	dims := make([]DimSpec, 18)
+	for j := range dims {
+		dims[j] = DimSpec{Name: fmt.Sprintf("f%02d", j), Domain: 3, Uniform: true}
+	}
+	return MustGenerate(Spec{
+		Name: "susy", Rows: rows, Dims: dims, Seed: seed,
+		Measure: MeasureSpec{Name: "signal", Kind: MeasureBinary, Base: 0.42},
+		Planted: []PlantedRule{
+			plant(0.35, 0, 2, 1, 2),
+			plant(0.28, 4, 0, 5, 0, 6, 0),
+			plant(-0.20, 9, 1),
+			plant(0.22, 12, 2, 15, 2),
+			plant(0.15, 17, 0),
+		},
+	})
+}
+
+// TLC returns a synthetic stand-in for the NYC yellow-taxi trip records: 9
+// trip attributes and the total payment as the measure. The real dataset has
+// 1.08 billion rows; the thesis' TLC_2m … TLC_160m samples map to
+// proportionally scaled row counts here.
+func TLC(rows int, seed int64) *dataset.Dataset {
+	dims := []DimSpec{
+		{Name: "month", Domain: 12, Uniform: true},
+		{Name: "passengers", Domain: 6, Skew: 1.7},
+		{Name: "payment", Domain: 4, Skew: 1.4},
+		{Name: "pickup_zone", Domain: 30, Skew: 1.3},
+		{Name: "dropoff_zone", Domain: 30, Skew: 1.3},
+		{Name: "hour_band", Domain: 8, Skew: 1.2},
+		{Name: "weekday", Domain: 7, Uniform: true},
+		{Name: "rate_code", Domain: 5, Skew: 1.8},
+		{Name: "vendor", Domain: 2, Uniform: true},
+	}
+	return MustGenerate(Spec{
+		Name: "tlc", Rows: rows, Dims: dims, Seed: seed,
+		Measure: MeasureSpec{Name: "total_payment", Kind: MeasurePositive, Base: 14},
+		Planted: []PlantedRule{
+			plant(38, 7, 2),       // airport rate code
+			plant(9, 3, 0, 5, 3),  // busy pickup zone at rush hour
+			plant(-4, 2, 1),       // cash payments
+			plant(15, 3, 1, 4, 1), // cross-town pair
+			plant(6, 0, 11),       // December
+		},
+	})
+}
+
+// ByName returns a named evaluation dataset scaled to rows, for the CLI and
+// the experiment harness. Known names: income, gdelt, susy, tlc, flights
+// (rows ignored for flights).
+func ByName(name string, rows int, seed int64) (*dataset.Dataset, error) {
+	switch name {
+	case "income":
+		return Income(rows, seed), nil
+	case "gdelt":
+		return GDELT(rows, seed), nil
+	case "susy":
+		return SUSY(rows, seed), nil
+	case "tlc":
+		return TLC(rows, seed), nil
+	case "flights":
+		return Flights(), nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown dataset %q (want income|gdelt|susy|tlc|flights)", name)
+	}
+}

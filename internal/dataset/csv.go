@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadCSV parses a dataset from CSV. The first row must be a header; the
+// column named measureName becomes the measure attribute and every other
+// column a dimension attribute. Columns listed in ignore (e.g. row ids such
+// as "Flight ID") are dropped.
+func ReadCSV(r io.Reader, measureName string, ignore ...string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	skip := make(map[string]bool, len(ignore))
+	for _, n := range ignore {
+		skip[n] = true
+	}
+	measureCol := -1
+	var dimCols []int
+	var dimNames []string
+	for i, name := range header {
+		switch {
+		case name == measureName:
+			measureCol = i
+		case skip[name]:
+		default:
+			dimCols = append(dimCols, i)
+			dimNames = append(dimNames, name)
+		}
+	}
+	if measureCol < 0 {
+		return nil, fmt.Errorf("dataset: measure column %q not in header %v", measureName, header)
+	}
+	b := NewBuilder(Schema{DimNames: dimNames, MeasureName: measureName})
+	dims := make([]string, len(dimCols))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		m, err := strconv.ParseFloat(rec[measureCol], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: measure %q: %w", line, rec[measureCol], err)
+		}
+		for j, c := range dimCols {
+			dims[j] = rec[c]
+		}
+		if err := b.Add(dims, m); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+	}
+	return b.Build()
+}
+
+// ReadCSVFile opens path and parses it with ReadCSV.
+func ReadCSVFile(path, measureName string, ignore ...string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, measureName, ignore...)
+}
+
+// WriteCSV writes the dataset as CSV with a header row: dimension columns in
+// schema order followed by the measure column.
+func (ds *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, ds.Schema.DimNames...), ds.Schema.MeasureName)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < ds.NumRows(); i++ {
+		for j := 0; j < ds.NumDims(); j++ {
+			rec[j] = ds.DimValue(i, j)
+		}
+		rec[len(rec)-1] = strconv.FormatFloat(ds.Measure[i], 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the dataset to path, creating or truncating it.
+func (ds *Dataset) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

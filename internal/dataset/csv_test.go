@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const flightCSV = `Flight ID,Day,Origin,Destination,Delay
+1,Fri,SF,London,20
+2,Fri,London,LA,16
+3,Sun,Tokyo,Frankfurt,10
+`
+
+func TestReadCSV(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader(flightCSV), "Delay", "Flight ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 3 || ds.NumDims() != 3 {
+		t.Fatalf("rows=%d dims=%d", ds.NumRows(), ds.NumDims())
+	}
+	if ds.Schema.MeasureName != "Delay" {
+		t.Errorf("measure = %q", ds.Schema.MeasureName)
+	}
+	wantDims := []string{"Day", "Origin", "Destination"}
+	for i, n := range wantDims {
+		if ds.Schema.DimNames[i] != n {
+			t.Fatalf("dims = %v, want %v", ds.Schema.DimNames, wantDims)
+		}
+	}
+	if ds.Measure[1] != 16 {
+		t.Errorf("measure[1] = %v", ds.Measure[1])
+	}
+	if ds.DimValue(2, 0) != "Sun" {
+		t.Errorf("DimValue = %q", ds.DimValue(2, 0))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "m"); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), "missing"); err == nil {
+		t.Error("missing measure column accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,m\nx,notanumber\n"), "m"); err == nil {
+		t.Error("non-numeric measure accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader(flightCSV), "Delay", "Flight ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()), "Delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != ds.NumRows() || back.NumDims() != ds.NumDims() {
+		t.Fatalf("round trip changed shape")
+	}
+	for i := 0; i < ds.NumRows(); i++ {
+		if back.Measure[i] != ds.Measure[i] {
+			t.Errorf("row %d measure %v != %v", i, back.Measure[i], ds.Measure[i])
+		}
+		for j := 0; j < ds.NumDims(); j++ {
+			if back.DimValue(i, j) != ds.DimValue(i, j) {
+				t.Errorf("row %d dim %d %q != %q", i, j, back.DimValue(i, j), ds.DimValue(i, j))
+			}
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader(flightCSV), "Delay", "Flight ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "flights.csv")
+	if err := ds.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path, "Delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 {
+		t.Errorf("rows = %d", back.NumRows())
+	}
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "nope.csv"), "m"); !os.IsNotExist(err) {
+		t.Errorf("expected not-exist error, got %v", err)
+	}
+}

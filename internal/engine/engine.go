@@ -1,0 +1,280 @@
+// Package engine is the distributed-dataflow substrate SIRUM runs on: an
+// in-process reproduction of the Spark-style execution model the thesis
+// implements against (partitioned collections, map/shuffle/broadcast
+// operators, cached data with spill-to-disk) plus a simulated cluster clock.
+//
+// # Simulated cluster time
+//
+// The thesis' evaluation ran on a 16-node cluster; this repository runs on
+// whatever cores the host has. Every task's real CPU duration is measured,
+// and tasks are then placed onto E virtual executors × C virtual cores by
+// list scheduling in task order; a stage's simulated duration is the
+// makespan of that schedule plus modelled coordination costs (stage/job
+// startup, shuffle transfer at NetBandwidth, disk traffic at
+// DiskBandwidth). Wall-clock time is tracked too. All scalability figures
+// (5.1, 5.2, 5.16, 5.17) are reported in simulated time; single-machine
+// algorithmic comparisons (RCT vs naive, fast pruning, …) hold in both
+// clocks because they do the same real work.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"sirum/internal/metrics"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	Executors         int           // number of virtual worker nodes
+	CoresPerExecutor  int           // task slots per node
+	Partitions        int           // default partition count for new data
+	MemoryPerExecutor int64         // bytes available per executor for cached blocks
+	NetBandwidth      float64       // bytes/sec for shuffle and broadcast traffic
+	DiskBandwidth     float64       // bytes/sec for spills and disk-materialized shuffles
+	StageOverhead     time.Duration // scheduling cost charged per stage
+	JobOverhead       time.Duration // startup cost charged per job boundary
+	ShuffleToDisk     bool          // materialize shuffle data on disk (MapReduce-style)
+	RealParallelism   int           // actual concurrent goroutines (defaults to NumCPU)
+	SlowNodeFactor    float64       // executor 0 runs this much slower; <=1 disables
+}
+
+// SparkLike returns the default configuration modelled on the thesis'
+// deployment: 16 executors, 45 GB each, fast startup, in-memory shuffle.
+func SparkLike() Config {
+	return Config{
+		Executors:         16,
+		CoresPerExecutor:  24,
+		Partitions:        384,
+		MemoryPerExecutor: 45 << 30,
+		NetBandwidth:      1 << 30,   // 1 GiB/s
+		DiskBandwidth:     200 << 20, // 200 MiB/s
+		StageOverhead:     100 * time.Millisecond,
+		JobOverhead:       300 * time.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Executors <= 0 {
+		c.Executors = 1
+	}
+	if c.CoresPerExecutor <= 0 {
+		c.CoresPerExecutor = 1
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = c.Executors * c.CoresPerExecutor
+	}
+	if c.NetBandwidth <= 0 {
+		c.NetBandwidth = 1 << 30
+	}
+	if c.DiskBandwidth <= 0 {
+		c.DiskBandwidth = 200 << 20
+	}
+	if c.RealParallelism <= 0 {
+		c.RealParallelism = runtime.NumCPU()
+	}
+	if c.MemoryPerExecutor <= 0 {
+		c.MemoryPerExecutor = 1 << 40 // effectively unlimited
+	}
+	return c
+}
+
+// Cluster is a handle to one simulated cluster. It owns a metrics registry,
+// the simulated clock, and a spill directory for disk-backed blocks.
+type Cluster struct {
+	conf Config
+	Reg  *metrics.Registry
+
+	simMu   sync.Mutex
+	simTime time.Duration
+
+	spillOnce sync.Once
+	spillDir  string
+	spillErr  error
+
+	sem chan struct{} // limits real concurrency
+}
+
+// NewCluster builds a cluster from conf (zero fields get defaults).
+func NewCluster(conf Config) *Cluster {
+	conf = conf.withDefaults()
+	return &Cluster{
+		conf: conf,
+		Reg:  metrics.NewRegistry(),
+		sem:  make(chan struct{}, conf.RealParallelism),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Cluster) Config() Config { return c.conf }
+
+// Close removes any spill files. The cluster is unusable afterwards.
+func (c *Cluster) Close() error {
+	if c.spillDir != "" {
+		return os.RemoveAll(c.spillDir)
+	}
+	return nil
+}
+
+// SimTime returns the simulated cluster clock.
+func (c *Cluster) SimTime() time.Duration {
+	c.simMu.Lock()
+	defer c.simMu.Unlock()
+	return c.simTime
+}
+
+// AdvanceSim adds d to the simulated clock (cost-model hooks).
+func (c *Cluster) AdvanceSim(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.simMu.Lock()
+	c.simTime += d
+	c.simMu.Unlock()
+}
+
+// TotalMemory returns the cluster-wide cache budget. Spark reserves ~60% of
+// executor memory for storage; the same fraction applies here (Section 4.5).
+func (c *Cluster) TotalMemory() int64 {
+	return int64(float64(c.conf.MemoryPerExecutor) * 0.6 * float64(c.conf.Executors))
+}
+
+// JobBoundary charges one job startup (used per map-reduce round; dominant
+// for the Hive-like profile, small for Spark-like).
+func (c *Cluster) JobBoundary() {
+	c.AdvanceSim(c.conf.JobOverhead)
+}
+
+// transferTime converts a byte volume to simulated network time.
+func (c *Cluster) transferTime(bytes int64) time.Duration {
+	return time.Duration(float64(bytes) / c.conf.NetBandwidth * float64(time.Second))
+}
+
+// diskTime converts a byte volume to simulated disk time.
+func (c *Cluster) diskTime(bytes int64) time.Duration {
+	return time.Duration(float64(bytes) / c.conf.DiskBandwidth * float64(time.Second))
+}
+
+// ChargeShuffle accounts for moving the given volume across the cluster:
+// network transfer of the fraction leaving each node, plus a disk write and
+// read when the configuration materializes shuffles (MapReduce-style).
+func (c *Cluster) ChargeShuffle(bytes int64, records int64) {
+	c.Reg.Add(metrics.CtrShuffleBytes, bytes)
+	c.Reg.Add(metrics.CtrShuffleRecords, records)
+	remote := bytes
+	if c.conf.Executors > 0 {
+		remote = bytes * int64(c.conf.Executors-1) / int64(c.conf.Executors)
+	}
+	// The transfer is spread across executors pulling in parallel.
+	per := remote / int64(c.conf.Executors)
+	c.AdvanceSim(c.transferTime(per))
+	if c.conf.ShuffleToDisk {
+		c.AdvanceSim(c.diskTime(2 * bytes / int64(c.conf.Executors)))
+		c.Reg.Add(metrics.CtrSpillBytes, bytes)
+	}
+}
+
+// Broadcast accounts for replicating bytes to every executor (Section 3.2's
+// broadcast join replaces shuffling the big side with replicating the small
+// side). Torrent-style broadcast pipelines across nodes, so the cost is one
+// transfer of the payload, not one per executor.
+func (c *Cluster) Broadcast(bytes int64) {
+	c.Reg.Add(metrics.CtrBroadcastBytes, bytes)
+	c.AdvanceSim(c.transferTime(bytes))
+}
+
+// Repartition accounts for a full redistribution of a dataset across the
+// cluster, the cost Naive SIRUM pays per iteration to co-partition the join
+// inputs (Section 3.2).
+func (c *Cluster) Repartition(bytes int64, records int64) {
+	c.ChargeShuffle(bytes, records)
+}
+
+// RunStage executes n tasks with bounded real parallelism, measures each
+// task's wall duration, and advances the simulated clock by the makespan of
+// scheduling those durations onto the virtual cluster. Task panics are
+// captured and re-raised on the caller with stage context after all tasks
+// finish.
+func (c *Cluster) RunStage(name string, n int, task func(i int)) {
+	if n == 0 {
+		c.AdvanceSim(c.conf.StageOverhead)
+		return
+	}
+	durations := make([]time.Duration, n)
+	panics := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		c.sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+				<-c.sem
+				wg.Done()
+			}()
+			start := time.Now()
+			task(i)
+			durations[i] = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("engine: task %d of stage %q panicked: %v", i, name, p))
+		}
+	}
+	c.Reg.Add(metrics.CtrTasks, int64(n))
+	c.Reg.Add(metrics.CtrStages, 1)
+	c.AdvanceSim(c.makespan(durations) + c.conf.StageOverhead)
+}
+
+// makespan list-schedules the task durations onto Executors×Cores virtual
+// slots in task order, always choosing the earliest-available slot — the
+// same greedy placement a dynamic scheduler converges to. SlowNodeFactor
+// stretches tasks landing on executor 0, injecting the stragglers the weak-
+// scaling experiment discusses (Section 5.7.2).
+func (c *Cluster) makespan(durations []time.Duration) time.Duration {
+	slots := make([]time.Duration, c.conf.Executors*c.conf.CoresPerExecutor)
+	for _, d := range durations {
+		best := 0
+		for s := 1; s < len(slots); s++ {
+			if slots[s] < slots[best] {
+				best = s
+			}
+		}
+		if c.conf.SlowNodeFactor > 1 && best < c.conf.CoresPerExecutor {
+			d = time.Duration(float64(d) * c.conf.SlowNodeFactor)
+		}
+		slots[best] += d
+	}
+	var mk time.Duration
+	for _, s := range slots {
+		if s > mk {
+			mk = s
+		}
+	}
+	return mk
+}
+
+// spillPath lazily creates the spill directory and returns a file path for
+// block id.
+func (c *Cluster) spillPath(id int) (string, error) {
+	c.spillOnce.Do(func() {
+		c.spillDir, c.spillErr = os.MkdirTemp("", "sirum-spill-*")
+	})
+	if c.spillErr != nil {
+		return "", c.spillErr
+	}
+	return fmt.Sprintf("%s/block-%d.gob", c.spillDir, id), nil
+}
+
+// ChargeDiskRead accounts for loading a dataset from the distributed file
+// system, spread across executors reading their partitions in parallel.
+func (c *Cluster) ChargeDiskRead(bytes int64) {
+	c.AdvanceSim(c.diskTime(bytes / int64(c.conf.Executors)))
+}

@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sirum/internal/metrics"
+)
+
+func testConfig() Config {
+	return Config{
+		Executors:        4,
+		CoresPerExecutor: 2,
+		Partitions:       8,
+		StageOverhead:    0,
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := NewCluster(Config{})
+	conf := c.Config()
+	if conf.Executors != 1 || conf.CoresPerExecutor != 1 || conf.Partitions != 1 {
+		t.Errorf("defaults: %+v", conf)
+	}
+	if conf.NetBandwidth <= 0 || conf.DiskBandwidth <= 0 || conf.RealParallelism <= 0 {
+		t.Errorf("bandwidth defaults: %+v", conf)
+	}
+}
+
+func TestSparkLikePreset(t *testing.T) {
+	conf := SparkLike()
+	if conf.Executors != 16 || conf.Partitions != 384 {
+		t.Errorf("SparkLike = %+v", conf)
+	}
+	if conf.MemoryPerExecutor != 45<<30 {
+		t.Errorf("memory = %d", conf.MemoryPerExecutor)
+	}
+}
+
+func TestRunStageExecutesAllTasks(t *testing.T) {
+	c := NewCluster(testConfig())
+	defer c.Close()
+	var n atomic.Int64
+	c.RunStage("count", 100, func(i int) { n.Add(1) })
+	if n.Load() != 100 {
+		t.Errorf("tasks run = %d", n.Load())
+	}
+	if got := c.Reg.Counter(metrics.CtrTasks); got != 100 {
+		t.Errorf("task counter = %d", got)
+	}
+	if got := c.Reg.Counter(metrics.CtrStages); got != 1 {
+		t.Errorf("stage counter = %d", got)
+	}
+	if c.SimTime() <= 0 {
+		t.Error("sim clock did not advance")
+	}
+}
+
+func TestRunStagePanicPropagates(t *testing.T) {
+	c := NewCluster(testConfig())
+	defer c.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("task panic was swallowed")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "boom") || !strings.Contains(msg, "explode") {
+			t.Errorf("panic message lacks context: %v", r)
+		}
+	}()
+	c.RunStage("explode", 8, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+func TestRunStageEmpty(t *testing.T) {
+	c := NewCluster(Config{StageOverhead: time.Second})
+	defer c.Close()
+	c.RunStage("empty", 0, func(int) { t.Fatal("task ran") })
+	if c.SimTime() != time.Second {
+		t.Errorf("empty stage sim time = %v", c.SimTime())
+	}
+}
+
+// TestMakespanScaling verifies the heart of the simulated clock: the same
+// task durations scheduled on more executors yield proportionally smaller
+// makespans (up to the per-task floor).
+func TestMakespanScaling(t *testing.T) {
+	durations := make([]time.Duration, 64)
+	for i := range durations {
+		durations[i] = 10 * time.Millisecond
+	}
+	mk := func(execs int) time.Duration {
+		c := NewCluster(Config{Executors: execs, CoresPerExecutor: 1})
+		defer c.Close()
+		return c.makespan(durations)
+	}
+	m2, m4, m16 := mk(2), mk(4), mk(16)
+	if m2 != 320*time.Millisecond || m4 != 160*time.Millisecond || m16 != 40*time.Millisecond {
+		t.Errorf("makespans: 2->%v 4->%v 16->%v", m2, m4, m16)
+	}
+}
+
+func TestMakespanSlowNode(t *testing.T) {
+	durations := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond}
+	c := NewCluster(Config{Executors: 2, CoresPerExecutor: 1, SlowNodeFactor: 3})
+	defer c.Close()
+	// One task lands on the slow executor (x3), the other on the fast one.
+	if got := c.makespan(durations); got != 30*time.Millisecond {
+		t.Errorf("slow-node makespan = %v, want 30ms", got)
+	}
+}
+
+func TestChargeShuffleAndBroadcast(t *testing.T) {
+	c := NewCluster(Config{Executors: 4, NetBandwidth: 1 << 20, DiskBandwidth: 1 << 20})
+	defer c.Close()
+	c.ChargeShuffle(1<<20, 100)
+	if got := c.Reg.Counter(metrics.CtrShuffleBytes); got != 1<<20 {
+		t.Errorf("shuffle bytes = %d", got)
+	}
+	if got := c.Reg.Counter(metrics.CtrShuffleRecords); got != 100 {
+		t.Errorf("shuffle records = %d", got)
+	}
+	t1 := c.SimTime()
+	if t1 <= 0 {
+		t.Error("shuffle did not advance clock")
+	}
+	c.Broadcast(1 << 20)
+	if c.Reg.Counter(metrics.CtrBroadcastBytes) != 1<<20 {
+		t.Error("broadcast bytes not counted")
+	}
+	if c.SimTime() <= t1 {
+		t.Error("broadcast did not advance clock")
+	}
+}
+
+func TestShuffleToDiskCostsMore(t *testing.T) {
+	mem := NewCluster(Config{Executors: 4, NetBandwidth: 1 << 20, DiskBandwidth: 1 << 20})
+	disk := NewCluster(Config{Executors: 4, NetBandwidth: 1 << 20, DiskBandwidth: 1 << 20, ShuffleToDisk: true})
+	defer mem.Close()
+	defer disk.Close()
+	mem.ChargeShuffle(8<<20, 1)
+	disk.ChargeShuffle(8<<20, 1)
+	if disk.SimTime() <= mem.SimTime() {
+		t.Errorf("disk shuffle (%v) not slower than memory shuffle (%v)", disk.SimTime(), mem.SimTime())
+	}
+}
+
+func TestJobBoundary(t *testing.T) {
+	c := NewCluster(Config{JobOverhead: 7 * time.Second})
+	defer c.Close()
+	c.JobBoundary()
+	if c.SimTime() != 7*time.Second {
+		t.Errorf("job boundary sim time = %v", c.SimTime())
+	}
+}
+
+func TestSplitSlice(t *testing.T) {
+	data := []int{1, 2, 3, 4, 5, 6, 7}
+	parts := SplitSlice(data, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 7 {
+		t.Errorf("split lost rows: %v", parts)
+	}
+	if len(SplitSlice([]int{1}, 5)) != 1 {
+		t.Error("more parts than rows")
+	}
+	empty := SplitSlice([]int{}, 3)
+	if len(empty) != 1 || len(empty[0]) != 0 {
+		t.Errorf("empty split = %v", empty)
+	}
+	if len(SplitSlice(data, 0)) != 1 {
+		t.Error("zero parts should clamp to 1")
+	}
+}
+
+func TestMapPartsAndForEachPart(t *testing.T) {
+	c := NewCluster(testConfig())
+	defer c.Close()
+	in := NewPColl(SplitSlice([]int{1, 2, 3, 4, 5, 6}, 3))
+	sums := MapParts(c, in, "sum", func(_ int, p []int) int {
+		s := 0
+		for _, v := range p {
+			s += v
+		}
+		return s
+	})
+	total := 0
+	for _, s := range sums.Parts() {
+		total += s
+	}
+	if total != 21 {
+		t.Errorf("total = %d", total)
+	}
+	if sums.NumParts() != in.NumParts() {
+		t.Error("MapParts changed partitioning")
+	}
+	var count atomic.Int64
+	ForEachPart(c, in, "visit", func(i int, p []int) {
+		count.Add(int64(len(p)))
+	})
+	if count.Load() != 6 {
+		t.Errorf("ForEachPart visited %d rows", count.Load())
+	}
+	if in.Part(0) == nil {
+		t.Error("Part accessor broken")
+	}
+}
+
+func TestShuffleByKey(t *testing.T) {
+	c := NewCluster(testConfig())
+	defer c.Close()
+	// Two partitions holding overlapping keys.
+	parts := []map[string]int{
+		{"a": 1, "b": 2, "c": 3},
+		{"a": 10, "c": 30, "d": 40},
+	}
+	out := ShuffleByKey(c, NewPColl(parts), "merge", 4, func(a, b int) int { return a + b },
+		func(k string, v int) int { return len(k) + 8 })
+	if out.NumParts() != 4 {
+		t.Fatalf("out parts = %d", out.NumParts())
+	}
+	merged := map[string]int{}
+	for _, p := range out.Parts() {
+		for k, v := range p {
+			if _, dup := merged[k]; dup {
+				t.Errorf("key %q appears in multiple output partitions", k)
+			}
+			merged[k] = v
+		}
+	}
+	want := map[string]int{"a": 11, "b": 2, "c": 33, "d": 40}
+	for k, v := range want {
+		if merged[k] != v {
+			t.Errorf("merged[%q] = %d, want %d", k, merged[k], v)
+		}
+	}
+	if len(merged) != len(want) {
+		t.Errorf("merged = %v", merged)
+	}
+	if c.Reg.Counter(metrics.CtrShuffleRecords) != 6 {
+		t.Errorf("shuffle records = %d, want 6", c.Reg.Counter(metrics.CtrShuffleRecords))
+	}
+}
+
+func TestCollectMap(t *testing.T) {
+	c := NewCluster(testConfig())
+	defer c.Close()
+	parts := []map[string]int{{"x": 1}, {"x": 2, "y": 5}}
+	got := CollectMap(c, NewPColl(parts), "gather", func(a, b int) int { return a + b },
+		func(k string, v int) int { return 16 })
+	if got["x"] != 3 || got["y"] != 5 {
+		t.Errorf("collect = %v", got)
+	}
+}
+
+func TestShuffleDefaultPartitions(t *testing.T) {
+	c := NewCluster(testConfig())
+	defer c.Close()
+	out := ShuffleByKey(c, NewPColl([]map[int]int{{1: 1}}), "d", 0,
+		func(a, b int) int { return a + b }, func(int, int) int { return 8 })
+	if out.NumParts() != c.Config().Partitions {
+		t.Errorf("default partitions = %d, want %d", out.NumParts(), c.Config().Partitions)
+	}
+}
+
+func TestHashKeyTypes(t *testing.T) {
+	// Different key types must hash without panicking and spread keys.
+	if hashKey("abc") == hashKey("abd") {
+		t.Error("string hash collision on near keys (suspicious)")
+	}
+	_ = hashKey(42)
+	_ = hashKey(int32(7))
+	_ = hashKey(int64(7))
+	_ = hashKey(uint64(7))
+	_ = hashKey(3.14) // fallback path
+}
+
+func TestSimCost(t *testing.T) {
+	if got := SimCost(1000, time.Microsecond); got != time.Millisecond {
+		t.Errorf("SimCost = %v", got)
+	}
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+)
+
+// PColl is a partitioned collection: one element of type P per partition.
+// Partition payloads are typically columnar blocks or pre-aggregated maps;
+// operators run one task per partition under the simulated scheduler.
+type PColl[P any] struct {
+	parts []P
+}
+
+// NewPColl wraps pre-built partitions.
+func NewPColl[P any](parts []P) *PColl[P] { return &PColl[P]{parts: parts} }
+
+// NumParts returns the partition count.
+func (p *PColl[P]) NumParts() int { return len(p.parts) }
+
+// Parts exposes the partition payloads (driver-side; no cost is charged).
+func (p *PColl[P]) Parts() []P { return p.parts }
+
+// Part returns partition i.
+func (p *PColl[P]) Part(i int) P { return p.parts[i] }
+
+// SplitSlice partitions a slice into n contiguous chunks of near-equal size
+// (fewer when len(data) < n); the standard way row sets enter the engine.
+func SplitSlice[T any](data []T, n int) [][]T {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(data) && len(data) > 0 {
+		n = len(data)
+	}
+	if len(data) == 0 {
+		return [][]T{nil}
+	}
+	out := make([][]T, 0, n)
+	per := int(math.Ceil(float64(len(data)) / float64(n)))
+	for start := 0; start < len(data); start += per {
+		end := min(start+per, len(data))
+		out = append(out, data[start:end])
+	}
+	return out
+}
+
+// MapParts applies f to every partition in parallel, producing a new
+// collection with the same partitioning.
+func MapParts[P, Q any](c *Cluster, in *PColl[P], name string, f func(part int, p P) Q) *PColl[Q] {
+	out := make([]Q, in.NumParts())
+	c.RunStage(name, in.NumParts(), func(i int) {
+		out[i] = f(i, in.parts[i])
+	})
+	return NewPColl(out)
+}
+
+// ForEachPart applies f to every partition in parallel for its side effects.
+func ForEachPart[P any](c *Cluster, in *PColl[P], name string, f func(part int, p P)) {
+	c.RunStage(name, in.NumParts(), func(i int) {
+		f(i, in.parts[i])
+	})
+}
+
+// KeyBytes estimates serialized record volume for shuffle accounting; the
+// caller supplies per-record byte sizes since Go values have no serialized
+// form until encoded.
+type KeyBytes[K comparable, V any] func(k K, v V) int
+
+// ShuffleByKey redistributes per-partition hash maps by key so that every
+// key lives in exactly one output partition, merging values with merge. This
+// is the reduceByKey of the data-cube algorithm: the inputs act as combiner
+// output, the exchange is charged to the simulated network, and the merge
+// runs as a reduce stage.
+func ShuffleByKey[K comparable, V any](c *Cluster, in *PColl[map[K]V], name string, outParts int, merge func(V, V) V, size KeyBytes[K, V]) *PColl[map[K]V] {
+	if outParts <= 0 {
+		outParts = c.conf.Partitions
+	}
+	// Map side: split each input partition into outParts buckets by key
+	// hash. Runs as a stage so its cost lands on the simulated clock.
+	buckets := make([][]map[K]V, in.NumParts())
+	var shuffleBytes, shuffleRecords int64
+	byteCounts := make([]int64, in.NumParts())
+	recCounts := make([]int64, in.NumParts())
+	c.RunStage(name+"/map", in.NumParts(), func(i int) {
+		local := make([]map[K]V, outParts)
+		for b := range local {
+			local[b] = make(map[K]V)
+		}
+		for k, v := range in.parts[i] {
+			b := int(hashKey(k) % uint64(outParts))
+			if old, ok := local[b][k]; ok {
+				local[b][k] = merge(old, v)
+			} else {
+				local[b][k] = v
+			}
+			byteCounts[i] += int64(size(k, v))
+			recCounts[i]++
+		}
+		buckets[i] = local
+	})
+	for i := range byteCounts {
+		shuffleBytes += byteCounts[i]
+		shuffleRecords += recCounts[i]
+	}
+	c.ChargeShuffle(shuffleBytes, shuffleRecords)
+	// Reduce side: merge bucket b of every input partition.
+	out := make([]map[K]V, outParts)
+	c.RunStage(name+"/reduce", outParts, func(b int) {
+		merged := make(map[K]V)
+		for i := range buckets {
+			for k, v := range buckets[i][b] {
+				if old, ok := merged[k]; ok {
+					merged[k] = merge(old, v)
+				} else {
+					merged[k] = v
+				}
+			}
+		}
+		out[b] = merged
+	})
+	return NewPColl(out)
+}
+
+// CollectMap gathers a keyed collection to the driver, merging duplicates
+// (none exist after ShuffleByKey; MapParts output may have them). The
+// gather is charged as network transfer to one node.
+func CollectMap[K comparable, V any](c *Cluster, in *PColl[map[K]V], name string, merge func(V, V) V, size KeyBytes[K, V]) map[K]V {
+	total := make(map[K]V)
+	var bytes int64
+	for _, part := range in.parts {
+		for k, v := range part {
+			if old, ok := total[k]; ok {
+				total[k] = merge(old, v)
+			} else {
+				total[k] = v
+			}
+			bytes += int64(size(k, v))
+		}
+	}
+	c.AdvanceSim(c.transferTime(bytes))
+	_ = name
+	return total
+}
+
+// hashKey hashes arbitrary comparable keys. String keys (the rule keys) use
+// FNV-1a directly; other comparables go through a formatted fallback that is
+// slower but rarely used.
+func hashKey[K comparable](k K) uint64 {
+	switch v := any(k).(type) {
+	case string:
+		h := fnv.New64a()
+		h.Write([]byte(v))
+		return h.Sum64()
+	case int:
+		return mix64(uint64(v))
+	case int32:
+		return mix64(uint64(uint32(v)))
+	case int64:
+		return mix64(uint64(v))
+	case uint64:
+		return mix64(v)
+	default:
+		h := fnv.New64a()
+		h.Write([]byte(anyString(v)))
+		return h.Sum64()
+	}
+}
+
+func anyString(v any) string {
+	type stringer interface{ String() string }
+	if s, ok := v.(stringer); ok {
+		return s.String()
+	}
+	return fmt.Sprint(v)
+}
+
+// SimCost converts an abstract operation count at a given per-op rate into
+// simulated time; used by platform profiles to model disk-oriented access
+// (PostgreSQL-like scans).
+func SimCost(ops int64, perOp time.Duration) time.Duration {
+	return time.Duration(ops) * perOp
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

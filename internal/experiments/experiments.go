@@ -1,0 +1,186 @@
+// Package experiments regenerates every table and figure of the thesis'
+// evaluation (Chapter 5) plus the profiling study (Chapter 3) and the
+// ablations of DESIGN.md §5. Each experiment is registered under the
+// thesis' figure/table id and prints the same rows/series the thesis
+// reports, at a configurable scale factor (the paper's datasets divided by
+// Config.Scale, with platform overheads scaled to match — see platform.Scale
+// and DESIGN.md §1).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"sirum/internal/datagen"
+	"sirum/internal/dataset"
+)
+
+// Config controls experiment scale. The zero value gets defaults suitable
+// for a laptop run of every experiment in minutes.
+type Config struct {
+	// Scale divides the paper's dataset sizes (default 1000: Income 1.5M
+	// becomes 1500 rows). Platform fixed overheads divide by the same
+	// factor to preserve overhead-to-compute ratios.
+	Scale int
+	// Quick additionally shrinks k and |s| for bench-mode runs.
+	Quick bool
+	// Seed drives all data generation and sampling.
+	Seed int64
+	// Executors and Cores define the default virtual cluster.
+	Executors, Cores int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Executors <= 0 {
+		c.Executors = 16
+	}
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	return c
+}
+
+// rows converts a paper-scale row count to this run's size.
+func (c Config) rows(paperRows int) int {
+	n := paperRows / c.Scale
+	if c.Quick {
+		n /= 4
+	}
+	if n < 300 {
+		n = 300
+	}
+	return n
+}
+
+// k shrinks a rule-count parameter in quick mode.
+func (c Config) k(paperK int) int {
+	if c.Quick && paperK > 5 {
+		return paperK / 2
+	}
+	return paperK
+}
+
+// s shrinks a sample-size parameter in quick mode.
+func (c Config) s(paperS int) int {
+	if c.Quick && paperS > 4 {
+		return max(4, paperS/4)
+	}
+	return paperS
+}
+
+// data builds a named dataset at paper scale.
+func (c Config) data(name string, paperRows int) (*dataset.Dataset, error) {
+	return datagen.ByName(name, c.rows(paperRows), c.Seed)
+}
+
+// Table is one printable result: a named grid with optional notes (the
+// "shape" expectations from the thesis).
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner produces the tables of one experiment.
+type Runner struct {
+	ID          string
+	Description string
+	Run         func(cfg Config) ([]*Table, error)
+}
+
+var registry []Runner
+
+func register(id, description string, run func(cfg Config) ([]*Table, error)) {
+	registry = append(registry, Runner{ID: id, Description: description, Run: run})
+}
+
+// All returns the registered experiments sorted by id.
+func All() []Runner {
+	out := append([]Runner(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Runner, bool) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// Run executes one experiment by id with defaults applied.
+func Run(id string, cfg Config) ([]*Table, error) {
+	r, ok := ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return r.Run(cfg.withDefaults())
+}
+
+// secs renders a duration as seconds with three decimals.
+func secs(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+// ratio renders a speedup factor.
+func ratio(base, opt time.Duration) string {
+	if opt <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", float64(base)/float64(opt))
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sirum/internal/metrics"
+	"sirum/internal/miner"
+)
+
+func init() {
+	register("fig-5.3", "RCT fast iterative scaling vs baseline (GDELT)", func(cfg Config) ([]*Table, error) {
+		return rctFigure(cfg, "fig-5.3", "gdelt", gdeltRows, cfg.s(64))
+	})
+	register("fig-5.4", "RCT fast iterative scaling vs baseline (SUSY)", func(cfg Config) ([]*Table, error) {
+		return rctFigure(cfg, "fig-5.4", "susy", susyRows, cfg.s(4))
+	})
+	register("fig-5.5", "Fast candidate pruning vs |s| (GDELT, k=20)", fig55)
+	register("fig-5.6", "Fast candidate rule processing vs |s| (SUSY, k=20)", fig56)
+	register("fig-5.7", "Rule generation time vs number of dimensions (SUSY projections)", fig57)
+	register("fig-5.8", "Ancestors emitted vs number of dimensions (SUSY projections)", fig58)
+	register("fig-5.9", "Multi-rule insertion (GDELT)", func(cfg Config) ([]*Table, error) {
+		return multiRuleFigure(cfg, "fig-5.9", "gdelt", gdeltRows, cfg.s(64))
+	})
+	register("fig-5.10", "Multi-rule insertion (SUSY)", func(cfg Config) ([]*Table, error) {
+		return multiRuleFigure(cfg, "fig-5.10", "susy", susyRows, cfg.s(4))
+	})
+	register("ablation-groups", "Column-group count sweep (g=1..4, SUSY)", ablationGroups)
+	register("ablation-redundant", "Redundant-ancestor pruning on/off (GDELT)", ablationRedundant)
+}
+
+// rctFigure compares the scaling-phase time of Baseline vs RCT for k in
+// {10, 20, 50} (Figures 5.3/5.4).
+func rctFigure(cfg Config, id, name string, paperRows, sampleSize int) ([]*Table, error) {
+	ds, err := cfg.data(name, paperRows)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Iterative scaling time, Baseline vs RCT (%s)", name),
+		Header: []string{"k", "baseline_s", "rct_s", "speedup"},
+		Notes:  []string{"expected shape: RCT is ~4-5x faster at every k"},
+	}
+	ks := []int{10, 20, 50}
+	if name == "susy" {
+		ks = []int{5, 10, 20} // scaled with the dataset (ancestor blowup)
+	}
+	if cfg.Quick {
+		ks = ks[:2]
+	}
+	for _, k := range ks {
+		var times [2]time.Duration
+		for vi, v := range []miner.Variant{miner.Baseline, miner.RCT} {
+			res, err := cfg.mineFresh(ds, miner.Options{Variant: v, K: k, SampleSize: sampleSize})
+			if err != nil {
+				return nil, err
+			}
+			times[vi] = res.SimPhases[metrics.PhaseScaling]
+		}
+		t.AddRow(fmt.Sprint(k), secs(times[0]), secs(times[1]), ratio(times[0], times[1]))
+	}
+	return []*Table{t}, nil
+}
+
+func fig55(cfg Config) ([]*Table, error) {
+	ds, err := cfg.data("gdelt", gdeltRows)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig-5.5",
+		Title:  "Rule generation time, Baseline vs FastPruning (GDELT, k=20)",
+		Header: []string{"|s|", "baseline_s", "fastpruning_s", "speedup"},
+		Notes:  []string{"expected shape: ~2x speedup, growing with |s|"},
+	}
+	for _, s := range []int{cfg.s(64), cfg.s(128), cfg.s(256)} {
+		var times [2]time.Duration
+		for vi, v := range []miner.Variant{miner.Baseline, miner.FastPruning} {
+			res, err := cfg.mineFresh(ds, miner.Options{Variant: v, K: cfg.k(20), SampleSize: s})
+			if err != nil {
+				return nil, err
+			}
+			times[vi] = res.SimPhases[metrics.PhaseRuleGen]
+		}
+		t.AddRow(fmt.Sprint(s), secs(times[0]), secs(times[1]), ratio(times[0], times[1]))
+	}
+	return []*Table{t}, nil
+}
+
+func fig56(cfg Config) ([]*Table, error) {
+	ds, err := cfg.data("susy", susyRows)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig-5.6",
+		Title:  "Rule generation time, Baseline vs FastAncestor (SUSY, 2 column groups)",
+		Header: []string{"|s|", "baseline_s", "fastancestor_s", "speedup"},
+		Notes: []string{
+			"expected shape: ~2.5x from splitting ancestor generation into 2 stages",
+			"(sample sizes scaled down with the dataset; see DESIGN.md)",
+		},
+	}
+	for _, s := range []int{cfg.s(4), cfg.s(8), cfg.s(16)} {
+		var times [2]time.Duration
+		for vi, v := range []miner.Variant{miner.Baseline, miner.FastAncestor} {
+			res, err := cfg.mineFresh(ds, miner.Options{Variant: v, K: cfg.k(3), SampleSize: s})
+			if err != nil {
+				return nil, err
+			}
+			times[vi] = res.SimPhases[metrics.PhaseRuleGen]
+		}
+		t.AddRow(fmt.Sprint(s), secs(times[0]), secs(times[1]), ratio(times[0], times[1]))
+	}
+	return []*Table{t}, nil
+}
+
+// dimSweep runs Baseline and FastAncestor over SUSY projections (10–18
+// dims) and returns per-dimension rule-gen times plus emitted-pair counts.
+func dimSweep(cfg Config) ([][4]string, [][3]string, error) {
+	full, err := cfg.data("susy", susyRows)
+	if err != nil {
+		return nil, nil, err
+	}
+	var times [][4]string
+	var pairs [][3]string
+	for _, d := range []int{10, 12, 14, 16, 18} {
+		ds := full.Project(d)
+		var rg [2]time.Duration
+		var emitted [2]int64
+		for vi, v := range []miner.Variant{miner.Baseline, miner.FastAncestor} {
+			res, err := cfg.mineFresh(ds, miner.Options{Variant: v, K: cfg.k(3), SampleSize: cfg.s(8)})
+			if err != nil {
+				return nil, nil, err
+			}
+			rg[vi] = res.SimPhases[metrics.PhaseRuleGen]
+			emitted[vi] = res.Counters[metrics.CtrPairsEmitted]
+		}
+		times = append(times, [4]string{fmt.Sprint(d), secs(rg[0]), secs(rg[1]), ratio(rg[0], rg[1])})
+		pairs = append(pairs, [3]string{fmt.Sprint(d), fmt.Sprint(emitted[0]), fmt.Sprint(emitted[1])})
+	}
+	return times, pairs, nil
+}
+
+func fig57(cfg Config) ([]*Table, error) {
+	times, _, err := dimSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig-5.7",
+		Title:  "Rule generation time vs dimensions (SUSY projections)",
+		Header: []string{"dims", "baseline_s", "fastancestor_s", "speedup"},
+		Notes:  []string{"expected shape: the speedup grows with dimensionality"},
+	}
+	for _, row := range times {
+		t.AddRow(row[0], row[1], row[2], row[3])
+	}
+	return []*Table{t}, nil
+}
+
+func fig58(cfg Config) ([]*Table, error) {
+	_, pairs, err := dimSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig-5.8",
+		Title:  "Ancestor pairs emitted by mappers vs dimensions (SUSY projections)",
+		Header: []string{"dims", "baseline_pairs", "fastancestor_pairs"},
+		Notes:  []string{"expected shape: exponential growth; column grouping emits far fewer"},
+	}
+	for _, row := range pairs {
+		t.AddRow(row[0], row[1], row[2])
+	}
+	return []*Table{t}, nil
+}
+
+// multiRuleFigure compares Baseline vs 2-rule, 2-rule*, 3-rule and 3-rule*
+// rule-generation time for k in {10, 50} (Figures 5.9/5.10).
+func multiRuleFigure(cfg Config, id, name string, paperRows, sampleSize int) ([]*Table, error) {
+	ds, err := cfg.data(name, paperRows)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Rule generation time with multi-rule insertion (%s)", name),
+		Header: []string{"k", "baseline_s", "2rule_s", "2rule*_s", "3rule_s", "3rule*_s", "2rule*_rules"},
+		Notes: []string{
+			"expected shape: l-rule cuts rule-gen time roughly by 1/l;",
+			"l-rule* needs extra rules (and time) to match the baseline's KL",
+		},
+	}
+	ks := []int{10, 50}
+	if name == "susy" {
+		ks = []int{6} // scaled with the dataset (ancestor blowup)
+	}
+	if cfg.Quick {
+		ks = []int{6}
+	}
+	for _, k := range ks {
+		base, err := cfg.mineFresh(ds, miner.Options{Variant: miner.Baseline, K: k, SampleSize: sampleSize})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprint(k), secs(base.SimPhases[metrics.PhaseRuleGen])}
+		starRules := 0
+		for _, l := range []int{2, 3} {
+			plain, err := cfg.mineFresh(ds, miner.Options{Variant: miner.MultiRule, K: k, SampleSize: sampleSize, RulesPerIter: l})
+			if err != nil {
+				return nil, err
+			}
+			star, err := cfg.mineFresh(ds, miner.Options{
+				Variant: miner.MultiRule, K: k, SampleSize: sampleSize, RulesPerIter: l,
+				TargetKL: base.KL, MaxRules: 4 * k,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, secs(plain.SimPhases[metrics.PhaseRuleGen]), secs(star.SimPhases[metrics.PhaseRuleGen]))
+			if l == 2 {
+				starRules = len(star.Rules)
+			}
+		}
+		row = append(row, fmt.Sprint(starRules))
+		// Reorder: baseline, 2rule, 2rule*, 3rule, 3rule*, starRules.
+		t.AddRow(row[0], row[1], row[2], row[3], row[4], row[5], row[6])
+	}
+	return []*Table{t}, nil
+}
+
+func ablationGroups(cfg Config) ([]*Table, error) {
+	ds, err := cfg.data("susy", susyRows)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ablation-groups",
+		Title:  "Column-group count sweep (SUSY): more stages emit fewer pairs but add rounds",
+		Header: []string{"groups", "rule_gen_s", "pairs_emitted"},
+		Notes:  []string{"expected shape: g=2 captures most of the win; g>2 marginal (<~20%)"},
+	}
+	for _, g := range []int{1, 2, 3, 4} {
+		res, err := cfg.mineFresh(ds, miner.Options{
+			Variant: miner.FastAncestor, K: cfg.k(3), SampleSize: cfg.s(8), ColumnGroups: g,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(g), secs(res.SimPhases[metrics.PhaseRuleGen]),
+			fmt.Sprint(res.Counters[metrics.CtrPairsEmitted]))
+	}
+	return []*Table{t}, nil
+}
+
+func ablationRedundant(cfg Config) ([]*Table, error) {
+	ds, err := cfg.data("gdelt", gdeltRows)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ablation-redundant",
+		Title:  "Redundant-ancestor pruning (Chapter 7 future work), GDELT",
+		Header: []string{"pruning", "candidates", "rule_gen_s", "final_KL"},
+		Notes:  []string{"expected shape: fewer candidates, same quality"},
+	}
+	for _, on := range []bool{false, true} {
+		res, err := cfg.mineFresh(ds, miner.Options{
+			Variant: miner.Optimized, K: cfg.k(10), SampleSize: cfg.s(64),
+			PruneRedundantAncestors: on,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(on), fmt.Sprint(res.Candidates),
+			secs(res.SimPhases[metrics.PhaseRuleGen]), fmt.Sprintf("%.6f", res.KL))
+	}
+	return []*Table{t}, nil
+}

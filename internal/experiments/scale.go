@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sirum/internal/dataset"
+	"sirum/internal/engine"
+	"sirum/internal/miner"
+	"sirum/internal/platform"
+)
+
+func init() {
+	register("fig-5.16", "Strong scaling of Optimized SIRUM (TLC)", fig516)
+	register("fig-5.17", "Weak scaling of Optimized SIRUM (TLC)", fig517)
+	register("fig-5.18", "SIRUM on sample data: time and information gain (TLC)", func(cfg Config) ([]*Table, error) {
+		return onSampleFigure(cfg, "fig-5.18", "tlc", tlcFullRows, []float64{1, 0.1, 0.01, 0.001})
+	})
+	register("fig-5.19", "SIRUM on sample data: time and information gain (SUSY)", func(cfg Config) ([]*Table, error) {
+		return onSampleFigure(cfg, "fig-5.19", "susy", susyRows, []float64{1, 0.1, 0.01})
+	})
+}
+
+// scaledCluster builds a Spark cluster with the given executor count and a
+// straggler factor, overheads scaled to the experiment.
+func scaledCluster(cfg Config, executors int, slowNode float64) *engine.Cluster {
+	conf := platform.Scale(platform.Config(platform.Spark, executors, cfg.Cores, 0), float64(cfg.Scale))
+	conf.Partitions = executors * cfg.Cores
+	conf.SlowNodeFactor = slowNode
+	return engine.NewCluster(conf)
+}
+
+// mineOnCluster is mineFresh with an explicit cluster.
+func mineOnCluster(cl *engine.Cluster, cfg Config, ds *dataset.Dataset, opt miner.Options) (*miner.Result, error) {
+	defer cl.Close()
+	opt.Seed = cfg.Seed
+	return miner.New(cl, ds, opt).Run()
+}
+
+func fig516(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:     "fig-5.16",
+		Title:  "Strong scaling: fixed data, 2..16 executors (Optimized, k=10 |s|=64)",
+		Header: []string{"executors", "TLC_2m_s", "TLC_40m_s"},
+		Notes: []string{
+			"expected shape: the small dataset scales sublinearly (overheads",
+			"dominate); the large one scales near-linearly",
+		},
+	}
+	execs := []int{2, 4, 8, 16}
+	if cfg.Quick {
+		execs = []int{2, 8}
+	}
+	small, err := cfg.data("tlc", tlc2mRows)
+	if err != nil {
+		return nil, err
+	}
+	large, err := cfg.data("tlc", tlc40mRows)
+	if err != nil {
+		return nil, err
+	}
+	opt := miner.Options{Variant: miner.Optimized, K: cfg.k(10), SampleSize: cfg.s(64)}
+	for _, e := range execs {
+		resSmall, err := mineOnCluster(scaledCluster(cfg, e, 0), cfg, small, opt)
+		if err != nil {
+			return nil, err
+		}
+		resLarge, err := mineOnCluster(scaledCluster(cfg, e, 0), cfg, large, opt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(e), secs(resSmall.SimTime), secs(resLarge.SimTime))
+	}
+	return []*Table{t}, nil
+}
+
+func fig517(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:     "fig-5.17",
+		Title:  "Weak scaling: data and executors grow together (Optimized, k=10 |s|=64)",
+		Header: []string{"executors/dataset", "sim_s"},
+		Notes: []string{
+			"expected shape: ideally flat; in practice a slight increase from",
+			"stragglers (injected here via a 1.3x slow node, as observed in 5.7.2)",
+		},
+	}
+	steps := []struct {
+		executors int
+		rows      int
+		label     string
+	}{
+		{4, tlc40mRows, "4/TLC_40m"},
+		{8, tlc80mRows, "8/TLC_80m"},
+		{16, tlc160mRows, "16/TLC_160m"},
+	}
+	if cfg.Quick {
+		steps = steps[:2]
+	}
+	opt := miner.Options{Variant: miner.Optimized, K: cfg.k(10), SampleSize: cfg.s(64)}
+	for _, st := range steps {
+		ds, err := cfg.data("tlc", st.rows)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mineOnCluster(scaledCluster(cfg, st.executors, 1.3), cfg, ds, opt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(st.label, secs(res.SimTime))
+	}
+	return []*Table{t}, nil
+}
+
+// onSampleFigure sweeps SIRUM-on-sample-data rates, reporting runtime and
+// full-data information gain (Figures 5.18/5.19). The memory budget is set
+// below the dataset size so the 100% run pays the spill penalty the thesis
+// describes.
+func onSampleFigure(cfg Config, id, name string, paperRows int, rates []float64) ([]*Table, error) {
+	ds, err := cfg.data(name, paperRows)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("SIRUM on sample data (%s): runtime vs information gain", name),
+		Header: []string{"sampling_rate", "rows_mined", "sim_s", "info_gain_full_data"},
+		Notes: []string{
+			"expected shape: ~10% sampling is several times faster with a small",
+			"gain penalty; below ~1% the gain degrades with little further speedup",
+		},
+	}
+	memPerExec := int64(float64(ds.ApproxBytes()) * 0.4 / 0.6) // force spilling at 100%
+	if cfg.Quick {
+		rates = rates[:min(len(rates), 3)]
+	}
+	for _, rate := range rates {
+		conf := platform.Scale(platform.Config(platform.Spark, 4, cfg.Cores, memPerExec/4), float64(cfg.Scale))
+		conf.Partitions = 4 * cfg.Cores
+		cl := engine.NewCluster(conf)
+		opt := miner.Options{
+			Variant: miner.Optimized, K: cfg.k(10), SampleSize: cfg.s(16), Seed: cfg.Seed,
+			EvaluateOnFullData: true,
+		}
+		if name == "susy" {
+			opt.K, opt.SampleSize = cfg.k(5), cfg.s(4)
+		}
+		rows := ds.NumRows()
+		if rate < 1 {
+			opt.SampleFraction = rate
+			rows = int(float64(rows) * rate)
+		}
+		res, err := miner.New(cl, ds, opt).Run()
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f%%", rate*100), fmt.Sprint(rows), secs(res.SimTime),
+			fmt.Sprintf("%.6f", res.InfoGain))
+		cl.Close()
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,98 @@
+package explore
+
+import (
+	"testing"
+
+	"sirum/internal/datagen"
+	"sirum/internal/engine"
+	"sirum/internal/metrics"
+	"sirum/internal/rule"
+)
+
+func testCluster() *engine.Cluster {
+	return engine.NewCluster(engine.Config{Executors: 2, CoresPerExecutor: 2, Partitions: 4})
+}
+
+func TestPriorKnowledge(t *testing.T) {
+	ds := datagen.Flights()
+	// Lowest-cardinality attribute is Origin (6 values); Day and
+	// Destination have 7. With n=2 the prior covers Origin and Day.
+	prior := PriorKnowledge(ds, 2)
+	if len(prior) != 6+7 {
+		t.Fatalf("prior rules = %d, want 13", len(prior))
+	}
+	for _, r := range prior {
+		if r.Level() != 1 {
+			t.Errorf("prior rule %v is not a single-attribute cell", r)
+		}
+		if r.SupportSize(ds) == 0 {
+			t.Errorf("prior rule %v has empty support", r)
+		}
+	}
+	if got := PriorKnowledge(ds, 99); len(got) == 0 {
+		t.Error("oversized n should clamp, not fail")
+	}
+}
+
+func TestRunRecommendsBeyondPrior(t *testing.T) {
+	ds := datagen.GDELT(1500, 7)
+	c := testCluster()
+	defer c.Close()
+	rec, err := Run(c, ds, Options{K: 3, GroupBys: 2, Optimized: true, MultiRule: false, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Result.Rules) == 0 {
+		t.Fatal("no recommendations")
+	}
+	priorKeys := map[string]bool{}
+	for _, r := range rec.PriorRules {
+		priorKeys[r.Key()] = true
+	}
+	for _, mr := range rec.Result.Rules {
+		if priorKeys[mr.Rule.Key()] {
+			t.Errorf("recommended a rule the analyst already saw: %v", mr.Rule)
+		}
+		if mr.Rule.Equal(rule.AllWildcards(ds.NumDims())) {
+			t.Error("recommended the all-wildcards rule")
+		}
+	}
+	if rec.Result.InfoGain <= 0 {
+		t.Errorf("info gain = %v", rec.Result.InfoGain)
+	}
+}
+
+// TestOptimizedBeatsPriorWorkStyle reproduces the shape of Figure 5.15: the
+// optimized run spends fewer scaling loops than the reset-style baseline,
+// while reaching a comparable fit.
+func TestOptimizedBeatsPriorWorkStyle(t *testing.T) {
+	ds := datagen.GDELT(1200, 9)
+	run := func(optimized bool) (*Recommendation, map[string]int64) {
+		c := testCluster()
+		defer c.Close()
+		rec, err := Run(c, ds, Options{K: 3, GroupBys: 2, Optimized: optimized, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec, c.Reg.Counters()
+	}
+	_, baseCtr := run(false)
+	_, optCtr := run(true)
+	if optCtr[metrics.CtrScalingLoops] >= baseCtr[metrics.CtrScalingLoops] {
+		t.Errorf("optimized loops %d not fewer than reset-style %d",
+			optCtr[metrics.CtrScalingLoops], baseCtr[metrics.CtrScalingLoops])
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	ds := datagen.Flights()
+	c := testCluster()
+	defer c.Close()
+	rec, err := Run(c, ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.PriorRules) == 0 {
+		t.Error("defaults produced no prior rules")
+	}
+}

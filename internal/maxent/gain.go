@@ -1,0 +1,89 @@
+package maxent
+
+import (
+	"math"
+
+	"sirum/internal/dataset"
+	"sirum/internal/rule"
+)
+
+// Gain computes the information-gain estimate of Equation 2.2 from the sums
+// of actual and estimated measure values over a candidate's support set:
+//
+//	gain = S_m · ln(S_m / S_m̂)
+//
+// Rules whose constraint is already satisfied (S_m = S_m̂) have gain 0, as do
+// rules with non-positive sums (lim x→0 x·ln x = 0; negative sums cannot
+// occur on the transformed scale).
+func Gain(sumM, sumMhat float64) float64 {
+	if sumM <= 0 || sumMhat <= 0 {
+		return 0
+	}
+	return sumM * math.Log(sumM/sumMhat)
+}
+
+// GainOf evaluates a rule's gain directly against a dataset and the current
+// estimate column (used by exhaustive exploration and by tests; the
+// distributed path aggregates sums via the cube instead).
+func GainOf(r rule.Rule, ds *dataset.Dataset, work, mhat []float64) float64 {
+	var sm, sh float64
+	for i := 0; i < ds.NumRows(); i++ {
+		if r.MatchesRow(ds, i) {
+			sm += work[i]
+			sh += mhat[i]
+		}
+	}
+	return Gain(sm, sh)
+}
+
+// KLDivergence computes D_KL(m ‖ m̂) between the distributions induced by
+// normalizing the two columns (Section 2.3). Zero-probability p entries
+// contribute nothing; a zero q entry with positive p yields +Inf, matching
+// the definition's absolute-continuity requirement.
+func KLDivergence(work, mhat []float64) float64 {
+	var sp, sq float64
+	for i := range work {
+		sp += work[i]
+		sq += mhat[i]
+	}
+	if sp == 0 || sq == 0 {
+		return 0
+	}
+	var kl float64
+	for i := range work {
+		p := work[i] / sp
+		if p == 0 {
+			continue
+		}
+		q := mhat[i] / sq
+		if q == 0 {
+			return math.Inf(1)
+		}
+		kl += p * math.Log(p/q)
+	}
+	// Floating-point noise can push an exact-match divergence a hair below
+	// zero; clamp, since D_KL >= 0 by Gibbs' inequality.
+	if kl < 0 && kl > -1e-12 {
+		kl = 0
+	}
+	return kl
+}
+
+// InformationGain is the thesis' evaluation metric (Section 5.1): the KL
+// divergence using just the all-wildcards rule minus the KL divergence using
+// the given estimates. Larger is better.
+func InformationGain(work, mhat []float64) float64 {
+	if len(work) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range work {
+		sum += v
+	}
+	avg := sum / float64(len(work))
+	base := make([]float64, len(work))
+	for i := range base {
+		base[i] = avg
+	}
+	return KLDivergence(work, base) - KLDivergence(work, mhat)
+}

@@ -1,0 +1,210 @@
+package maxent
+
+import (
+	"fmt"
+	"math"
+
+	"sirum/internal/dataset"
+	"sirum/internal/metrics"
+	"sirum/internal/rule"
+)
+
+// DefaultEpsilon is the relative-difference convergence threshold ε of
+// Algorithm 1 (the thesis uses 0.01 throughout its evaluation).
+const DefaultEpsilon = 0.01
+
+// DefaultMaxLoops bounds the scaling loop; generalized iterative scaling
+// converges for consistent constraints, so this is a safety net, not a
+// tuning knob.
+const DefaultMaxLoops = 100000
+
+// ScaleStats reports one AddRule invocation.
+type ScaleStats struct {
+	Loops     int  // inner-loop iterations executed
+	Converged bool // false only if MaxLoops was hit
+	DataScans int  // full passes over D (2 per loop for naive, 2 total for RCT)
+}
+
+// Scaler is the incremental maximum-entropy estimator: rules are appended one
+// at a time and the estimate column m̂ is rescaled to satisfy every
+// constraint m(r) = m̂(r).
+type Scaler interface {
+	// AddRule appends r and rescales to convergence. Rules with empty
+	// support are rejected.
+	AddRule(r rule.Rule) (ScaleStats, error)
+	// Mhat returns the live estimate column (transformed scale), aligned
+	// with the dataset rows. Callers must not modify it.
+	Mhat() []float64
+	// Rules returns the rules added so far.
+	Rules() []rule.Rule
+	// Lambdas returns the rule multipliers λ(r), aligned with Rules.
+	Lambdas() []float64
+}
+
+// NaiveScaler implements Algorithm 1 verbatim: each scaling loop recomputes
+// every rule's estimated average with a full pass over D, re-evaluating
+// t ⊨ r attribute by attribute, and a second pass updates the estimates of
+// the scaled rule's support set. This is the baseline the Rule Coverage
+// Table optimization (Section 4.1) is measured against.
+type NaiveScaler struct {
+	ds   *dataset.Dataset
+	work []float64
+	mhat []float64
+
+	rules   []rule.Rule
+	lambda  []float64
+	targets []float64 // m(r): average transformed measure over the support set
+	counts  []int     // |S_D(r)|
+
+	// ResetOnAdd replays the iterative-scaling style of Sarawagi's
+	// user-cognizant analysis tool ([29], Section 5.6.2): every AddRule
+	// resets all multipliers to 1 and rescales from scratch instead of
+	// carrying the previous λ values forward.
+	ResetOnAdd bool
+
+	Epsilon  float64
+	MaxLoops int
+	Reg      *metrics.Registry
+}
+
+// NewNaiveScaler builds a scaler over ds with the given transformed measure
+// column (see NewTransform). The estimates start at 1, the empty-product
+// default of t[m̂] = Π λ.
+func NewNaiveScaler(ds *dataset.Dataset, work []float64) *NaiveScaler {
+	mhat := make([]float64, len(work))
+	for i := range mhat {
+		mhat[i] = 1
+	}
+	return &NaiveScaler{
+		ds:       ds,
+		work:     work,
+		mhat:     mhat,
+		Epsilon:  DefaultEpsilon,
+		MaxLoops: DefaultMaxLoops,
+	}
+}
+
+// Mhat returns the live estimate column.
+func (s *NaiveScaler) Mhat() []float64 { return s.mhat }
+
+// Rules returns the rules added so far.
+func (s *NaiveScaler) Rules() []rule.Rule { return s.rules }
+
+// Lambdas returns the rule multipliers.
+func (s *NaiveScaler) Lambdas() []float64 { return s.lambda }
+
+// Targets returns m(r) for each rule on the transformed scale.
+func (s *NaiveScaler) Targets() []float64 { return s.targets }
+
+// Counts returns |S_D(r)| for each rule.
+func (s *NaiveScaler) Counts() []int { return s.counts }
+
+func (s *NaiveScaler) addRuleEntry(r rule.Rule) error {
+	var sum float64
+	count := 0
+	for i := 0; i < s.ds.NumRows(); i++ {
+		if r.MatchesRow(s.ds, i) {
+			sum += s.work[i]
+			count++
+		}
+	}
+	if count == 0 {
+		return fmt.Errorf("maxent: rule %v has empty support", r)
+	}
+	s.rules = append(s.rules, r.Clone())
+	s.lambda = append(s.lambda, 1)
+	s.targets = append(s.targets, sum/float64(count))
+	s.counts = append(s.counts, count)
+	return nil
+}
+
+// AddRule implements Scaler.
+func (s *NaiveScaler) AddRule(r rule.Rule) (ScaleStats, error) {
+	if err := s.addRuleEntry(r); err != nil {
+		return ScaleStats{}, err
+	}
+	if s.ResetOnAdd {
+		for i := range s.lambda {
+			s.lambda[i] = 1
+		}
+		for i := range s.mhat {
+			s.mhat[i] = 1
+		}
+	}
+	return s.scale()
+}
+
+// scale runs Algorithm 1 to convergence.
+func (s *NaiveScaler) scale() (ScaleStats, error) {
+	var st ScaleStats
+	diffs := make([]float64, len(s.rules))
+	mhatAvg := make([]float64, len(s.rules))
+	for st.Loops = 0; st.Loops < s.MaxLoops; st.Loops++ {
+		// Lines 3–6: recompute every rule's estimated average with a full
+		// pass over D, re-evaluating coverage tuple by tuple.
+		for ri := range s.rules {
+			var sum float64
+			for i := 0; i < s.ds.NumRows(); i++ {
+				if s.rules[ri].MatchesRow(s.ds, i) {
+					sum += s.mhat[i]
+				}
+			}
+			mhatAvg[ri] = sum / float64(s.counts[ri])
+			diffs[ri] = relDiff(s.targets[ri], mhatAvg[ri])
+		}
+		st.DataScans++
+		// Line 7: the rule with the greatest constraint violation.
+		next := 0
+		for ri := 1; ri < len(diffs); ri++ {
+			if diffs[ri] > diffs[next] {
+				next = ri
+			}
+		}
+		if diffs[next] <= s.Epsilon {
+			st.Converged = true
+			break
+		}
+		// Line 9: scale the multiplier.
+		ratio := scaleRatio(s.targets[next], mhatAvg[next])
+		s.lambda[next] *= ratio
+		// Lines 10–12: update the estimates of the covered tuples. The
+		// incremental multiply is equivalent to recomputing Π λ.
+		for i := 0; i < s.ds.NumRows(); i++ {
+			if s.rules[next].MatchesRow(s.ds, i) {
+				s.mhat[i] *= ratio
+			}
+		}
+		st.DataScans++
+		if s.Reg != nil {
+			s.Reg.Add(metrics.CtrScalingLoops, 1)
+			s.Reg.Add(metrics.CtrScanRows, int64(2*s.ds.NumRows()))
+		}
+	}
+	if !st.Converged {
+		return st, fmt.Errorf("maxent: iterative scaling did not converge in %d loops", s.MaxLoops)
+	}
+	return st, nil
+}
+
+// relDiff is |m - m̂| / |m| with a guard for vanishing targets, where the
+// relative form is meaningless and the absolute difference is used instead.
+func relDiff(target, est float64) float64 {
+	d := math.Abs(target - est)
+	if math.Abs(target) < 1e-12 {
+		return d
+	}
+	return d / math.Abs(target)
+}
+
+// scaleRatio is m(r)/m̂(r) with a floor protecting against a zero target
+// (which would zero out every covered estimate and break other constraints).
+func scaleRatio(target, est float64) float64 {
+	const floor = 1e-12
+	if target < floor {
+		target = floor
+	}
+	if est < floor {
+		est = floor
+	}
+	return target / est
+}

@@ -1,0 +1,250 @@
+// Package metrics provides the counters, phase timers and time-series
+// trackers used to instrument SIRUM. The thesis' profiling study (Chapter 3)
+// breaks runtime into rule-generation sub-steps and iterative scaling, counts
+// emitted ancestor pairs (Figure 5.8) and samples memory residency over time
+// (Figures 4.3/4.4); this package supplies those instruments.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Well-known counter names used across the repository.
+const (
+	CtrPairsEmitted   = "pairs_emitted"    // ancestor key/value pairs emitted by mappers
+	CtrShuffleBytes   = "shuffle_bytes"    // bytes moved across executors
+	CtrShuffleRecords = "shuffle_records"  // records moved across executors
+	CtrBroadcastBytes = "broadcast_bytes"  // bytes replicated to every executor
+	CtrSpillBytes     = "spill_bytes"      // bytes written to disk by the cache
+	CtrSpillReads     = "spill_read_bytes" // bytes re-read from spilled partitions
+	CtrScanRows       = "scan_rows"        // dataset rows scanned
+	CtrLCAComparisons = "lca_comparisons"  // attribute comparisons during LCA computation
+	CtrCandidates     = "candidates"       // distinct candidate rules evaluated
+	CtrScalingLoops   = "scaling_loops"    // iterative scaling inner-loop iterations
+	CtrTasks          = "tasks"            // engine tasks executed
+	CtrStages         = "stages"           // engine stages executed
+)
+
+// Well-known phase names (Figure 3.1 / 3.2 breakdowns).
+const (
+	PhaseRuleGen       = "rule_generation"
+	PhaseScaling       = "iterative_scaling"
+	PhaseCandPruning   = "candidate_pruning"
+	PhaseAncestorGen   = "ancestor_generation"
+	PhaseGainComputing = "gain_computation"
+	PhaseRuleSelection = "rule_selection"
+	PhaseDataLoad      = "data_load"
+	PhaseWriteback     = "estimate_writeback"
+)
+
+// Registry is a thread-safe bundle of named counters and phase durations.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	phases   map[string]time.Duration
+	sim      map[string]time.Duration // simulated-cluster-time phase durations
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		phases:   make(map[string]time.Duration),
+		sim:      make(map[string]time.Duration),
+	}
+}
+
+// Add increments counter name by delta.
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Counter returns the current value of a counter (0 if never written).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// AddPhase adds wall-clock duration d to the named phase.
+func (r *Registry) AddPhase(name string, d time.Duration) {
+	r.mu.Lock()
+	r.phases[name] += d
+	r.mu.Unlock()
+}
+
+// AddSimPhase adds simulated-cluster duration d to the named phase.
+func (r *Registry) AddSimPhase(name string, d time.Duration) {
+	r.mu.Lock()
+	r.sim[name] += d
+	r.mu.Unlock()
+}
+
+// Phase returns the accumulated wall-clock duration of a phase.
+func (r *Registry) Phase(name string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phases[name]
+}
+
+// SimPhase returns the accumulated simulated duration of a phase.
+func (r *Registry) SimPhase(name string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sim[name]
+}
+
+// Timed runs f and charges its wall-clock duration to the named phase.
+func (r *Registry) Timed(name string, f func()) {
+	start := time.Now()
+	f()
+	r.AddPhase(name, time.Since(start))
+}
+
+// Counters returns a copy of all counters.
+func (r *Registry) Counters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Phases returns a copy of all wall-clock phase durations.
+func (r *Registry) Phases() map[string]time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]time.Duration, len(r.phases))
+	for k, v := range r.phases {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds every counter and phase of o into r.
+func (r *Registry) Merge(o *Registry) {
+	o.mu.Lock()
+	counters := make(map[string]int64, len(o.counters))
+	for k, v := range o.counters {
+		counters[k] = v
+	}
+	phases := make(map[string]time.Duration, len(o.phases))
+	for k, v := range o.phases {
+		phases[k] = v
+	}
+	sim := make(map[string]time.Duration, len(o.sim))
+	for k, v := range o.sim {
+		sim[k] = v
+	}
+	o.mu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range counters {
+		r.counters[k] += v
+	}
+	for k, v := range phases {
+		r.phases[k] += v
+	}
+	for k, v := range sim {
+		r.sim[k] += v
+	}
+}
+
+// Reset clears all counters and phases.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]int64)
+	r.phases = make(map[string]time.Duration)
+	r.sim = make(map[string]time.Duration)
+}
+
+// String renders the registry sorted by name, for logs and debugging.
+func (r *Registry) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&sb, "%s=%d ", k, r.counters[k])
+	}
+	names = names[:0]
+	for k := range r.phases {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&sb, "%s=%s ", k, r.phases[k])
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration // elapsed (wall or simulated) time since series start
+	V float64
+}
+
+// Series records a value over time, e.g. cache-resident bytes (Figure 4.3).
+type Series struct {
+	mu     sync.Mutex
+	name   string
+	points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Record appends a sample.
+func (s *Series) Record(t time.Duration, v float64) {
+	s.mu.Lock()
+	s.points = append(s.points, Point{T: t, V: v})
+	s.mu.Unlock()
+}
+
+// Points returns a copy of the samples in insertion order.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.points...)
+}
+
+// Max returns the maximum recorded value (0 for an empty series).
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m float64
+	for _, p := range s.points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Last returns the most recent value (0 for an empty series).
+func (s *Series) Last() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.points) == 0 {
+		return 0
+	}
+	return s.points[len(s.points)-1].V
+}

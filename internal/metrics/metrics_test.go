@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != 0 {
+		t.Error("fresh counter not zero")
+	}
+	r.Add("x", 3)
+	r.Add("x", 4)
+	r.Add("y", -1)
+	if got := r.Counter("x"); got != 7 {
+		t.Errorf("x = %d, want 7", got)
+	}
+	if got := r.Counter("y"); got != -1 {
+		t.Errorf("y = %d, want -1", got)
+	}
+	all := r.Counters()
+	if len(all) != 2 || all["x"] != 7 {
+		t.Errorf("Counters() = %v", all)
+	}
+	all["x"] = 999 // mutating the copy must not affect the registry
+	if r.Counter("x") != 7 {
+		t.Error("Counters() returned a live map")
+	}
+}
+
+func TestPhases(t *testing.T) {
+	r := NewRegistry()
+	r.AddPhase(PhaseScaling, time.Second)
+	r.AddPhase(PhaseScaling, 2*time.Second)
+	if got := r.Phase(PhaseScaling); got != 3*time.Second {
+		t.Errorf("Phase = %v, want 3s", got)
+	}
+	r.AddSimPhase(PhaseRuleGen, time.Minute)
+	if got := r.SimPhase(PhaseRuleGen); got != time.Minute {
+		t.Errorf("SimPhase = %v, want 1m", got)
+	}
+	if r.SimPhase("missing") != 0 {
+		t.Error("missing sim phase not zero")
+	}
+}
+
+func TestTimed(t *testing.T) {
+	r := NewRegistry()
+	r.Timed("work", func() { time.Sleep(5 * time.Millisecond) })
+	if got := r.Phase("work"); got < 4*time.Millisecond {
+		t.Errorf("Timed recorded %v, want >= ~5ms", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Add("x", 1)
+	a.AddPhase("p", time.Second)
+	b.Add("x", 2)
+	b.Add("z", 5)
+	b.AddPhase("p", time.Second)
+	b.AddSimPhase("s", time.Minute)
+	a.Merge(b)
+	if a.Counter("x") != 3 || a.Counter("z") != 5 {
+		t.Errorf("merge counters: x=%d z=%d", a.Counter("x"), a.Counter("z"))
+	}
+	if a.Phase("p") != 2*time.Second {
+		t.Errorf("merge phase p = %v", a.Phase("p"))
+	}
+	if a.SimPhase("s") != time.Minute {
+		t.Errorf("merge sim phase s = %v", a.SimPhase("s"))
+	}
+	// b unchanged.
+	if b.Counter("x") != 2 {
+		t.Error("merge mutated source")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Add("x", 1)
+	r.AddPhase("p", time.Second)
+	r.Reset()
+	if r.Counter("x") != 0 || r.Phase("p") != 0 {
+		t.Error("reset did not clear registry")
+	}
+}
+
+func TestString(t *testing.T) {
+	r := NewRegistry()
+	r.Add("b", 2)
+	r.Add("a", 1)
+	r.AddPhase("p", time.Second)
+	s := r.String()
+	if !strings.Contains(s, "a=1") || !strings.Contains(s, "b=2") || !strings.Contains(s, "p=1s") {
+		t.Errorf("String = %q", s)
+	}
+	if strings.Index(s, "a=1") > strings.Index(s, "b=2") {
+		t.Errorf("String not sorted: %q", s)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Add("n", 1)
+				r.AddPhase("p", time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n"); got != 8000 {
+		t.Errorf("n = %d, want 8000", got)
+	}
+	if got := r.Phase("p"); got != 8000*time.Nanosecond {
+		t.Errorf("p = %v, want 8000ns", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("mem")
+	if s.Name() != "mem" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.Max() != 0 || s.Last() != 0 || len(s.Points()) != 0 {
+		t.Error("empty series not zero")
+	}
+	s.Record(time.Second, 100)
+	s.Record(2*time.Second, 300)
+	s.Record(3*time.Second, 50)
+	pts := s.Points()
+	if len(pts) != 3 || pts[1].V != 300 || pts[1].T != 2*time.Second {
+		t.Errorf("Points = %v", pts)
+	}
+	if s.Max() != 300 {
+		t.Errorf("Max = %v, want 300", s.Max())
+	}
+	if s.Last() != 50 {
+		t.Errorf("Last = %v, want 50", s.Last())
+	}
+}

@@ -1,0 +1,185 @@
+package miner
+
+import (
+	"fmt"
+
+	"sirum/internal/dataset"
+	"sirum/internal/engine"
+	"sirum/internal/maxent"
+	"sirum/internal/rule"
+)
+
+// Incremental maintains an informative rule list as new data arrives — the
+// streaming SIRUM sketched in the thesis' future work (Chapter 7). Each
+// appended batch is folded into the accumulated dataset and the existing
+// rule list is *refit* (iterative scaling only — two scans per rule with the
+// RCT, no candidate generation). When the refit divergence drifts past
+// RemineFactor times the divergence measured right after the last full mine,
+// the rule list is considered stale and is mined from scratch.
+type Incremental struct {
+	c   *engine.Cluster
+	opt Options
+
+	data      *dataset.Dataset
+	rules     []rule.Rule // includes the all-wildcards rule first
+	baseRatio float64     // KL / baseline-KL right after the last full mine
+	lastRes   *Result
+
+	// RemineFactor triggers a full re-mine when the refit's share of
+	// unexplained divergence (refit KL divided by the all-wildcards
+	// baseline KL on the same data) exceeds RemineFactor times the share
+	// right after the last full mine (default 1.5). Lower values re-mine
+	// more eagerly. The normalization makes the trigger insensitive to the
+	// overall divergence shifting as batches mix distributions.
+	RemineFactor float64
+}
+
+// IncrementalResult reports one Append.
+type IncrementalResult struct {
+	// Remined is true when the batch triggered a full mining pass.
+	Remined bool
+	// KL is the divergence of the current rule list on the accumulated
+	// data (after refit or re-mine).
+	KL float64
+	// Rules is the current rule list (excluding the all-wildcards rule),
+	// with aggregates recomputed on the accumulated data.
+	Rules []MinedRule
+	// Rows is the accumulated dataset size.
+	Rows int
+}
+
+// NewIncremental builds an incremental miner. opt configures the full mining
+// passes (the same options Run accepts).
+func NewIncremental(c *engine.Cluster, opt Options) *Incremental {
+	return &Incremental{c: c, opt: opt.withDefaults(), RemineFactor: 1.5}
+}
+
+// Rules returns the current rule list (excluding the leading all-wildcards
+// rule).
+func (inc *Incremental) Rules() []rule.Rule {
+	if len(inc.rules) == 0 {
+		return nil
+	}
+	return inc.rules[1:]
+}
+
+// Append folds a batch into the accumulated data, refits or re-mines, and
+// reports the state.
+func (inc *Incremental) Append(batch *dataset.Dataset) (*IncrementalResult, error) {
+	if batch.NumRows() == 0 && inc.data == nil {
+		return nil, fmt.Errorf("miner: first batch is empty")
+	}
+	if inc.data == nil {
+		inc.data = batch
+	} else {
+		merged, err := inc.data.Concat(batch)
+		if err != nil {
+			return nil, fmt.Errorf("miner: appending batch: %w", err)
+		}
+		inc.data = merged
+	}
+
+	// First batch, or nothing mined yet: full mine.
+	if len(inc.rules) == 0 {
+		return inc.remine()
+	}
+
+	// Refit: recompute the maximum-entropy fit of the existing rules on the
+	// grown data. Rules may have lost their support entirely (values absent
+	// from new reality) — drop those.
+	refitKL, kept, err := inc.refit()
+	if err != nil {
+		return nil, err
+	}
+	ratio := klRatio(refitKL, inc.baselineKL())
+	if len(kept) != len(inc.rules) || ratio > inc.RemineFactor*inc.baseRatio {
+		return inc.remine()
+	}
+	inc.rules = kept
+	out := &IncrementalResult{KL: refitKL, Rows: inc.data.NumRows()}
+	out.Rules, err = inc.describeRules()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// refit runs the RCT scaler over the accumulated data with the current rule
+// list and returns the divergence plus the rules that still have support.
+func (inc *Incremental) refit() (float64, []rule.Rule, error) {
+	_, work := maxent.NewTransform(inc.data.Measure)
+	s := maxent.NewRCTScaler(inc.data, work, len(inc.rules)+1)
+	s.Epsilon = inc.opt.Epsilon
+	kept := make([]rule.Rule, 0, len(inc.rules))
+	for _, r := range inc.rules {
+		if _, err := s.AddRule(r); err != nil {
+			// Empty support on the grown data: drop the rule, keep going.
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return maxent.KLDivergence(work, s.Mhat()), kept, nil
+}
+
+// remine runs a full mining pass on the accumulated data.
+func (inc *Incremental) remine() (*IncrementalResult, error) {
+	res, err := New(inc.c, inc.data, inc.opt).Run()
+	if err != nil {
+		return nil, err
+	}
+	inc.lastRes = res
+	inc.baseRatio = klRatio(res.KL, inc.baselineKL())
+	inc.rules = make([]rule.Rule, 0, len(res.Rules)+1)
+	inc.rules = append(inc.rules, rule.AllWildcards(inc.data.NumDims()))
+	for _, mr := range res.Rules {
+		inc.rules = append(inc.rules, mr.Rule)
+	}
+	rules, err := inc.describeRules()
+	if err != nil {
+		return nil, err
+	}
+	return &IncrementalResult{Remined: true, KL: res.KL, Rules: rules, Rows: inc.data.NumRows()}, nil
+}
+
+// baselineKL returns the divergence of the all-wildcards-only model on the
+// accumulated data (the denominator of the drift ratio).
+func (inc *Incremental) baselineKL() float64 {
+	_, work := maxent.NewTransform(inc.data.Measure)
+	avg := 0.0
+	for _, v := range work {
+		avg += v
+	}
+	if len(work) > 0 {
+		avg /= float64(len(work))
+	}
+	base := make([]float64, len(work))
+	for i := range base {
+		base[i] = avg
+	}
+	return maxent.KLDivergence(work, base)
+}
+
+// klRatio is the unexplained-divergence share with a zero-baseline guard.
+func klRatio(kl, baseline float64) float64 {
+	if baseline <= 1e-15 {
+		return 0
+	}
+	return kl / baseline
+}
+
+// describeRules recomputes display aggregates of the current rules on the
+// accumulated data.
+func (inc *Incremental) describeRules() ([]MinedRule, error) {
+	out := make([]MinedRule, 0, len(inc.rules))
+	for i, r := range inc.rules {
+		if i == 0 {
+			continue // the all-wildcards rule is implicit in reports
+		}
+		sum, count := r.SupportSums(inc.data)
+		if count == 0 {
+			return nil, fmt.Errorf("miner: kept rule %v lost its support", r)
+		}
+		out = append(out, MinedRule{Rule: r.Clone(), Avg: sum / float64(count), Count: int64(count)})
+	}
+	return out, nil
+}

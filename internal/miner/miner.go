@@ -1,0 +1,487 @@
+package miner
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sirum/internal/candgen"
+	"sirum/internal/cube"
+	"sirum/internal/dataset"
+	"sirum/internal/engine"
+	"sirum/internal/maxent"
+	"sirum/internal/metrics"
+	"sirum/internal/rule"
+	"sirum/internal/stats"
+)
+
+// Miner executes the greedy informative-rule mining loop (Algorithm 2) on a
+// simulated cluster.
+type Miner struct {
+	c    *engine.Cluster
+	ds   *dataset.Dataset
+	opt  Options
+	full *dataset.Dataset // the unsampled dataset for EvaluateOnFullData
+}
+
+// New builds a miner over ds. The cluster carries the platform profile
+// (executors, memory, shuffle behaviour) and accumulates metrics.
+func New(c *engine.Cluster, ds *dataset.Dataset, opt Options) *Miner {
+	return &Miner{c: c, ds: ds, opt: opt.withDefaults()}
+}
+
+// timed charges f's wall and simulated durations to the named phase.
+func (m *Miner) timed(phase string, f func() error) error {
+	wallStart := time.Now()
+	simStart := m.c.SimTime()
+	err := f()
+	m.c.Reg.AddPhase(phase, time.Since(wallStart))
+	m.c.Reg.AddSimPhase(phase, m.c.SimTime()-simStart)
+	return err
+}
+
+// Run mines the rule list. It is not safe to call concurrently on one Miner.
+func (m *Miner) Run() (*Result, error) {
+	opt := m.opt
+	if m.ds.NumRows() == 0 {
+		return nil, fmt.Errorf("miner: empty dataset")
+	}
+	wallStart := time.Now()
+	simStart := m.c.SimTime()
+
+	// SIRUM on sample data (Section 4.5): replace D with a Bernoulli sample
+	// sized to memory; keep the original around for final evaluation.
+	ds := m.ds
+	if opt.SampleFraction > 0 && opt.SampleFraction < 1 {
+		m.full = m.ds
+		ds = m.ds.SampleFraction(stats.NewRand(opt.Seed+1), opt.SampleFraction)
+		if ds.NumRows() == 0 {
+			return nil, fmt.Errorf("miner: sample fraction %v left no rows", opt.SampleFraction)
+		}
+	}
+	d := ds.NumDims()
+
+	// Measure preprocessing (Section 2.2) and data load.
+	transform, work := maxent.NewTransform(ds.Measure)
+	mhat := make([]float64, len(work))
+	for i := range mhat {
+		mhat[i] = 1
+	}
+	parts := opt.Partitions
+	if parts <= 0 {
+		parts = m.c.Config().Partitions
+	}
+	var data *engine.CachedData
+	dataBytes := ds.ApproxBytes()
+	err := m.timed(metrics.PhaseDataLoad, func() error {
+		blocks := engine.BlocksFromColumns(ds.Dims, work, mhat, parts)
+		// Initial read from the distributed file system.
+		m.c.ChargeDiskRead(dataBytes)
+		var err error
+		data, err = m.c.CacheTuples(blocks)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Scaler per variant.
+	var scaler distScaler
+	if opt.useRCT() {
+		scaler = newRCTDistScaler(m.c, data, dataBytes, opt.Epsilon, opt.MaxRules+len(opt.PriorRules)+1)
+	} else {
+		scaler = newNaiveDistScaler(m.c, data, dataBytes, opt.Epsilon, opt.useShuffleJoin(), opt.ResetScaling)
+	}
+
+	res := &Result{}
+	selected := map[string]bool{}
+	addRules := func(rs []rule.Rule) error {
+		return m.timed(metrics.PhaseScaling, func() error {
+			if err := scaler.AddRules(rs); err != nil {
+				return err
+			}
+			for _, r := range rs {
+				selected[r.Key()] = true
+			}
+			return nil
+		})
+	}
+
+	// The all-wildcards rule is always first (Section 2.2), followed by any
+	// prior knowledge (the cube-exploration application).
+	if err := addRules([]rule.Rule{rule.AllWildcards(d)}); err != nil {
+		return nil, err
+	}
+	if len(opt.PriorRules) > 0 {
+		for _, r := range opt.PriorRules {
+			if err := addRules([]rule.Rule{r}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// The sample for candidate pruning is drawn once per run, as in the
+	// thesis' evaluation, so variants given the same seed see the same
+	// candidate space.
+	var sample *candgen.Sample
+	if opt.SampleSize > 0 {
+		sample = candgen.DrawSample(ds, stats.NewRand(opt.Seed), opt.SampleSize)
+	}
+	groups := cube.SplitGroups(d, opt.ColumnGroups)
+
+	ruleBudget := opt.K
+	if opt.TargetKL > 0 {
+		ruleBudget = opt.MaxRules
+	}
+	klOf := func() (float64, error) {
+		var kl float64
+		err := m.timed(metrics.PhaseRuleSelection, func() error {
+			var e error
+			kl, e = m.currentKL(data)
+			return e
+		})
+		return kl, err
+	}
+
+	for len(res.Rules) < ruleBudget {
+		res.Iterations++
+		cands, nCands, err := m.generateCandidates(data, sample, d, groups, dataBytes)
+		if err != nil {
+			return nil, err
+		}
+		res.Candidates = nCands
+
+		var picked []candgen.Candidate
+		err = m.timed(metrics.PhaseRuleSelection, func() error {
+			picked = m.selectRules(cands, nCands, selected, min(opt.RulesPerIter, ruleBudget-len(res.Rules)))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(picked) == 0 {
+			break // no candidate with positive gain remains
+		}
+		rs := make([]rule.Rule, len(picked))
+		for i, cand := range picked {
+			r, err := rule.FromKey(cand.Key, d)
+			if err != nil {
+				return nil, fmt.Errorf("miner: corrupt candidate key: %w", err)
+			}
+			rs[i] = r
+			res.Rules = append(res.Rules, MinedRule{
+				Rule:  r,
+				Avg:   transform.InvertAvg(cand.Agg.SumM / cand.Agg.Count),
+				Count: int64(cand.Agg.Count + 0.5),
+				Gain:  cand.Gain,
+			})
+		}
+		if err := addRules(rs); err != nil {
+			return nil, err
+		}
+		kl, err := klOf()
+		if err != nil {
+			return nil, err
+		}
+		res.KLTrajectory = append(res.KLTrajectory, kl)
+		if opt.TargetKL > 0 && kl <= opt.TargetKL {
+			break
+		}
+	}
+
+	if len(res.KLTrajectory) > 0 {
+		res.KL = res.KLTrajectory[len(res.KLTrajectory)-1]
+	} else {
+		kl, err := klOf()
+		if err != nil {
+			return nil, err
+		}
+		res.KL = kl
+	}
+	res.WallTime = time.Since(wallStart)
+	res.SimTime = m.c.SimTime() - simStart
+
+	// Information gain of the final estimates (Section 5.1).
+	ig, err := m.informationGain(data)
+	if err != nil {
+		return nil, err
+	}
+	res.InfoGain = ig
+	if m.full != nil && opt.EvaluateOnFullData {
+		igFull, err := m.evaluateOnFull(scaler.Rules())
+		if err != nil {
+			return nil, err
+		}
+		res.InfoGain = igFull
+	}
+
+	res.Phases = m.c.Reg.Phases()
+	res.SimPhases = map[string]time.Duration{}
+	for name := range res.Phases {
+		res.SimPhases[name] = m.c.Reg.SimPhase(name)
+	}
+	res.Counters = m.c.Reg.Counters()
+	return res, nil
+}
+
+// generateCandidates runs one rule-generation round: candidate pruning (LCA
+// computation), ancestor generation (the cube), gain-input preparation (the
+// sample fix-up). Phases are timed separately to reproduce Figure 3.2.
+func (m *Miner) generateCandidates(data *engine.CachedData, sample *candgen.Sample, d int, groups [][]int, dataBytes int64) (*engine.PColl[map[string]cube.Agg], int64, error) {
+	var lcas *engine.PColl[map[string]cube.Agg]
+	wallStart := time.Now()
+	simStart := m.c.SimTime()
+	err := m.timed(metrics.PhaseCandPruning, func() error {
+		var err error
+		if sample != nil {
+			if m.opt.useShuffleJoin() {
+				m.c.Repartition(dataBytes, 0)
+			}
+			lcas, err = candgen.LCAParts(m.c, data, sample, m.opt.useIndex())
+		} else {
+			lcas, err = candgen.ExhaustiveParts(m.c, data)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	var cands *engine.PColl[map[string]cube.Agg]
+	err = m.timed(metrics.PhaseAncestorGen, func() error {
+		var err error
+		cands, err = cube.Compute(m.c, lcas, d, groups)
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	err = m.timed(metrics.PhaseGainComputing, func() error {
+		if sample != nil {
+			cands = candgen.AdjustForSample(m.c, cands, sample, d)
+		}
+		if m.opt.PruneRedundantAncestors {
+			cands = pruneRedundant(m.c, cands, d)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	n := cube.CountCandidates(m.c, cands)
+	m.c.Reg.Add(metrics.CtrCandidates, n)
+	m.c.Reg.AddPhase(metrics.PhaseRuleGen, time.Since(wallStart))
+	m.c.Reg.AddSimPhase(metrics.PhaseRuleGen, m.c.SimTime()-simStart)
+	return cands, n, nil
+}
+
+// selectRules picks up to l rules for this iteration: the top candidate by
+// gain, then further candidates that are mutually disjoint with every rule
+// already picked this iteration, rank within the top TopPercent of all
+// candidates, and gain at least MinGainRatio of the top gain (Section 4.4).
+func (m *Miner) selectRules(cands *engine.PColl[map[string]cube.Agg], total int64, selected map[string]bool, l int) []candgen.Candidate {
+	pool := candgen.TopByGain(m.c, cands, m.opt.TopPoolSize, selected)
+	if len(pool) == 0 {
+		return nil
+	}
+	picked := []candgen.Candidate{pool[0]}
+	if l <= 1 {
+		return picked
+	}
+	d := m.ds.NumDims()
+	rankCut := int(m.opt.TopPercent * float64(total))
+	if rankCut < 1 {
+		rankCut = 1
+	}
+	gainCut := m.opt.MinGainRatio * pool[0].Gain
+	pickedRules := []rule.Rule{mustFromKey(pool[0].Key, d)}
+	for rank := 1; rank < len(pool) && len(picked) < l; rank++ {
+		if rank > rankCut {
+			break
+		}
+		cand := pool[rank]
+		if cand.Gain < gainCut {
+			break // pool is sorted; later candidates only get worse
+		}
+		r := mustFromKey(cand.Key, d)
+		disjoint := true
+		for _, p := range pickedRules {
+			if !r.Disjoint(p) {
+				disjoint = false
+				break
+			}
+		}
+		if !disjoint {
+			continue
+		}
+		picked = append(picked, cand)
+		pickedRules = append(pickedRules, r)
+	}
+	return picked
+}
+
+func mustFromKey(key string, d int) rule.Rule {
+	r, err := rule.FromKey(key, d)
+	if err != nil {
+		panic(fmt.Sprintf("miner: corrupt candidate key: %v", err))
+	}
+	return r
+}
+
+// pruneRedundant drops candidates that have the same support count as one of
+// their children in the candidate set — their gain is identical to the
+// child's, so evaluating both is wasted work (Chapter 7, future work). The
+// child (more specific rule) is kept.
+func pruneRedundant(c *engine.Cluster, cands *engine.PColl[map[string]cube.Agg], d int) *engine.PColl[map[string]cube.Agg] {
+	// The check needs parent lookups across partitions, so gather the
+	// counts first (keys only — small relative to full aggregates).
+	counts := make(map[string]float64)
+	for _, part := range cands.Parts() {
+		for k, agg := range part {
+			counts[k] = agg.Count
+		}
+	}
+	redundant := make(map[string]bool)
+	buf := make(rule.Rule, d)
+	for k := range counts {
+		child := mustFromKey(k, d)
+		for j := 0; j < d; j++ {
+			if child[j] == rule.Wildcard {
+				continue
+			}
+			copy(buf, child)
+			buf[j] = rule.Wildcard
+			pk := buf.Key()
+			if pc, ok := counts[pk]; ok && pc == counts[k] {
+				redundant[pk] = true
+			}
+		}
+	}
+	if len(redundant) == 0 {
+		return cands
+	}
+	return engine.MapParts(c, cands, "miner/prune-redundant", func(_ int, part map[string]cube.Agg) map[string]cube.Agg {
+		out := make(map[string]cube.Agg, len(part))
+		for k, v := range part {
+			if !redundant[k] {
+				out[k] = v
+			}
+		}
+		return out
+	})
+}
+
+// currentKL computes the divergence between the measure and estimate columns
+// across the cached blocks.
+func (m *Miner) currentKL(data *engine.CachedData) (float64, error) {
+	type sums struct{ sp, sq float64 }
+	partial := make([]sums, data.NumBlocks())
+	if err := data.Scan("miner/kl-sums", false, func(bi int, b *engine.TupleBlock) {
+		for i := range b.M {
+			partial[bi].sp += b.M[i]
+			partial[bi].sq += b.Mhat[i]
+		}
+	}); err != nil {
+		return 0, err
+	}
+	var sp, sq float64
+	for _, p := range partial {
+		sp += p.sp
+		sq += p.sq
+	}
+	if sp == 0 || sq == 0 {
+		return 0, nil
+	}
+	klParts := make([]float64, data.NumBlocks())
+	if err := data.Scan("miner/kl", false, func(bi int, b *engine.TupleBlock) {
+		var kl float64
+		for i := range b.M {
+			p := b.M[i] / sp
+			if p == 0 {
+				continue
+			}
+			q := b.Mhat[i] / sq
+			if q > 0 {
+				kl += p * math.Log(p/q)
+			}
+		}
+		klParts[bi] = kl
+	}); err != nil {
+		return 0, err
+	}
+	var kl float64
+	for _, v := range klParts {
+		kl += v
+	}
+	if kl < 0 && kl > -1e-12 {
+		kl = 0
+	}
+	return kl, nil
+}
+
+// informationGain computes the Section 5.1 metric over the cached blocks.
+func (m *Miner) informationGain(data *engine.CachedData) (float64, error) {
+	kl, err := m.currentKL(data)
+	if err != nil {
+		return 0, err
+	}
+	// Baseline KL: estimates equal to the global average.
+	var sum float64
+	var n int
+	partial := make([][2]float64, data.NumBlocks())
+	if err := data.Scan("miner/ig-base", false, func(bi int, b *engine.TupleBlock) {
+		var s float64
+		for _, v := range b.M {
+			s += v
+		}
+		partial[bi] = [2]float64{s, float64(len(b.M))}
+	}); err != nil {
+		return 0, err
+	}
+	for _, p := range partial {
+		sum += p[0]
+		n += int(p[1])
+	}
+	if n == 0 || sum == 0 {
+		return 0, nil
+	}
+	avg := sum / float64(n)
+	baseParts := make([]float64, data.NumBlocks())
+	if err := data.Scan("miner/ig-kl", false, func(bi int, b *engine.TupleBlock) {
+		var klb float64
+		for _, v := range b.M {
+			p := v / sum
+			if p == 0 {
+				continue
+			}
+			q := avg / sum
+			klb += p * math.Log(p/q)
+		}
+		baseParts[bi] = klb
+	}); err != nil {
+		return 0, err
+	}
+	var base float64
+	for _, v := range baseParts {
+		base += v
+	}
+	return base - kl, nil
+}
+
+// evaluateOnFull refits the mined rule list on the full dataset with a
+// single-node RCT scaler and returns the true information gain — the quality
+// metric of the SIRUM-on-sample experiments. Rules whose support is empty on
+// the full data cannot occur (a sample rule always covers its sample rows,
+// which come from the full data).
+func (m *Miner) evaluateOnFull(rules []rule.Rule) (float64, error) {
+	_, work := maxent.NewTransform(m.full.Measure)
+	s := maxent.NewRCTScaler(m.full, work, len(rules)+1)
+	s.Epsilon = m.opt.Epsilon
+	for _, r := range rules {
+		if _, err := s.AddRule(r); err != nil {
+			return 0, fmt.Errorf("miner: refitting on full data: %w", err)
+		}
+	}
+	return maxent.InformationGain(work, s.Mhat()), nil
+}

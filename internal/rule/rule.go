@@ -1,0 +1,283 @@
+// Package rule implements SIRUM's rules: points of the multidimensional
+// space (dom(A1) ∪ {*}) × … × (dom(Ad) ∪ {*}) from Section 2.1 of the
+// thesis, together with the matching, least-common-ancestor, disjointness
+// and generalization (cube lattice) operations of Sections 2.1 and 2.5.
+package rule
+
+import (
+	"fmt"
+	"strings"
+
+	"sirum/internal/dataset"
+)
+
+// Wildcard is the code standing for '*': it matches every value of the
+// attribute.
+const Wildcard int32 = -1
+
+// Rule is a tuple over the rule space: one code per dimension attribute,
+// with Wildcard entries matching anything. Rules are ordinary slices; use
+// Clone before storing a rule whose backing array may be reused.
+type Rule []int32
+
+// AllWildcards returns the rule (*, *, …, *) over d attributes — always the
+// first rule SIRUM selects.
+func AllWildcards(d int) Rule {
+	r := make(Rule, d)
+	for i := range r {
+		r[i] = Wildcard
+	}
+	return r
+}
+
+// FromTuple returns the rule whose constants are exactly the tuple's values
+// (the bottom element of the tuple's cube lattice).
+func FromTuple(codes []int32) Rule {
+	return append(Rule(nil), codes...)
+}
+
+// Clone returns an independent copy.
+func (r Rule) Clone() Rule { return append(Rule(nil), r...) }
+
+// NumWildcards returns the number of '*' entries.
+func (r Rule) NumWildcards() int {
+	n := 0
+	for _, v := range r {
+		if v == Wildcard {
+			n++
+		}
+	}
+	return n
+}
+
+// Level returns the rule's level in the cube lattice: the number of constant
+// (non-wildcard) attributes. The all-wildcards rule is level 0.
+func (r Rule) Level() int { return len(r) - r.NumWildcards() }
+
+// MatchesCodes reports whether a tuple with the given dimension codes matches
+// r (t ⊨ r): every attribute is either a wildcard in r or equal.
+func (r Rule) MatchesCodes(codes []int32) bool {
+	for j, v := range r {
+		if v != Wildcard && v != codes[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesRow reports whether tuple i of ds matches r, reading the columnar
+// layout directly.
+func (r Rule) MatchesRow(ds *dataset.Dataset, i int) bool {
+	for j, v := range r {
+		if v != Wildcard && v != ds.Dims[j][i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SupportSize returns |S_D(r)|, the number of tuples of ds covered by r.
+func (r Rule) SupportSize(ds *dataset.Dataset) int {
+	n := 0
+	for i := 0; i < ds.NumRows(); i++ {
+		if r.MatchesRow(ds, i) {
+			n++
+		}
+	}
+	return n
+}
+
+// SupportSums returns (Σ t[m], count) over the tuples of ds covered by r.
+func (r Rule) SupportSums(ds *dataset.Dataset) (sum float64, count int) {
+	for i := 0; i < ds.NumRows(); i++ {
+		if r.MatchesRow(ds, i) {
+			sum += ds.Measure[i]
+			count++
+		}
+	}
+	return sum, count
+}
+
+// IsAncestorOf reports whether r generalizes o: every attribute of r is
+// either a wildcard or equal to o's value. Every rule is its own ancestor.
+func (r Rule) IsAncestorOf(o Rule) bool {
+	for j, v := range r {
+		if v != Wildcard && v != o[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Disjoint reports whether r and o are disjoint per Section 2.1: some
+// attribute is a constant in both and the constants differ. Disjoint rules
+// have provably disjoint support sets; overlapping rules may still have
+// disjoint supports.
+func (r Rule) Disjoint(o Rule) bool {
+	for j, v := range r {
+		if v != Wildcard && o[j] != Wildcard && v != o[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps is the negation of Disjoint.
+func (r Rule) Overlaps(o Rule) bool { return !r.Disjoint(o) }
+
+// Equal reports component-wise equality.
+func (r Rule) Equal(o Rule) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for j := range r {
+		if r[j] != o[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// LCA computes the least common ancestor of two tuples (or rules): attribute
+// values are kept where equal and replaced by wildcards where they differ.
+// The result is written into dst (allocated if too small) and returned.
+func LCA(a, b []int32, dst Rule) Rule {
+	if cap(dst) < len(a) {
+		dst = make(Rule, len(a))
+	}
+	dst = dst[:len(a)]
+	for j := range a {
+		if a[j] == b[j] {
+			dst[j] = a[j]
+		} else {
+			dst[j] = Wildcard
+		}
+	}
+	return dst
+}
+
+// Key encodes the rule as a compact string usable as a map key. Keys of
+// rules with equal contents compare equal; distinct rules of the same arity
+// produce distinct keys.
+func (r Rule) Key() string {
+	b := make([]byte, 0, len(r)*4)
+	for _, v := range r {
+		u := uint32(v)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return string(b)
+}
+
+// FromKey decodes a rule produced by Key, given the arity d.
+func FromKey(key string, d int) (Rule, error) {
+	if len(key) != d*4 {
+		return nil, fmt.Errorf("rule: key has %d bytes, want %d for arity %d", len(key), d*4, d)
+	}
+	r := make(Rule, d)
+	for j := 0; j < d; j++ {
+		u := uint32(key[j*4]) | uint32(key[j*4+1])<<8 | uint32(key[j*4+2])<<16 | uint32(key[j*4+3])<<24
+		r[j] = int32(u)
+	}
+	return r, nil
+}
+
+// String renders the rule with raw codes, e.g. "(0, *, 3)".
+func (r Rule) String() string {
+	parts := make([]string, len(r))
+	for j, v := range r {
+		if v == Wildcard {
+			parts[j] = "*"
+		} else {
+			parts[j] = fmt.Sprintf("%d", v)
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Format renders the rule with dictionary-decoded values, e.g.
+// "(Fri, *, London)".
+func (r Rule) Format(dicts []*dataset.Dict) string {
+	parts := make([]string, len(r))
+	for j, v := range r {
+		if v == Wildcard {
+			parts[j] = "*"
+		} else {
+			parts[j] = dicts[j].Value(v)
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Parse builds a rule from string attribute values using the dataset's
+// dictionaries; "*" denotes a wildcard. Unknown values are an error (a rule
+// over values absent from the data covers nothing).
+func Parse(vals []string, ds *dataset.Dataset) (Rule, error) {
+	if len(vals) != ds.NumDims() {
+		return nil, fmt.Errorf("rule: %d values for %d dimensions", len(vals), ds.NumDims())
+	}
+	r := make(Rule, len(vals))
+	for j, v := range vals {
+		if v == "*" {
+			r[j] = Wildcard
+			continue
+		}
+		c, ok := ds.Dicts[j].Lookup(v)
+		if !ok {
+			return nil, fmt.Errorf("rule: value %q not in domain of %s", v, ds.Schema.DimNames[j])
+		}
+		r[j] = c
+	}
+	return r, nil
+}
+
+// ForEachGeneralization enumerates the ancestors of r obtainable by
+// wildcarding subsets of its constant attributes at the given positions.
+// Positions that are already wildcards contribute nothing. When includeSelf
+// is true the empty subset (r itself) is visited too. The rule passed to fn
+// is only valid for the duration of the call; fn must Clone it to retain it.
+//
+// This is the mapper of the data-cube algorithm (Section 3.1): with
+// positions = all attributes it emits the entire cube lattice CL(r); with
+// positions restricted to a column group it emits one stage of the
+// column-grouping pipeline (Section 4.3).
+func (r Rule) ForEachGeneralization(positions []int, includeSelf bool, fn func(Rule)) {
+	free := make([]int, 0, len(positions))
+	for _, p := range positions {
+		if r[p] != Wildcard {
+			free = append(free, p)
+		}
+	}
+	if len(free) > 30 {
+		panic(fmt.Sprintf("rule: generalization over %d free attributes would emit 2^%d ancestors", len(free), len(free)))
+	}
+	buf := r.Clone()
+	total := 1 << uint(len(free))
+	for mask := 0; mask < total; mask++ {
+		if mask == 0 && !includeSelf {
+			continue
+		}
+		copy(buf, r)
+		for b := 0; b < len(free); b++ {
+			if mask&(1<<uint(b)) != 0 {
+				buf[free[b]] = Wildcard
+			}
+		}
+		fn(buf)
+	}
+}
+
+// AllPositions returns [0, 1, …, d-1], the position list covering every
+// attribute.
+func AllPositions(d int) []int {
+	out := make([]int, d)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// CubeLatticeSize returns |CL(r)| = 2^(number of constants), the number of
+// ancestors of r including itself.
+func (r Rule) CubeLatticeSize() int {
+	return 1 << uint(r.Level())
+}

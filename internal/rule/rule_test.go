@@ -1,0 +1,416 @@
+package rule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sirum/internal/datagen"
+	"sirum/internal/dataset"
+)
+
+func mustParse(t *testing.T, ds *dataset.Dataset, vals ...string) Rule {
+	t.Helper()
+	r, err := Parse(vals, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAllWildcards(t *testing.T) {
+	r := AllWildcards(3)
+	if r.Level() != 0 || r.NumWildcards() != 3 {
+		t.Errorf("AllWildcards: %v", r)
+	}
+	if r.CubeLatticeSize() != 1 {
+		t.Errorf("CubeLatticeSize = %d", r.CubeLatticeSize())
+	}
+}
+
+// TestMatchingPaperExample pins the example from Section 2.1: tuple t6
+// (Sat, Frankfurt, London) matches rules r1, r2 and r4 of Table 1.2 but not
+// r3.
+func TestMatchingPaperExample(t *testing.T) {
+	ds := datagen.Flights()
+	t6, _ := ds.Row(5, nil)
+	r1 := AllWildcards(3)
+	r2 := mustParse(t, ds, "*", "*", "London")
+	r3 := mustParse(t, ds, "Fri", "*", "*")
+	r4 := mustParse(t, ds, "Sat", "*", "*")
+	if !r1.MatchesCodes(t6) || !r2.MatchesCodes(t6) || !r4.MatchesCodes(t6) {
+		t.Error("t6 should match r1, r2, r4")
+	}
+	if r3.MatchesCodes(t6) {
+		t.Error("t6 should not match r3")
+	}
+	if !r2.MatchesRow(ds, 5) {
+		t.Error("MatchesRow disagrees with MatchesCodes")
+	}
+}
+
+// TestSupportPaperExample pins Table 1.2's aggregates: (*,*,London) covers 4
+// tuples with average delay 15.25 ("15.3" in the thesis' rounding), and the
+// all-wildcards rule covers all 14 with average 10.357 ("10.4").
+func TestSupportPaperExample(t *testing.T) {
+	ds := datagen.Flights()
+	r2 := mustParse(t, ds, "*", "*", "London")
+	sum, count := r2.SupportSums(ds)
+	if count != 4 {
+		t.Errorf("|S(r2)| = %d, want 4", count)
+	}
+	if avg := sum / float64(count); avg != 15.25 {
+		t.Errorf("m(r2) = %v, want 15.25", avg)
+	}
+	if got := r2.SupportSize(ds); got != 4 {
+		t.Errorf("SupportSize = %d", got)
+	}
+	all := AllWildcards(3)
+	sum, count = all.SupportSums(ds)
+	if count != 14 || sum != 145 {
+		t.Errorf("S(r1): sum=%v count=%d, want 145/14", sum, count)
+	}
+	// r3 = (Fri, *, *) covers t1 and t2.
+	r3 := mustParse(t, ds, "Fri", "*", "*")
+	sum, count = r3.SupportSums(ds)
+	if count != 2 || sum != 36 {
+		t.Errorf("S(r3): sum=%v count=%d, want 36/2", sum, count)
+	}
+}
+
+// TestLCAPaperExample pins Section 2.1's example: lca(t1, t6) = (*,*,London),
+// and Section 3.1.1's: lca((Sun,Chicago,London),(Fri,SF,London)) = (*,*,London).
+func TestLCAPaperExample(t *testing.T) {
+	ds := datagen.Flights()
+	t1, _ := ds.Row(0, nil)
+	t6, _ := ds.Row(5, nil)
+	got := LCA(t1, t6, nil)
+	want := mustParse(t, ds, "*", "*", "London")
+	if !got.Equal(want) {
+		t.Errorf("lca(t1,t6) = %v, want %v", got.Format(ds.Dicts), want.Format(ds.Dicts))
+	}
+	t4, _ := ds.Row(3, nil)
+	got = LCA(t4, t1, nil)
+	if !got.Equal(want) {
+		t.Errorf("lca(t4,t1) = %v, want (*,*,London)", got.Format(ds.Dicts))
+	}
+}
+
+func TestLCABufferReuse(t *testing.T) {
+	a := []int32{1, 2, 3}
+	b := []int32{1, 9, 3}
+	buf := make(Rule, 3)
+	got := LCA(a, b, buf)
+	if &got[0] != &buf[0] {
+		t.Error("LCA ignored provided buffer")
+	}
+	if !got.Equal(Rule{1, Wildcard, 3}) {
+		t.Errorf("LCA = %v", got)
+	}
+}
+
+// TestDisjointPaperExamples pins Section 2.1's examples: (Fri,London,LA) and
+// (*,SF,LA) are disjoint; (Wed,*,*) and (*,*,London) overlap even though
+// their support sets are disjoint.
+func TestDisjointPaperExamples(t *testing.T) {
+	ds := datagen.Flights()
+	a := mustParse(t, ds, "Fri", "London", "LA")
+	b := mustParse(t, ds, "*", "SF", "LA")
+	if !a.Disjoint(b) || !b.Disjoint(a) {
+		t.Error("(Fri,London,LA) and (*,SF,LA) should be disjoint")
+	}
+	c := mustParse(t, ds, "Wed", "*", "*")
+	d := mustParse(t, ds, "*", "*", "London")
+	if c.Disjoint(d) {
+		t.Error("(Wed,*,*) and (*,*,London) should overlap by definition")
+	}
+	if !c.Overlaps(d) {
+		t.Error("Overlaps inconsistent with Disjoint")
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	ds := datagen.Flights()
+	base := mustParse(t, ds, "Fri", "SF", "London")
+	anc := mustParse(t, ds, "*", "SF", "*")
+	other := mustParse(t, ds, "*", "London", "*")
+	if !anc.IsAncestorOf(base) {
+		t.Error("(*,SF,*) should be an ancestor of (Fri,SF,London)")
+	}
+	if anc.IsAncestorOf(other) || other.IsAncestorOf(anc) {
+		t.Error("incomparable rules reported as ancestors")
+	}
+	if !base.IsAncestorOf(base) {
+		t.Error("every rule is its own ancestor")
+	}
+	if !AllWildcards(3).IsAncestorOf(base) {
+		t.Error("(*,*,*) is an ancestor of everything")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	r := Rule{Wildcard, 0, 5, Wildcard, 1 << 20}
+	back, err := FromKey(r.Key(), len(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Errorf("round trip: %v != %v", back, r)
+	}
+	if _, err := FromKey(r.Key(), 3); err == nil {
+		t.Error("FromKey with wrong arity accepted")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	seen := map[string]Rule{}
+	var rules []Rule
+	for a := int32(-1); a < 3; a++ {
+		for b := int32(-1); b < 3; b++ {
+			rules = append(rules, Rule{a, b})
+		}
+	}
+	for _, r := range rules {
+		k := r.Key()
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("key collision between %v and %v", prev, r)
+		}
+		seen[k] = r
+	}
+}
+
+func TestStringAndFormat(t *testing.T) {
+	ds := datagen.Flights()
+	r := mustParse(t, ds, "Fri", "*", "London")
+	if got := r.Format(ds.Dicts); got != "(Fri, *, London)" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := r.String(); got != "(0, *, 0)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	ds := datagen.Flights()
+	if _, err := Parse([]string{"Fri", "*"}, ds); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := Parse([]string{"Noday", "*", "*"}, ds); err == nil {
+		t.Error("unknown value accepted")
+	}
+}
+
+// TestCubeLatticePaperExample pins Figure 2.1: the cube lattice of
+// (Fri, SF, London) has 8 elements across 4 levels.
+func TestCubeLatticePaperExample(t *testing.T) {
+	ds := datagen.Flights()
+	base := mustParse(t, ds, "Fri", "SF", "London")
+	if base.CubeLatticeSize() != 8 {
+		t.Fatalf("CubeLatticeSize = %d, want 8", base.CubeLatticeSize())
+	}
+	got := map[string]bool{}
+	base.ForEachGeneralization(AllPositions(3), true, func(a Rule) {
+		got[a.Format(ds.Dicts)] = true
+	})
+	want := []string{
+		"(Fri, SF, London)",
+		"(Fri, SF, *)", "(Fri, *, London)", "(*, SF, London)",
+		"(Fri, *, *)", "(*, SF, *)", "(*, *, London)",
+		"(*, *, *)",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d ancestors: %v", len(got), got)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing ancestor %s", w)
+		}
+	}
+}
+
+// TestColumnGroupedGeneralization pins the two-stage example of Section 4.3:
+// with G1 = {Day, Origin}, the mapper for (Fri,SF,London) generates exactly
+// (Fri,*,London), (*,SF,London) and (*,*,London).
+func TestColumnGroupedGeneralization(t *testing.T) {
+	ds := datagen.Flights()
+	base := mustParse(t, ds, "Fri", "SF", "London")
+	var got []string
+	base.ForEachGeneralization([]int{0, 1}, false, func(a Rule) {
+		got = append(got, a.Format(ds.Dicts))
+	})
+	want := map[string]bool{
+		"(Fri, *, London)": true, "(*, SF, London)": true, "(*, *, London)": true,
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected ancestor %s", g)
+		}
+	}
+	// Positions that are already wildcards contribute nothing.
+	r := Rule{Wildcard, 0, 1}
+	n := 0
+	r.ForEachGeneralization([]int{0}, false, func(Rule) { n++ })
+	if n != 0 {
+		t.Errorf("wildcard position generated %d ancestors", n)
+	}
+}
+
+func TestForEachGeneralizationCallbackBufferContract(t *testing.T) {
+	r := Rule{1, 2}
+	var kept []Rule
+	r.ForEachGeneralization(AllPositions(2), true, func(a Rule) {
+		kept = append(kept, a.Clone())
+	})
+	if len(kept) != 4 {
+		t.Fatalf("got %d ancestors", len(kept))
+	}
+	seen := map[string]bool{}
+	for _, k := range kept {
+		seen[k.Key()] = true
+	}
+	if len(seen) != 4 {
+		t.Error("ancestors not distinct after Clone — buffer reuse leaked")
+	}
+}
+
+func TestForEachGeneralizationBlowupGuard(t *testing.T) {
+	r := make(Rule, 40)
+	for i := range r {
+		r[i] = 1
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("40-constant generalization did not panic")
+		}
+	}()
+	r.ForEachGeneralization(AllPositions(40), true, func(Rule) {})
+}
+
+func randomRule(r *rand.Rand, d int) Rule {
+	out := make(Rule, d)
+	for j := range out {
+		if r.Intn(2) == 0 {
+			out[j] = Wildcard
+		} else {
+			out[j] = int32(r.Intn(4))
+		}
+	}
+	return out
+}
+
+func randomTuple(r *rand.Rand, d int) []int32 {
+	out := make([]int32, d)
+	for j := range out {
+		out[j] = int32(r.Intn(4))
+	}
+	return out
+}
+
+// Property: the LCA is a common ancestor of both inputs, and it is the least
+// one — any other common ancestor is an ancestor of the LCA.
+func TestQuickLCAIsLeastCommonAncestor(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := r.Intn(6) + 1
+		a, b := randomTuple(r, d), randomTuple(r, d)
+		l := LCA(a, b, nil)
+		if !l.IsAncestorOf(FromTuple(a)) || !l.IsAncestorOf(FromTuple(b)) {
+			return false
+		}
+		// lca(a,a) == a.
+		if !LCA(a, a, nil).Equal(FromTuple(a)) {
+			return false
+		}
+		// Commutative.
+		if !LCA(b, a, nil).Equal(l) {
+			return false
+		}
+		// Minimality: a random common ancestor must generalize the LCA.
+		c := randomRule(r, d)
+		if c.IsAncestorOf(FromTuple(a)) && c.IsAncestorOf(FromTuple(b)) && !c.IsAncestorOf(l) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: disjoint rules can never match a common tuple.
+func TestQuickDisjointImpliesNoCommonMatch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := r.Intn(5) + 1
+		a, b := randomRule(r, d), randomRule(r, d)
+		if !a.Disjoint(b) {
+			return true
+		}
+		// Exhaustively scan the small tuple space.
+		tuple := make([]int32, d)
+		var scan func(j int) bool
+		scan = func(j int) bool {
+			if j == d {
+				return !(a.MatchesCodes(tuple) && b.MatchesCodes(tuple))
+			}
+			for v := int32(0); v < 4; v++ {
+				tuple[j] = v
+				if !scan(j + 1) {
+					return false
+				}
+			}
+			return true
+		}
+		return scan(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ancestor relation is reflexive and transitive, and ancestors
+// match a superset of tuples.
+func TestQuickAncestorMatchSuperset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := r.Intn(4) + 1
+		base := randomRule(r, d)
+		ok := true
+		base.ForEachGeneralization(AllPositions(d), true, func(anc Rule) {
+			if !anc.IsAncestorOf(base) {
+				ok = false
+			}
+			tuple := randomTuple(r, d)
+			if base.MatchesCodes(tuple) && !anc.MatchesCodes(tuple) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLCA(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := randomTuple(r, 18), randomTuple(r, 18)
+	buf := make(Rule, 18)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LCA(x, y, buf)
+	}
+}
+
+func BenchmarkMatchesCodes(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ru := randomRule(r, 18)
+	tu := randomTuple(r, 18)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ru.MatchesCodes(tu)
+	}
+}

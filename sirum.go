@@ -1,0 +1,380 @@
+// Package sirum is a Go implementation of SIRUM — Scalable Informative RUle
+// Mining (Feng, University of Waterloo, 2016). Given a multidimensional
+// dataset with categorical dimension attributes and one numeric measure
+// attribute, SIRUM produces a small list of rules — conjunctions of
+// attribute values with wildcards — that carry the most information about
+// the distribution of the measure, under the maximum-entropy principle.
+//
+// The package is the public facade over the full system: the miner with all
+// of the thesis' optimizations (Rule Coverage Table scaling, inverted-index
+// candidate pruning, column-grouped ancestor generation, multi-rule
+// insertion, mining on samples), a simulated Spark-like execution substrate,
+// and the data-cube exploration application. See README.md for a tour and
+// DESIGN.md for the architecture.
+//
+// Quick start:
+//
+//	ds, _ := sirum.ReadCSVFile("flights.csv", "Delay", "Flight ID")
+//	res, _ := ds.Mine(sirum.Options{K: 4})
+//	for _, r := range res.Rules {
+//	    fmt.Printf("%s  avg=%.1f  count=%d\n", r, r.Avg, r.Count)
+//	}
+package sirum
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"sirum/internal/datagen"
+	"sirum/internal/dataset"
+	"sirum/internal/engine"
+	"sirum/internal/explore"
+	"sirum/internal/maxent"
+	"sirum/internal/miner"
+	"sirum/internal/rule"
+)
+
+// Dataset is a multidimensional relation: categorical dimension attributes
+// plus one numeric measure attribute.
+type Dataset struct {
+	ds *dataset.Dataset
+}
+
+// ReadCSV parses a dataset from CSV with a header row. The measure column is
+// named explicitly; columns listed in ignore (row ids and such) are dropped;
+// every other column becomes a dimension attribute.
+func ReadCSV(r io.Reader, measure string, ignore ...string) (*Dataset, error) {
+	ds, err := dataset.ReadCSV(r, measure, ignore...)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// ReadCSVFile opens path and parses it with ReadCSV.
+func ReadCSVFile(path, measure string, ignore ...string) (*Dataset, error) {
+	ds, err := dataset.ReadCSVFile(path, measure, ignore...)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// WriteCSV writes the dataset with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error { return d.ds.WriteCSV(w) }
+
+// Builder assembles a dataset row by row.
+type Builder struct {
+	b *dataset.Builder
+}
+
+// NewBuilder starts a dataset with the given dimension attribute names and
+// measure attribute name.
+func NewBuilder(dimNames []string, measureName string) *Builder {
+	return &Builder{b: dataset.NewBuilder(dataset.Schema{DimNames: dimNames, MeasureName: measureName})}
+}
+
+// Add appends one tuple: one string value per dimension plus the measure.
+func (b *Builder) Add(dims []string, measure float64) error { return b.b.Add(dims, measure) }
+
+// Build finalizes the dataset.
+func (b *Builder) Build() (*Dataset, error) {
+	ds, err := b.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// Generate returns one of the built-in synthetic evaluation datasets:
+// "income", "gdelt", "susy", "tlc" (scaled to rows) or "flights" (the
+// thesis' 14-row running example; rows ignored).
+func Generate(name string, rows int, seed int64) (*Dataset, error) {
+	ds, err := datagen.ByName(name, rows, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// NumRows returns the number of tuples.
+func (d *Dataset) NumRows() int { return d.ds.NumRows() }
+
+// NumDims returns the number of dimension attributes.
+func (d *Dataset) NumDims() int { return d.ds.NumDims() }
+
+// DimNames returns the dimension attribute names.
+func (d *Dataset) DimNames() []string { return d.ds.Schema.DimNames }
+
+// MeasureName returns the measure attribute's name.
+func (d *Dataset) MeasureName() string { return d.ds.Schema.MeasureName }
+
+// Variant selects a miner implementation; see the thesis' Table 4.2. The
+// zero value is VariantOptimized.
+type Variant string
+
+// Supported variants.
+const (
+	VariantOptimized    Variant = "optimized"
+	VariantBaseline     Variant = "baseline"
+	VariantNaive        Variant = "naive"
+	VariantRCT          Variant = "rct"
+	VariantFastPruning  Variant = "fastpruning"
+	VariantFastAncestor Variant = "fastancestor"
+	VariantMultiRule    Variant = "multirule"
+)
+
+func (v Variant) internal() (miner.Variant, error) {
+	switch v {
+	case "", VariantOptimized:
+		return miner.Optimized, nil
+	case VariantBaseline:
+		return miner.Baseline, nil
+	case VariantNaive:
+		return miner.Naive, nil
+	case VariantRCT:
+		return miner.RCT, nil
+	case VariantFastPruning:
+		return miner.FastPruning, nil
+	case VariantFastAncestor:
+		return miner.FastAncestor, nil
+	case VariantMultiRule:
+		return miner.MultiRule, nil
+	default:
+		return 0, fmt.Errorf("sirum: unknown variant %q", v)
+	}
+}
+
+// Cluster sizes the simulated execution substrate. The zero value uses a
+// modest in-process cluster.
+type Cluster struct {
+	Executors        int   // virtual worker nodes (default 4)
+	CoresPerExecutor int   // task slots per node (default 2)
+	MemoryPerNode    int64 // bytes of cache per node (default: unbounded)
+}
+
+func (c Cluster) config() engine.Config {
+	conf := engine.Config{
+		Executors:         c.Executors,
+		CoresPerExecutor:  c.CoresPerExecutor,
+		MemoryPerExecutor: c.MemoryPerNode,
+	}
+	if conf.Executors <= 0 {
+		conf.Executors = 4
+	}
+	if conf.CoresPerExecutor <= 0 {
+		conf.CoresPerExecutor = 2
+	}
+	conf.Partitions = conf.Executors * conf.CoresPerExecutor
+	return conf
+}
+
+// Options configures mining. Zero values get the thesis' defaults.
+type Options struct {
+	// K is the number of rules to mine (beyond the implicit all-wildcards
+	// rule). Default 10.
+	K int
+	// SampleSize is |s| for sample-based candidate pruning; 0 explores all
+	// candidate rules exhaustively (only sensible for small data). Default
+	// 64 for datasets above 1000 rows, 0 otherwise.
+	SampleSize int
+	// Variant selects the implementation (default optimized).
+	Variant Variant
+	// Epsilon is the iterative-scaling convergence threshold (default 0.01).
+	Epsilon float64
+	// Seed drives sampling (default 1).
+	Seed int64
+	// SampleFraction in (0,1) mines on a Bernoulli sample of the data
+	// ("SIRUM on sample data") and evaluates the result on the full data.
+	SampleFraction float64
+	// Cluster sizes the execution substrate.
+	Cluster Cluster
+}
+
+// Condition is one non-wildcard attribute constraint of a rule.
+type Condition struct {
+	Attr  string
+	Value string
+}
+
+// Rule is a mined informative rule with its display aggregates.
+type Rule struct {
+	// Conditions lists the constrained attributes in schema order;
+	// attributes not listed are wildcards.
+	Conditions []Condition
+	// Avg is the average measure value over the tuples the rule covers.
+	Avg float64
+	// Count is the number of covered tuples.
+	Count int64
+	// Gain is the information-gain estimate at selection time.
+	Gain float64
+}
+
+// String renders the rule like "(Fri, *, London)" is rendered in the thesis,
+// as attr=value pairs: "Day=Fri ∧ Destination=London", or "(*)" for the
+// all-wildcards rule.
+func (r Rule) String() string {
+	if len(r.Conditions) == 0 {
+		return "(*)"
+	}
+	parts := make([]string, len(r.Conditions))
+	for i, c := range r.Conditions {
+		parts[i] = c.Attr + "=" + c.Value
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Result reports a mining run.
+type Result struct {
+	Rules []Rule
+	// KL is the final Kullback-Leibler divergence between the measure and
+	// the maximum-entropy estimates implied by the rules.
+	KL float64
+	// InfoGain is the information gain of the rule set over knowing only
+	// the global average.
+	InfoGain float64
+	// Iterations of the greedy loop.
+	Iterations int
+	// WallTime is real elapsed time; SimTime is the simulated-cluster time
+	// (see DESIGN.md on the execution model).
+	WallTime, SimTime time.Duration
+}
+
+// Mine runs SIRUM over the dataset.
+func (d *Dataset) Mine(opt Options) (*Result, error) {
+	v, err := opt.Variant.internal()
+	if err != nil {
+		return nil, err
+	}
+	sampleSize := opt.SampleSize
+	if sampleSize == 0 && d.NumRows() > 1000 {
+		sampleSize = 64
+	}
+	cl := engine.NewCluster(opt.Cluster.config())
+	defer cl.Close()
+	mopt := miner.Options{
+		Variant:            v,
+		K:                  opt.K,
+		SampleSize:         sampleSize,
+		Epsilon:            opt.Epsilon,
+		Seed:               opt.Seed,
+		SampleFraction:     opt.SampleFraction,
+		EvaluateOnFullData: opt.SampleFraction > 0 && opt.SampleFraction < 1,
+	}
+	res, err := miner.New(cl, d.ds, mopt).Run()
+	if err != nil {
+		return nil, err
+	}
+	return d.publicResult(res), nil
+}
+
+func (d *Dataset) publicResult(res *miner.Result) *Result {
+	out := &Result{
+		KL:         res.KL,
+		InfoGain:   res.InfoGain,
+		Iterations: res.Iterations,
+		WallTime:   res.WallTime,
+		SimTime:    res.SimTime,
+	}
+	for _, mr := range res.Rules {
+		out.Rules = append(out.Rules, d.publicRule(mr))
+	}
+	return out
+}
+
+func (d *Dataset) publicRule(mr miner.MinedRule) Rule {
+	r := Rule{Avg: mr.Avg, Count: mr.Count, Gain: mr.Gain}
+	for j, v := range mr.Rule {
+		if v != rule.Wildcard {
+			r.Conditions = append(r.Conditions, Condition{
+				Attr:  d.ds.Schema.DimNames[j],
+				Value: d.ds.Dicts[j].Value(v),
+			})
+		}
+	}
+	return r
+}
+
+// ExploreOptions configures data-cube exploration (the application of
+// Section 5.6.2): the analyst has already seen the GroupBys lowest-
+// cardinality single-attribute group-bys, and wants the K most informative
+// rules beyond them.
+type ExploreOptions struct {
+	K        int
+	GroupBys int
+	Seed     int64
+	Cluster  Cluster
+}
+
+// ExploreResult carries the recommendations plus the prior the analyst is
+// assumed to know.
+type ExploreResult struct {
+	Prior  []Rule
+	Result *Result
+}
+
+// Explore recommends informative rules relative to prior knowledge.
+func (d *Dataset) Explore(opt ExploreOptions) (*ExploreResult, error) {
+	cl := engine.NewCluster(opt.Cluster.config())
+	defer cl.Close()
+	rec, err := explore.Run(cl, d.ds, explore.Options{
+		K: opt.K, GroupBys: opt.GroupBys, Optimized: true, MultiRule: true, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ExploreResult{Result: d.publicResult(rec.Result)}
+	for _, pr := range rec.PriorRules {
+		avgSum, count := pr.SupportSums(d.ds)
+		mr := miner.MinedRule{Rule: pr, Avg: avgSum / float64(count), Count: int64(count)}
+		out.Prior = append(out.Prior, d.publicRule(mr))
+	}
+	return out, nil
+}
+
+// Fit computes the maximum-entropy estimate of the measure for each tuple
+// given a set of rules expressed as attribute→value conditions (the
+// all-wildcards rule is always included first). It returns the estimates and
+// the KL divergence from the true measure — the primitive the examples use
+// to show what a rule set "says" about the data.
+func (d *Dataset) Fit(rules [][]Condition) (estimates []float64, kl float64, err error) {
+	tr, work := maxent.NewTransform(d.ds.Measure)
+	s := maxent.NewRCTScaler(d.ds, work, len(rules)+1)
+	if _, err := s.AddRule(rule.AllWildcards(d.NumDims())); err != nil {
+		return nil, 0, err
+	}
+	for _, conds := range rules {
+		r := rule.AllWildcards(d.NumDims())
+		for _, c := range conds {
+			j := d.ds.Schema.DimIndex(c.Attr)
+			if j < 0 {
+				return nil, 0, fmt.Errorf("sirum: unknown attribute %q", c.Attr)
+			}
+			code, ok := d.ds.Dicts[j].Lookup(c.Value)
+			if !ok {
+				return nil, 0, fmt.Errorf("sirum: value %q not in domain of %s", c.Value, c.Attr)
+			}
+			r[j] = code
+		}
+		if _, err := s.AddRule(r); err != nil {
+			return nil, 0, err
+		}
+	}
+	estimates = make([]float64, len(work))
+	for i, v := range s.Mhat() {
+		estimates[i] = tr.Invert(v)
+	}
+	return estimates, maxent.KLDivergence(work, s.Mhat()), nil
+}
+
+// Summary returns a short human-readable description of the dataset.
+func (d *Dataset) Summary() string {
+	domains := d.ds.DomainSizes()
+	sorted := append([]int(nil), domains...)
+	sort.Ints(sorted)
+	return fmt.Sprintf("%d rows, %d dimension attributes (domains %v), measure %q (mean %.4g)",
+		d.NumRows(), d.NumDims(), domains, d.MeasureName(), d.ds.MeanMeasure())
+}
