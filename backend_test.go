@@ -1,0 +1,123 @@
+package sirum
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBackendsProduceIdenticalRules is the cross-backend contract: the same
+// mining job must yield the same rule list on the simulated cluster and on
+// the native multicore backend, across datasets and option shapes (the
+// quickstart flight data, sample-based pruning, exhaustive generation, and
+// mining on a sample fraction).
+func TestBackendsProduceIdenticalRules(t *testing.T) {
+	cases := []struct {
+		name    string
+		dataset string
+		rows    int
+		opt     Options
+	}{
+		{"flights-exhaustive", "flights", 0, Options{K: 3}},
+		{"income-sampled", "income", 1500, Options{K: 4, SampleSize: 16, Seed: 2}},
+		{"gdelt-sampled", "gdelt", 2000, Options{K: 3, SampleSize: 16, Seed: 3}},
+		{"income-multirule", "income", 1500, Options{K: 4, SampleSize: 16, Seed: 2, Variant: VariantMultiRule}},
+		{"income-fraction", "income", 3000, Options{K: 3, SampleFraction: 0.5, Seed: 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds, err := Generate(tc.dataset, tc.rows, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simOpt := tc.opt
+			simOpt.Backend = BackendSim
+			natOpt := tc.opt
+			natOpt.Backend = BackendNative
+			sim, err := ds.Mine(simOpt)
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+			nat, err := ds.Mine(natOpt)
+			if err != nil {
+				t.Fatalf("native: %v", err)
+			}
+			if len(sim.Rules) == 0 {
+				t.Fatal("sim mined nothing")
+			}
+			if len(sim.Rules) != len(nat.Rules) {
+				t.Fatalf("rule counts differ: sim %d native %d", len(sim.Rules), len(nat.Rules))
+			}
+			for i := range sim.Rules {
+				s, n := sim.Rules[i], nat.Rules[i]
+				if s.String() != n.String() {
+					t.Errorf("rule %d: sim %s vs native %s", i, s, n)
+				}
+				if s.Count != n.Count {
+					t.Errorf("rule %d count: sim %d vs native %d", i, s.Count, n.Count)
+				}
+				if relErr(s.Avg, n.Avg) > 1e-9 {
+					t.Errorf("rule %d avg: sim %v vs native %v", i, s.Avg, n.Avg)
+				}
+				if relErr(s.Gain, n.Gain) > 1e-6 {
+					t.Errorf("rule %d gain: sim %v vs native %v", i, s.Gain, n.Gain)
+				}
+			}
+			if relErr(sim.KL, nat.KL) > 1e-6 {
+				t.Errorf("KL: sim %v vs native %v", sim.KL, nat.KL)
+			}
+			if relErr(sim.InfoGain, nat.InfoGain) > 1e-6 {
+				t.Errorf("InfoGain: sim %v vs native %v", sim.InfoGain, nat.InfoGain)
+			}
+		})
+	}
+}
+
+// relErr is |a-b| relative to the larger magnitude (absolute near zero).
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1e-9 {
+		return d
+	}
+	return d / m
+}
+
+// TestExploreOnNativeBackend smoke-tests the exploration application on the
+// native substrate.
+func TestExploreOnNativeBackend(t *testing.T) {
+	ds, err := Generate("flights", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := ds.Explore(ExploreOptions{K: 2, GroupBys: 2, Backend: BackendSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	natRes, err := ds.Explore(ExploreOptions{K: 2, GroupBys: 2, Backend: BackendNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(natRes.Result.Rules) != len(simRes.Result.Rules) {
+		t.Fatalf("recommendation counts differ: sim %d native %d",
+			len(simRes.Result.Rules), len(natRes.Result.Rules))
+	}
+	for i := range natRes.Result.Rules {
+		if natRes.Result.Rules[i].String() != simRes.Result.Rules[i].String() {
+			t.Errorf("recommendation %d: sim %s vs native %s",
+				i, simRes.Result.Rules[i], natRes.Result.Rules[i])
+		}
+	}
+}
+
+func TestUnknownBackendRejected(t *testing.T) {
+	ds, err := Generate("flights", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Mine(Options{K: 2, Backend: "quantum"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, err := ds.Explore(ExploreOptions{K: 2, Backend: "quantum"}); err == nil {
+		t.Error("unknown backend accepted by Explore")
+	}
+}

@@ -109,6 +109,40 @@ func BenchmarkMineOptimized(b *testing.B) {
 	}
 }
 
+// benchBackendMine runs one mining job on the given substrate. The sim run
+// models the thesis' cluster shape (16 executors × 24 cores → 384
+// partitions); the native run executes the same job the way a native user
+// gets it — host-tuned partitioning, no virtual-clock list scheduling or
+// per-task timing, slice-bucket shuffles, no byte-volume accounting. The
+// wall-clock ratio is therefore the end-to-end price of simulating that
+// cluster versus just answering the query.
+func benchBackendMine(b *testing.B, backend Backend) {
+	ds, err := Generate("gdelt", 20000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ds.Mine(Options{
+			K: 5, SampleSize: 16, Seed: 2,
+			Backend: backend,
+			Cluster: Cluster{Executors: 16, CoresPerExecutor: 24},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.InfoGain, "info_gain")
+		}
+	}
+}
+
+// BenchmarkMineSimBackend is the simulated-cluster path of the backend
+// comparison; BenchmarkMineNativeBackend is the native path of the same job.
+func BenchmarkMineSimBackend(b *testing.B)    { benchBackendMine(b, BackendSim) }
+func BenchmarkMineNativeBackend(b *testing.B) { benchBackendMine(b, BackendNative) }
+
 // BenchmarkMineBaseline is the same job on the unoptimized baseline, so the
 // two public-API benchmarks show the paper's headline speedup directly.
 func BenchmarkMineBaseline(b *testing.B) {

@@ -4,6 +4,7 @@
 //
 //	sirum -input data.csv -measure Delay [-ignore "Flight ID"] [-k 10]
 //	      [-sample 64] [-variant optimized] [-fraction 0.1] [-seed 1]
+//	      [-backend native|sim]
 //
 // With -dataset instead of -input, one of the built-in synthetic evaluation
 // datasets is mined (income, gdelt, susy, tlc, flights).
@@ -38,7 +39,8 @@ func run(args []string, out io.Writer) error {
 	variant := fs.String("variant", "optimized", "miner variant: naive|baseline|rct|fastpruning|fastancestor|multirule|optimized")
 	fraction := fs.Float64("fraction", 0, "mine on this fraction of the data (0 = all)")
 	seed := fs.Int64("seed", 1, "random seed")
-	executors := fs.Int("executors", 4, "virtual executors of the simulated cluster")
+	executors := fs.Int("executors", 4, "virtual executors of the execution substrate")
+	backend := fs.String("backend", "native", "execution backend: native (host speed) or sim (simulated cluster)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +76,7 @@ func run(args []string, out io.Writer) error {
 		SampleFraction: *fraction,
 		Seed:           *seed,
 		Cluster:        sirum.Cluster{Executors: *executors},
+		Backend:        sirum.Backend(*backend),
 	})
 	if err != nil {
 		return err
@@ -84,7 +87,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-60s  %12.4g  %8d  %10.4g\n", r.String(), r.Avg, r.Count, r.Gain)
 	}
 	fmt.Fprintf(out, "\nKL divergence: %.6f   information gain: %.6f\n", res.KL, res.InfoGain)
-	fmt.Fprintf(out, "iterations: %d   wall: %v   simulated cluster time: %v\n",
-		res.Iterations, res.WallTime.Round(1e6), res.SimTime.Round(1e6))
+	fmt.Fprintf(out, "iterations: %d   wall: %v", res.Iterations, res.WallTime.Round(1e6))
+	if *backend == string(sirum.BackendSim) {
+		fmt.Fprintf(out, "   simulated cluster time: %v", res.SimTime.Round(1e6))
+	}
+	fmt.Fprintln(out)
 	return nil
 }

@@ -38,6 +38,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	executors := fs.Int("executors", 16, "virtual executors")
 	cores := fs.Int("cores", 4, "virtual cores per executor")
+	backend := fs.String("backend", "sim", "substrate for the generic mining figures: sim or native (platform/scaling figures always simulate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,9 +51,12 @@ func run(args []string, stdout io.Writer) error {
 	if *exp == "" {
 		return fmt.Errorf("-exp is required (or -list)")
 	}
+	if *backend != "sim" && *backend != "native" {
+		return fmt.Errorf("unknown backend %q (want sim or native)", *backend)
+	}
 	cfg := experiments.Config{
 		Scale: *scale, Quick: *quick, Seed: *seed,
-		Executors: *executors, Cores: *cores,
+		Executors: *executors, Cores: *cores, Backend: *backend,
 	}
 	ids := []string{*exp}
 	if *exp == "all" {

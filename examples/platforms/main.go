@@ -30,7 +30,7 @@ func main() {
 	const scale = 37
 	for _, kind := range platform.Kinds() {
 		conf := platform.Scale(platform.Config(kind, 4, 2, 1<<30), scale)
-		cl := engine.NewCluster(conf)
+		cl := engine.NewSimBackend(conf)
 		res, err := miner.New(cl, ds, miner.Options{
 			Variant: miner.Baseline, K: 5, SampleSize: 16, Seed: 2,
 		}).Run()

@@ -19,7 +19,9 @@ import (
 )
 
 func main() {
-	c := engine.NewCluster(engine.Config{Executors: 4, CoresPerExecutor: 2, Partitions: 8})
+	// A serving workload wants answers at host speed, not a cost model: run
+	// on the native backend (swap in NewSimBackend to study cluster costs).
+	c := engine.NewNativeBackend(engine.Config{})
 	defer c.Close()
 	inc := miner.NewIncremental(c, miner.Options{Variant: miner.Optimized, K: 4, SampleSize: 32, Seed: 1})
 

@@ -1,0 +1,3 @@
+module sirum
+
+go 1.22

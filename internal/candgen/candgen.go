@@ -106,7 +106,7 @@ func (ix *InvertedIndex) Bytes() int64 {
 // true the inverted-index strategy of Section 4.2 replaces the attribute-by-
 // attribute cross product; both strategies produce identical output, and the
 // comparison counter records the work saved.
-func LCAParts(c *engine.Cluster, data *engine.CachedData, s *Sample, indexed bool) (*engine.PColl[map[string]cube.Agg], error) {
+func LCAParts(c engine.Backend, data *engine.CachedData, s *Sample, indexed bool) (*engine.PColl[map[string]cube.Agg], error) {
 	if s.Size() == 0 {
 		return nil, fmt.Errorf("candgen: empty sample")
 	}
@@ -135,7 +135,7 @@ func LCAParts(c *engine.Cluster, data *engine.CachedData, s *Sample, indexed boo
 	for _, n := range comparisons {
 		total += n
 	}
-	c.Reg.Add(metrics.CtrLCAComparisons, total)
+	c.Reg().Add(metrics.CtrLCAComparisons, total)
 	return engine.NewPColl(out), nil
 }
 
@@ -208,7 +208,7 @@ func lcaIndexed(b *engine.TupleBlock, s *Sample, ix *InvertedIndex, local map[st
 // the candidate's true support sums over D. Candidates covering no sample
 // tuple cannot exist (every candidate is an ancestor of an LCA, hence of a
 // sample tuple); they would indicate corruption and so panic.
-func AdjustForSample(c *engine.Cluster, candidates *engine.PColl[map[string]cube.Agg], s *Sample, d int) *engine.PColl[map[string]cube.Agg] {
+func AdjustForSample(c engine.Backend, candidates *engine.PColl[map[string]cube.Agg], s *Sample, d int) *engine.PColl[map[string]cube.Agg] {
 	c.Broadcast(s.Bytes())
 	return engine.MapParts(c, candidates, "candgen/adjust", func(_ int, part map[string]cube.Agg) map[string]cube.Agg {
 		out := make(map[string]cube.Agg, len(part))
@@ -231,7 +231,7 @@ func AdjustForSample(c *engine.Cluster, candidates *engine.PColl[map[string]cube
 // ExhaustiveParts turns every data tuple into a full-constant rule instance,
 // the input for exhaustive candidate exploration (no sampling; the MIR
 // baseline of Section 3.1.1 and the cube-exploration application).
-func ExhaustiveParts(c *engine.Cluster, data *engine.CachedData) (*engine.PColl[map[string]cube.Agg], error) {
+func ExhaustiveParts(c engine.Backend, data *engine.CachedData) (*engine.PColl[map[string]cube.Agg], error) {
 	out := make([]map[string]cube.Agg, data.NumBlocks())
 	err := data.Scan("candgen/exhaustive", false, func(bi int, b *engine.TupleBlock) {
 		local := make(map[string]cube.Agg)
@@ -279,7 +279,7 @@ func (h candHeap) Peek() Candidate    { return h[0] }
 // skipping keys in exclude (already-selected rules) and non-positive gains.
 // The reduction runs as per-partition heaps followed by a driver merge, the
 // standard distributed top-k.
-func TopByGain(c *engine.Cluster, candidates *engine.PColl[map[string]cube.Agg], n int, exclude map[string]bool) []Candidate {
+func TopByGain(c engine.Backend, candidates *engine.PColl[map[string]cube.Agg], n int, exclude map[string]bool) []Candidate {
 	if n <= 0 {
 		return nil
 	}
@@ -306,7 +306,7 @@ func TopByGain(c *engine.Cluster, candidates *engine.PColl[map[string]cube.Agg],
 	for _, part := range tops.Parts() {
 		all = append(all, part...)
 	}
-	c.AdvanceSim(0) // gather cost negligible: n candidates per partition
+	// Gather cost is negligible: n candidates per partition.
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Gain != all[j].Gain {
 			return all[i].Gain > all[j].Gain

@@ -15,12 +15,12 @@ import (
 	"sirum/internal/stats"
 )
 
-func newTestCluster() *engine.Cluster {
-	return engine.NewCluster(engine.Config{Executors: 2, CoresPerExecutor: 2, Partitions: 4})
+func newTestCluster() *engine.SimBackend {
+	return engine.NewSimBackend(engine.Config{Executors: 2, CoresPerExecutor: 2, Partitions: 4})
 }
 
 // flightData caches the flight dataset in an engine and returns the handles.
-func flightData(t *testing.T, c *engine.Cluster) (*dataset.Dataset, *engine.CachedData, []float64) {
+func flightData(t *testing.T, c engine.Backend) (*dataset.Dataset, *engine.CachedData, []float64) {
 	t.Helper()
 	ds := datagen.Flights()
 	_, work := maxent.NewTransform(ds.Measure)
@@ -30,7 +30,7 @@ func flightData(t *testing.T, c *engine.Cluster) (*dataset.Dataset, *engine.Cach
 		mhat[i] = avg // estimates after the all-wildcards rule
 	}
 	blocks := engine.BlocksFromColumns(ds.Dims, work, mhat, 3)
-	cd, err := c.CacheTuples(blocks)
+	cd, err := engine.CacheTuples(c, blocks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,8 +132,8 @@ func TestIndexedEqualsNaive(t *testing.T) {
 	}
 	// The indexed path must record fewer operations than naive comparisons
 	// on data whose values mostly differ from the sample's.
-	nOps := c1.Reg.Counter(metrics.CtrLCAComparisons)
-	iOps := c2.Reg.Counter(metrics.CtrLCAComparisons)
+	nOps := c1.Reg().Counter(metrics.CtrLCAComparisons)
+	iOps := c2.Reg().Counter(metrics.CtrLCAComparisons)
 	if nOps == 0 || iOps == 0 {
 		t.Fatal("comparison counters not recorded")
 	}
@@ -207,7 +207,7 @@ func TestQuickSamplePipeline(t *testing.T) {
 			mhat[i] = 1
 		}
 		blocks := engine.BlocksFromColumns(ds.Dims, work, mhat, 2)
-		cd, err := c.CacheTuples(blocks)
+		cd, err := engine.CacheTuples(c, blocks)
 		if err != nil {
 			return false
 		}

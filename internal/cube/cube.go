@@ -100,7 +100,7 @@ func validateGroups(d int, groups [][]int) error {
 // Every stage is one map-reduce round: a JobBoundary is charged per round,
 // and each emitted ancestor counts toward metrics.CtrPairsEmitted, the
 // quantity Figure 5.8 plots.
-func Compute(c *engine.Cluster, in *engine.PColl[map[string]Agg], d int, groups [][]int) (*engine.PColl[map[string]Agg], error) {
+func Compute(c engine.Backend, in *engine.PColl[map[string]Agg], d int, groups [][]int) (*engine.PColl[map[string]Agg], error) {
 	if err := validateGroups(d, groups); err != nil {
 		return nil, err
 	}
@@ -136,7 +136,7 @@ func Compute(c *engine.Cluster, in *engine.PColl[map[string]Agg], d int, groups 
 					emitted++
 				})
 			}
-			c.Reg.Add(metrics.CtrPairsEmitted, emitted)
+			c.Reg().Add(metrics.CtrPairsEmitted, emitted)
 			return local
 		})
 		// Reduce: co-partition the generated ancestors with the pass-through
@@ -163,13 +163,13 @@ func Compute(c *engine.Cluster, in *engine.PColl[map[string]Agg], d int, groups 
 // ComputeSingleStage is Compute with all attributes in one group — the
 // one-round algorithm of Naive/BJ SIRUM where mappers emit full cube
 // lattices.
-func ComputeSingleStage(c *engine.Cluster, in *engine.PColl[map[string]Agg], d int) (*engine.PColl[map[string]Agg], error) {
+func ComputeSingleStage(c engine.Backend, in *engine.PColl[map[string]Agg], d int) (*engine.PColl[map[string]Agg], error) {
 	return Compute(c, in, d, SplitGroups(d, 1))
 }
 
 // CountCandidates sums the number of distinct candidate rules across the
 // result partitions.
-func CountCandidates(c *engine.Cluster, candidates *engine.PColl[map[string]Agg]) int64 {
+func CountCandidates(c engine.Backend, candidates *engine.PColl[map[string]Agg]) int64 {
 	var total int64
 	for _, p := range candidates.Parts() {
 		total += int64(len(p))

@@ -12,8 +12,8 @@ import (
 	"sirum/internal/rule"
 )
 
-func newTestCluster() *engine.Cluster {
-	return engine.NewCluster(engine.Config{Executors: 2, CoresPerExecutor: 2, Partitions: 4})
+func newTestCluster() *engine.SimBackend {
+	return engine.NewSimBackend(engine.Config{Executors: 2, CoresPerExecutor: 2, Partitions: 4})
 }
 
 func TestSplitGroups(t *testing.T) {
@@ -170,8 +170,8 @@ func TestColumnGroupingEmitsFewerPairs(t *testing.T) {
 	if _, err := Compute(c2, engine.NewPColl(tupleInstances(3)), 3, SplitGroups(3, 3)); err != nil {
 		t.Fatal(err)
 	}
-	single := c1.Reg.Counter(metrics.CtrPairsEmitted)
-	multi := c2.Reg.Counter(metrics.CtrPairsEmitted)
+	single := c1.Reg().Counter(metrics.CtrPairsEmitted)
+	multi := c2.Reg().Counter(metrics.CtrPairsEmitted)
 	if single <= 0 || multi <= 0 {
 		t.Fatalf("pair counters not recorded: %d %d", single, multi)
 	}

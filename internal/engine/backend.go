@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"sirum/internal/metrics"
+)
+
+// Backend is the execution substrate the SIRUM dataflow runs on. The
+// algorithm layer (miner, cube, candgen, explore) is written against this
+// interface only; two implementations are provided:
+//
+//   - SimBackend reproduces the thesis' distributed deployment in-process:
+//     bounded real parallelism plus a simulated cluster clock charged by
+//     list-scheduling task durations onto virtual executors and by cost
+//     models for shuffle, broadcast and disk traffic. It is the substrate
+//     for regenerating the paper's figures, which are reported in simulated
+//     time.
+//
+//   - NativeBackend drops all simulation bookkeeping and runs the same
+//     operators as fast as the host allows: work-stealing goroutine
+//     scheduling, slice-bucket shuffles, and no virtual-clock charges. It is
+//     the substrate for serving real workloads.
+//
+// Both backends execute identical task code, so a mining job produces the
+// same rule list on either; only the performance accounting differs.
+//
+// The interface has unexported methods: implementations live in this
+// package, which keeps the cache/spill integration internal.
+type Backend interface {
+	// Name identifies the backend ("sim", "native").
+	Name() string
+	// Config returns the effective (defaulted) configuration.
+	Config() Config
+	// Reg returns the backend's metrics registry.
+	Reg() *metrics.Registry
+	// RunStage executes n tasks (task(0) … task(n-1)) with real parallelism
+	// and records one stage. Task panics are captured and re-raised on the
+	// caller with stage context after all tasks finish.
+	RunStage(name string, n int, task func(i int))
+	// JobBoundary accounts for one job startup (per map-reduce round).
+	JobBoundary()
+	// ChargeShuffle accounts for moving the given volume across workers.
+	ChargeShuffle(bytes, records int64)
+	// Broadcast accounts for replicating bytes to every worker.
+	Broadcast(bytes int64)
+	// Repartition accounts for a full redistribution of a dataset.
+	Repartition(bytes, records int64)
+	// ChargeDiskRead accounts for loading a dataset from storage.
+	ChargeDiskRead(bytes int64)
+	// ChargeGather accounts for collecting bytes to the driver.
+	ChargeGather(bytes int64)
+	// SimTime returns the simulated cluster clock (always 0 on backends
+	// that do not model one).
+	SimTime() time.Duration
+	// TotalMemory returns the backend-wide cache budget for cached blocks.
+	TotalMemory() int64
+	// Close releases spill files and other resources; the backend is
+	// unusable afterwards.
+	Close() error
+
+	// spillPath returns a file path for spilling block id.
+	spillPath(id int) (string, error)
+	// chargeSpill / chargeSpillRead account for cache spill traffic.
+	chargeSpill(bytes int64)
+	chargeSpillRead(bytes int64)
+	// accountsBytes reports whether operators should compute per-record
+	// byte sizes for cost accounting (false on the native path, where the
+	// sizing closures would be pure overhead).
+	accountsBytes() bool
+}
+
+// Compile-time interface checks.
+var (
+	_ Backend = (*SimBackend)(nil)
+	_ Backend = (*NativeBackend)(nil)
+)
+
+// spiller lazily creates a temp directory for disk-backed blocks; it is
+// shared by both backends.
+type spiller struct {
+	once sync.Once
+	dir  string
+	err  error
+}
+
+// path returns a file path for block id, creating the spill dir on first use.
+func (s *spiller) path(id int) (string, error) {
+	s.once.Do(func() {
+		s.dir, s.err = os.MkdirTemp("", "sirum-spill-*")
+	})
+	if s.err != nil {
+		return "", s.err
+	}
+	return fmt.Sprintf("%s/block-%d.gob", s.dir, id), nil
+}
+
+// cleanup removes the spill directory if one was created.
+func (s *spiller) cleanup() error {
+	if s.dir != "" {
+		return os.RemoveAll(s.dir)
+	}
+	return nil
+}

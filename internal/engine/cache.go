@@ -32,14 +32,14 @@ func (b *TupleBlock) Bytes() int64 {
 	return rows*int64(len(b.Dims))*4 + rows*16 + int64(len(b.BA))*8
 }
 
-// CachedData is a buffer pool over TupleBlocks with a cluster-wide byte
+// CachedData is a buffer pool over TupleBlocks with a backend-wide byte
 // budget. Blocks beyond the budget are spilled to disk (gob) and faulted
 // back in on access, evicting the least-recently-used resident block —
 // write-back, since estimate columns mutate between scans. It reproduces
 // the fits-in-memory vs. re-reads-from-HDFS behaviour of Section 4.5; the
 // residency series feeds Figures 4.3 and 4.4.
 type CachedData struct {
-	c      *Cluster
+	b      Backend
 	budget int64
 
 	// allResident short-circuits the buffer pool: when every block fits in
@@ -60,13 +60,13 @@ type CachedData struct {
 	Residency *metrics.Series
 }
 
-// CacheTuples registers blocks with the cluster's cache budget. Blocks are
+// CacheTuples registers blocks with the backend's cache budget. Blocks are
 // admitted in order; once the budget fills, later blocks and faulted-in
 // blocks trigger evictions.
-func (c *Cluster) CacheTuples(blocks []*TupleBlock) (*CachedData, error) {
+func CacheTuples(b Backend, blocks []*TupleBlock) (*CachedData, error) {
 	cd := &CachedData{
-		c:         c,
-		budget:    c.TotalMemory(),
+		b:         b,
+		budget:    b.TotalMemory(),
 		blocks:    make([]*TupleBlock, len(blocks)),
 		files:     make([]string, len(blocks)),
 		sizes:     make([]int64, len(blocks)),
@@ -84,7 +84,7 @@ func (c *Cluster) CacheTuples(blocks []*TupleBlock) (*CachedData, error) {
 		cd.allResident = true
 		copy(cd.blocks, blocks)
 		cd.resident = total
-		cd.Residency.Record(c.SimTime(), float64(total))
+		cd.Residency.Record(b.SimTime(), float64(total))
 		return cd, nil
 	}
 	for i, b := range blocks {
@@ -175,7 +175,7 @@ func (cd *CachedData) admitLocked(i int, b *TupleBlock, initial bool) error {
 	if initial {
 		cd.dirty[i] = true // never persisted yet
 	}
-	cd.Residency.Record(cd.c.SimTime(), float64(cd.resident))
+	cd.Residency.Record(cd.b.SimTime(), float64(cd.resident))
 	return nil
 }
 
@@ -189,7 +189,7 @@ func (cd *CachedData) evictLocked(j int) error {
 	}
 	cd.blocks[j] = nil
 	cd.resident -= cd.sizes[j]
-	cd.Residency.Record(cd.c.SimTime(), float64(cd.resident))
+	cd.Residency.Record(cd.b.SimTime(), float64(cd.resident))
 	return nil
 }
 
@@ -198,7 +198,7 @@ func (cd *CachedData) store(j int, b *TupleBlock) error {
 	path := cd.files[j]
 	if path == "" {
 		var err error
-		path, err = cd.c.spillPath(j)
+		path, err = cd.b.spillPath(j)
 		if err != nil {
 			return err
 		}
@@ -215,8 +215,7 @@ func (cd *CachedData) store(j int, b *TupleBlock) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	cd.c.Reg.Add(metrics.CtrSpillBytes, cd.sizes[j])
-	cd.c.AdvanceSim(cd.c.diskTime(cd.sizes[j]))
+	cd.b.chargeSpill(cd.sizes[j])
 	return nil
 }
 
@@ -234,8 +233,7 @@ func (cd *CachedData) load(j int) (*TupleBlock, error) {
 	if err := gob.NewDecoder(f).Decode(&b); err != nil {
 		return nil, fmt.Errorf("engine: decoding block %d: %w", j, err)
 	}
-	cd.c.Reg.Add(metrics.CtrSpillReads, cd.sizes[j])
-	cd.c.AdvanceSim(cd.c.diskTime(cd.sizes[j]))
+	cd.b.chargeSpillRead(cd.sizes[j])
 	return &b, nil
 }
 
@@ -277,14 +275,14 @@ func (cd *CachedData) Release(i int) {
 }
 
 // Scan visits every block in order, whether resident or spilled, running f
-// under the simulated scheduler (one task per block). Blocks are pinned for
+// on the backend's scheduler (one task per block). Blocks are pinned for
 // the duration of their task, so concurrent tasks cannot evict each other's
 // working blocks mid-mutation. If mutate is true all blocks are marked
 // dirty. Errors from faulting abort the scan.
 func (cd *CachedData) Scan(name string, mutate bool, f func(i int, b *TupleBlock)) error {
 	var firstErr error
 	var errMu sync.Mutex
-	cd.c.RunStage(name, cd.NumBlocks(), func(i int) {
+	cd.b.RunStage(name, cd.NumBlocks(), func(i int) {
 		b, err := cd.Acquire(i)
 		if err != nil {
 			errMu.Lock()
@@ -309,7 +307,7 @@ func (cd *CachedData) SampleResidency() {
 	cd.mu.Lock()
 	r := cd.resident
 	cd.mu.Unlock()
-	cd.Residency.Record(cd.c.SimTime(), float64(r))
+	cd.Residency.Record(cd.b.SimTime(), float64(r))
 }
 
 // BlocksFromColumns splits aligned columnar data into blocks of the given

@@ -44,10 +44,10 @@ func TestBlockBytes(t *testing.T) {
 }
 
 func TestCacheAllResident(t *testing.T) {
-	c := NewCluster(Config{Executors: 2, MemoryPerExecutor: 1 << 30})
+	c := NewSimBackend(Config{Executors: 2, MemoryPerExecutor: 1 << 30})
 	defer c.Close()
 	blocks := makeBlocks(4, 50, 3)
-	cd, err := c.CacheTuples(blocks)
+	cd, err := CacheTuples(c, blocks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestCacheAllResident(t *testing.T) {
 			t.Error("resident path must return the original block")
 		}
 	}
-	if c.Reg.Counter(metrics.CtrSpillBytes) != 0 {
+	if c.Reg().Counter(metrics.CtrSpillBytes) != 0 {
 		t.Error("resident cache spilled")
 	}
 	if cd.ResidentBytes() <= 0 {
@@ -75,16 +75,16 @@ func TestCacheSpillsAndReloads(t *testing.T) {
 	blocks := makeBlocks(8, 100, 3)
 	perBlock := blocks[0].Bytes()
 	// Budget for ~3 blocks (budget = 60% of memory).
-	c := NewCluster(Config{Executors: 1, MemoryPerExecutor: perBlock * 5})
+	c := NewSimBackend(Config{Executors: 1, MemoryPerExecutor: perBlock * 5})
 	defer c.Close()
-	cd, err := c.CacheTuples(blocks)
+	cd, err := CacheTuples(c, blocks)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cd.allResident {
 		t.Fatal("test requires memory pressure")
 	}
-	if c.Reg.Counter(metrics.CtrSpillBytes) == 0 {
+	if c.Reg().Counter(metrics.CtrSpillBytes) == 0 {
 		t.Error("no spills under memory pressure")
 	}
 	// Every block must still be readable with correct contents.
@@ -103,7 +103,7 @@ func TestCacheSpillsAndReloads(t *testing.T) {
 			t.Errorf("block %d dims corrupted", i)
 		}
 	}
-	if c.Reg.Counter(metrics.CtrSpillReads) == 0 {
+	if c.Reg().Counter(metrics.CtrSpillReads) == 0 {
 		t.Error("no reloads recorded")
 	}
 	if cd.Residency.Max() > float64(c.TotalMemory())+float64(perBlock) {
@@ -116,9 +116,9 @@ func TestCacheSpillsAndReloads(t *testing.T) {
 func TestCacheWriteBackPreservesMutations(t *testing.T) {
 	blocks := makeBlocks(6, 100, 2)
 	perBlock := blocks[0].Bytes()
-	c := NewCluster(Config{Executors: 1, MemoryPerExecutor: perBlock * 4})
+	c := NewSimBackend(Config{Executors: 1, MemoryPerExecutor: perBlock * 4})
 	defer c.Close()
-	cd, err := c.CacheTuples(blocks)
+	cd, err := CacheTuples(c, blocks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,10 +148,10 @@ func TestCacheWriteBackPreservesMutations(t *testing.T) {
 }
 
 func TestCacheScan(t *testing.T) {
-	c := NewCluster(Config{Executors: 2, MemoryPerExecutor: 1 << 30, Partitions: 4})
+	c := NewSimBackend(Config{Executors: 2, MemoryPerExecutor: 1 << 30, Partitions: 4})
 	defer c.Close()
 	blocks := makeBlocks(4, 25, 2)
-	cd, err := c.CacheTuples(blocks)
+	cd, err := CacheTuples(c, blocks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,9 +210,9 @@ func TestBlocksFromColumns(t *testing.T) {
 func TestAcquirePreventsEviction(t *testing.T) {
 	blocks := makeBlocks(6, 100, 2)
 	perBlock := blocks[0].Bytes()
-	c := NewCluster(Config{Executors: 1, MemoryPerExecutor: perBlock * 4})
+	c := NewSimBackend(Config{Executors: 1, MemoryPerExecutor: perBlock * 4})
 	defer c.Close()
-	cd, err := c.CacheTuples(blocks)
+	cd, err := CacheTuples(c, blocks)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,16 +1,18 @@
-// Package engine is the distributed-dataflow substrate SIRUM runs on: an
+// Package engine is the execution substrate SIRUM runs on: partitioned
+// collections with map/shuffle/broadcast operators and cached data with
+// spill-to-disk, pluggable over two backends (see Backend). SimBackend is an
 // in-process reproduction of the Spark-style execution model the thesis
-// implements against (partitioned collections, map/shuffle/broadcast
-// operators, cached data with spill-to-disk) plus a simulated cluster clock.
+// implements against, with a simulated cluster clock; NativeBackend runs the
+// same operators at host speed with no simulation bookkeeping.
 //
 // # Simulated cluster time
 //
 // The thesis' evaluation ran on a 16-node cluster; this repository runs on
-// whatever cores the host has. Every task's real CPU duration is measured,
-// and tasks are then placed onto E virtual executors × C virtual cores by
-// list scheduling in task order; a stage's simulated duration is the
-// makespan of that schedule plus modelled coordination costs (stage/job
-// startup, shuffle transfer at NetBandwidth, disk traffic at
+// whatever cores the host has. Under SimBackend, every task's real CPU
+// duration is measured, and tasks are then placed onto E virtual executors ×
+// C virtual cores by list scheduling in task order; a stage's simulated
+// duration is the makespan of that schedule plus modelled coordination costs
+// (stage/job startup, shuffle transfer at NetBandwidth, disk traffic at
 // DiskBandwidth). Wall-clock time is tracked too. All scalability figures
 // (5.1, 5.2, 5.16, 5.17) are reported in simulated time; single-machine
 // algorithmic comparisons (RCT vs naive, fast pruning, …) hold in both
@@ -19,7 +21,6 @@ package engine
 
 import (
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -27,7 +28,10 @@ import (
 	"sirum/internal/metrics"
 )
 
-// Config describes the simulated cluster.
+// Config describes the execution substrate. For SimBackend every field
+// shapes the cost model; NativeBackend uses only Partitions,
+// MemoryPerExecutor (for the cache budget), Executors (to scale the budget)
+// and RealParallelism.
 type Config struct {
 	Executors         int           // number of virtual worker nodes
 	CoresPerExecutor  int           // task slots per node
@@ -82,52 +86,52 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Cluster is a handle to one simulated cluster. It owns a metrics registry,
+// SimBackend is the simulated-cluster backend. It owns a metrics registry,
 // the simulated clock, and a spill directory for disk-backed blocks.
-type Cluster struct {
+type SimBackend struct {
 	conf Config
-	Reg  *metrics.Registry
+	reg  *metrics.Registry
 
 	simMu   sync.Mutex
 	simTime time.Duration
 
-	spillOnce sync.Once
-	spillDir  string
-	spillErr  error
+	spill spiller
 
 	sem chan struct{} // limits real concurrency
 }
 
-// NewCluster builds a cluster from conf (zero fields get defaults).
-func NewCluster(conf Config) *Cluster {
+// NewSimBackend builds a simulated cluster from conf (zero fields get
+// defaults).
+func NewSimBackend(conf Config) *SimBackend {
 	conf = conf.withDefaults()
-	return &Cluster{
+	return &SimBackend{
 		conf: conf,
-		Reg:  metrics.NewRegistry(),
+		reg:  metrics.NewRegistry(),
 		sem:  make(chan struct{}, conf.RealParallelism),
 	}
 }
 
-// Config returns the effective (defaulted) configuration.
-func (c *Cluster) Config() Config { return c.conf }
+// Name identifies the backend.
+func (c *SimBackend) Name() string { return "sim" }
 
-// Close removes any spill files. The cluster is unusable afterwards.
-func (c *Cluster) Close() error {
-	if c.spillDir != "" {
-		return os.RemoveAll(c.spillDir)
-	}
-	return nil
-}
+// Config returns the effective (defaulted) configuration.
+func (c *SimBackend) Config() Config { return c.conf }
+
+// Reg returns the metrics registry.
+func (c *SimBackend) Reg() *metrics.Registry { return c.reg }
+
+// Close removes any spill files. The backend is unusable afterwards.
+func (c *SimBackend) Close() error { return c.spill.cleanup() }
 
 // SimTime returns the simulated cluster clock.
-func (c *Cluster) SimTime() time.Duration {
+func (c *SimBackend) SimTime() time.Duration {
 	c.simMu.Lock()
 	defer c.simMu.Unlock()
 	return c.simTime
 }
 
 // AdvanceSim adds d to the simulated clock (cost-model hooks).
-func (c *Cluster) AdvanceSim(d time.Duration) {
+func (c *SimBackend) AdvanceSim(d time.Duration) {
 	if d <= 0 {
 		return
 	}
@@ -138,32 +142,32 @@ func (c *Cluster) AdvanceSim(d time.Duration) {
 
 // TotalMemory returns the cluster-wide cache budget. Spark reserves ~60% of
 // executor memory for storage; the same fraction applies here (Section 4.5).
-func (c *Cluster) TotalMemory() int64 {
+func (c *SimBackend) TotalMemory() int64 {
 	return int64(float64(c.conf.MemoryPerExecutor) * 0.6 * float64(c.conf.Executors))
 }
 
 // JobBoundary charges one job startup (used per map-reduce round; dominant
 // for the Hive-like profile, small for Spark-like).
-func (c *Cluster) JobBoundary() {
+func (c *SimBackend) JobBoundary() {
 	c.AdvanceSim(c.conf.JobOverhead)
 }
 
 // transferTime converts a byte volume to simulated network time.
-func (c *Cluster) transferTime(bytes int64) time.Duration {
+func (c *SimBackend) transferTime(bytes int64) time.Duration {
 	return time.Duration(float64(bytes) / c.conf.NetBandwidth * float64(time.Second))
 }
 
 // diskTime converts a byte volume to simulated disk time.
-func (c *Cluster) diskTime(bytes int64) time.Duration {
+func (c *SimBackend) diskTime(bytes int64) time.Duration {
 	return time.Duration(float64(bytes) / c.conf.DiskBandwidth * float64(time.Second))
 }
 
 // ChargeShuffle accounts for moving the given volume across the cluster:
 // network transfer of the fraction leaving each node, plus a disk write and
 // read when the configuration materializes shuffles (MapReduce-style).
-func (c *Cluster) ChargeShuffle(bytes int64, records int64) {
-	c.Reg.Add(metrics.CtrShuffleBytes, bytes)
-	c.Reg.Add(metrics.CtrShuffleRecords, records)
+func (c *SimBackend) ChargeShuffle(bytes int64, records int64) {
+	c.reg.Add(metrics.CtrShuffleBytes, bytes)
+	c.reg.Add(metrics.CtrShuffleRecords, records)
 	remote := bytes
 	if c.conf.Executors > 0 {
 		remote = bytes * int64(c.conf.Executors-1) / int64(c.conf.Executors)
@@ -173,7 +177,7 @@ func (c *Cluster) ChargeShuffle(bytes int64, records int64) {
 	c.AdvanceSim(c.transferTime(per))
 	if c.conf.ShuffleToDisk {
 		c.AdvanceSim(c.diskTime(2 * bytes / int64(c.conf.Executors)))
-		c.Reg.Add(metrics.CtrSpillBytes, bytes)
+		c.reg.Add(metrics.CtrSpillBytes, bytes)
 	}
 }
 
@@ -181,16 +185,22 @@ func (c *Cluster) ChargeShuffle(bytes int64, records int64) {
 // broadcast join replaces shuffling the big side with replicating the small
 // side). Torrent-style broadcast pipelines across nodes, so the cost is one
 // transfer of the payload, not one per executor.
-func (c *Cluster) Broadcast(bytes int64) {
-	c.Reg.Add(metrics.CtrBroadcastBytes, bytes)
+func (c *SimBackend) Broadcast(bytes int64) {
+	c.reg.Add(metrics.CtrBroadcastBytes, bytes)
 	c.AdvanceSim(c.transferTime(bytes))
 }
 
 // Repartition accounts for a full redistribution of a dataset across the
 // cluster, the cost Naive SIRUM pays per iteration to co-partition the join
 // inputs (Section 3.2).
-func (c *Cluster) Repartition(bytes int64, records int64) {
+func (c *SimBackend) Repartition(bytes int64, records int64) {
 	c.ChargeShuffle(bytes, records)
+}
+
+// ChargeGather accounts for collecting bytes to the driver: one network
+// transfer to a single node.
+func (c *SimBackend) ChargeGather(bytes int64) {
+	c.AdvanceSim(c.transferTime(bytes))
 }
 
 // RunStage executes n tasks with bounded real parallelism, measures each
@@ -198,7 +208,7 @@ func (c *Cluster) Repartition(bytes int64, records int64) {
 // scheduling those durations onto the virtual cluster. Task panics are
 // captured and re-raised on the caller with stage context after all tasks
 // finish.
-func (c *Cluster) RunStage(name string, n int, task func(i int)) {
+func (c *SimBackend) RunStage(name string, n int, task func(i int)) {
 	if n == 0 {
 		c.AdvanceSim(c.conf.StageOverhead)
 		return
@@ -228,8 +238,8 @@ func (c *Cluster) RunStage(name string, n int, task func(i int)) {
 			panic(fmt.Sprintf("engine: task %d of stage %q panicked: %v", i, name, p))
 		}
 	}
-	c.Reg.Add(metrics.CtrTasks, int64(n))
-	c.Reg.Add(metrics.CtrStages, 1)
+	c.reg.Add(metrics.CtrTasks, int64(n))
+	c.reg.Add(metrics.CtrStages, 1)
 	c.AdvanceSim(c.makespan(durations) + c.conf.StageOverhead)
 }
 
@@ -238,7 +248,7 @@ func (c *Cluster) RunStage(name string, n int, task func(i int)) {
 // same greedy placement a dynamic scheduler converges to. SlowNodeFactor
 // stretches tasks landing on executor 0, injecting the stragglers the weak-
 // scaling experiment discusses (Section 5.7.2).
-func (c *Cluster) makespan(durations []time.Duration) time.Duration {
+func (c *SimBackend) makespan(durations []time.Duration) time.Duration {
 	slots := make([]time.Duration, c.conf.Executors*c.conf.CoresPerExecutor)
 	for _, d := range durations {
 		best := 0
@@ -263,18 +273,26 @@ func (c *Cluster) makespan(durations []time.Duration) time.Duration {
 
 // spillPath lazily creates the spill directory and returns a file path for
 // block id.
-func (c *Cluster) spillPath(id int) (string, error) {
-	c.spillOnce.Do(func() {
-		c.spillDir, c.spillErr = os.MkdirTemp("", "sirum-spill-*")
-	})
-	if c.spillErr != nil {
-		return "", c.spillErr
-	}
-	return fmt.Sprintf("%s/block-%d.gob", c.spillDir, id), nil
+func (c *SimBackend) spillPath(id int) (string, error) { return c.spill.path(id) }
+
+// chargeSpill accounts for writing a spilled block: counter plus simulated
+// disk time.
+func (c *SimBackend) chargeSpill(bytes int64) {
+	c.reg.Add(metrics.CtrSpillBytes, bytes)
+	c.AdvanceSim(c.diskTime(bytes))
 }
+
+// chargeSpillRead accounts for faulting a spilled block back in.
+func (c *SimBackend) chargeSpillRead(bytes int64) {
+	c.reg.Add(metrics.CtrSpillReads, bytes)
+	c.AdvanceSim(c.diskTime(bytes))
+}
+
+// accountsBytes: the simulator prices operators by byte volume.
+func (c *SimBackend) accountsBytes() bool { return true }
 
 // ChargeDiskRead accounts for loading a dataset from the distributed file
 // system, spread across executors reading their partitions in parallel.
-func (c *Cluster) ChargeDiskRead(bytes int64) {
+func (c *SimBackend) ChargeDiskRead(bytes int64) {
 	c.AdvanceSim(c.diskTime(bytes / int64(c.conf.Executors)))
 }

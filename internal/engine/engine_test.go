@@ -19,7 +19,7 @@ func testConfig() Config {
 }
 
 func TestConfigDefaults(t *testing.T) {
-	c := NewCluster(Config{})
+	c := NewSimBackend(Config{})
 	conf := c.Config()
 	if conf.Executors != 1 || conf.CoresPerExecutor != 1 || conf.Partitions != 1 {
 		t.Errorf("defaults: %+v", conf)
@@ -40,17 +40,17 @@ func TestSparkLikePreset(t *testing.T) {
 }
 
 func TestRunStageExecutesAllTasks(t *testing.T) {
-	c := NewCluster(testConfig())
+	c := NewSimBackend(testConfig())
 	defer c.Close()
 	var n atomic.Int64
 	c.RunStage("count", 100, func(i int) { n.Add(1) })
 	if n.Load() != 100 {
 		t.Errorf("tasks run = %d", n.Load())
 	}
-	if got := c.Reg.Counter(metrics.CtrTasks); got != 100 {
+	if got := c.Reg().Counter(metrics.CtrTasks); got != 100 {
 		t.Errorf("task counter = %d", got)
 	}
-	if got := c.Reg.Counter(metrics.CtrStages); got != 1 {
+	if got := c.Reg().Counter(metrics.CtrStages); got != 1 {
 		t.Errorf("stage counter = %d", got)
 	}
 	if c.SimTime() <= 0 {
@@ -59,7 +59,7 @@ func TestRunStageExecutesAllTasks(t *testing.T) {
 }
 
 func TestRunStagePanicPropagates(t *testing.T) {
-	c := NewCluster(testConfig())
+	c := NewSimBackend(testConfig())
 	defer c.Close()
 	defer func() {
 		r := recover()
@@ -79,7 +79,7 @@ func TestRunStagePanicPropagates(t *testing.T) {
 }
 
 func TestRunStageEmpty(t *testing.T) {
-	c := NewCluster(Config{StageOverhead: time.Second})
+	c := NewSimBackend(Config{StageOverhead: time.Second})
 	defer c.Close()
 	c.RunStage("empty", 0, func(int) { t.Fatal("task ran") })
 	if c.SimTime() != time.Second {
@@ -96,7 +96,7 @@ func TestMakespanScaling(t *testing.T) {
 		durations[i] = 10 * time.Millisecond
 	}
 	mk := func(execs int) time.Duration {
-		c := NewCluster(Config{Executors: execs, CoresPerExecutor: 1})
+		c := NewSimBackend(Config{Executors: execs, CoresPerExecutor: 1})
 		defer c.Close()
 		return c.makespan(durations)
 	}
@@ -108,7 +108,7 @@ func TestMakespanScaling(t *testing.T) {
 
 func TestMakespanSlowNode(t *testing.T) {
 	durations := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond}
-	c := NewCluster(Config{Executors: 2, CoresPerExecutor: 1, SlowNodeFactor: 3})
+	c := NewSimBackend(Config{Executors: 2, CoresPerExecutor: 1, SlowNodeFactor: 3})
 	defer c.Close()
 	// One task lands on the slow executor (x3), the other on the fast one.
 	if got := c.makespan(durations); got != 30*time.Millisecond {
@@ -117,13 +117,13 @@ func TestMakespanSlowNode(t *testing.T) {
 }
 
 func TestChargeShuffleAndBroadcast(t *testing.T) {
-	c := NewCluster(Config{Executors: 4, NetBandwidth: 1 << 20, DiskBandwidth: 1 << 20})
+	c := NewSimBackend(Config{Executors: 4, NetBandwidth: 1 << 20, DiskBandwidth: 1 << 20})
 	defer c.Close()
 	c.ChargeShuffle(1<<20, 100)
-	if got := c.Reg.Counter(metrics.CtrShuffleBytes); got != 1<<20 {
+	if got := c.Reg().Counter(metrics.CtrShuffleBytes); got != 1<<20 {
 		t.Errorf("shuffle bytes = %d", got)
 	}
-	if got := c.Reg.Counter(metrics.CtrShuffleRecords); got != 100 {
+	if got := c.Reg().Counter(metrics.CtrShuffleRecords); got != 100 {
 		t.Errorf("shuffle records = %d", got)
 	}
 	t1 := c.SimTime()
@@ -131,7 +131,7 @@ func TestChargeShuffleAndBroadcast(t *testing.T) {
 		t.Error("shuffle did not advance clock")
 	}
 	c.Broadcast(1 << 20)
-	if c.Reg.Counter(metrics.CtrBroadcastBytes) != 1<<20 {
+	if c.Reg().Counter(metrics.CtrBroadcastBytes) != 1<<20 {
 		t.Error("broadcast bytes not counted")
 	}
 	if c.SimTime() <= t1 {
@@ -140,8 +140,8 @@ func TestChargeShuffleAndBroadcast(t *testing.T) {
 }
 
 func TestShuffleToDiskCostsMore(t *testing.T) {
-	mem := NewCluster(Config{Executors: 4, NetBandwidth: 1 << 20, DiskBandwidth: 1 << 20})
-	disk := NewCluster(Config{Executors: 4, NetBandwidth: 1 << 20, DiskBandwidth: 1 << 20, ShuffleToDisk: true})
+	mem := NewSimBackend(Config{Executors: 4, NetBandwidth: 1 << 20, DiskBandwidth: 1 << 20})
+	disk := NewSimBackend(Config{Executors: 4, NetBandwidth: 1 << 20, DiskBandwidth: 1 << 20, ShuffleToDisk: true})
 	defer mem.Close()
 	defer disk.Close()
 	mem.ChargeShuffle(8<<20, 1)
@@ -152,7 +152,7 @@ func TestShuffleToDiskCostsMore(t *testing.T) {
 }
 
 func TestJobBoundary(t *testing.T) {
-	c := NewCluster(Config{JobOverhead: 7 * time.Second})
+	c := NewSimBackend(Config{JobOverhead: 7 * time.Second})
 	defer c.Close()
 	c.JobBoundary()
 	if c.SimTime() != 7*time.Second {
@@ -186,7 +186,7 @@ func TestSplitSlice(t *testing.T) {
 }
 
 func TestMapPartsAndForEachPart(t *testing.T) {
-	c := NewCluster(testConfig())
+	c := NewSimBackend(testConfig())
 	defer c.Close()
 	in := NewPColl(SplitSlice([]int{1, 2, 3, 4, 5, 6}, 3))
 	sums := MapParts(c, in, "sum", func(_ int, p []int) int {
@@ -219,7 +219,7 @@ func TestMapPartsAndForEachPart(t *testing.T) {
 }
 
 func TestShuffleByKey(t *testing.T) {
-	c := NewCluster(testConfig())
+	c := NewSimBackend(testConfig())
 	defer c.Close()
 	// Two partitions holding overlapping keys.
 	parts := []map[string]int{
@@ -249,13 +249,13 @@ func TestShuffleByKey(t *testing.T) {
 	if len(merged) != len(want) {
 		t.Errorf("merged = %v", merged)
 	}
-	if c.Reg.Counter(metrics.CtrShuffleRecords) != 6 {
-		t.Errorf("shuffle records = %d, want 6", c.Reg.Counter(metrics.CtrShuffleRecords))
+	if c.Reg().Counter(metrics.CtrShuffleRecords) != 6 {
+		t.Errorf("shuffle records = %d, want 6", c.Reg().Counter(metrics.CtrShuffleRecords))
 	}
 }
 
 func TestCollectMap(t *testing.T) {
-	c := NewCluster(testConfig())
+	c := NewSimBackend(testConfig())
 	defer c.Close()
 	parts := []map[string]int{{"x": 1}, {"x": 2, "y": 5}}
 	got := CollectMap(c, NewPColl(parts), "gather", func(a, b int) int { return a + b },
@@ -266,7 +266,7 @@ func TestCollectMap(t *testing.T) {
 }
 
 func TestShuffleDefaultPartitions(t *testing.T) {
-	c := NewCluster(testConfig())
+	c := NewSimBackend(testConfig())
 	defer c.Close()
 	out := ShuffleByKey(c, NewPColl([]map[int]int{{1: 1}}), "d", 0,
 		func(a, b int) int { return a + b }, func(int, int) int { return 8 })

@@ -4,12 +4,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync/atomic"
 	"time"
 )
 
 // PColl is a partitioned collection: one element of type P per partition.
 // Partition payloads are typically columnar blocks or pre-aggregated maps;
-// operators run one task per partition under the simulated scheduler.
+// operators run one task per partition on the backend's scheduler.
 type PColl[P any] struct {
 	parts []P
 }
@@ -49,34 +50,40 @@ func SplitSlice[T any](data []T, n int) [][]T {
 
 // MapParts applies f to every partition in parallel, producing a new
 // collection with the same partitioning.
-func MapParts[P, Q any](c *Cluster, in *PColl[P], name string, f func(part int, p P) Q) *PColl[Q] {
+func MapParts[P, Q any](b Backend, in *PColl[P], name string, f func(part int, p P) Q) *PColl[Q] {
 	out := make([]Q, in.NumParts())
-	c.RunStage(name, in.NumParts(), func(i int) {
+	b.RunStage(name, in.NumParts(), func(i int) {
 		out[i] = f(i, in.parts[i])
 	})
 	return NewPColl(out)
 }
 
 // ForEachPart applies f to every partition in parallel for its side effects.
-func ForEachPart[P any](c *Cluster, in *PColl[P], name string, f func(part int, p P)) {
-	c.RunStage(name, in.NumParts(), func(i int) {
+func ForEachPart[P any](b Backend, in *PColl[P], name string, f func(part int, p P)) {
+	b.RunStage(name, in.NumParts(), func(i int) {
 		f(i, in.parts[i])
 	})
 }
 
 // KeyBytes estimates serialized record volume for shuffle accounting; the
 // caller supplies per-record byte sizes since Go values have no serialized
-// form until encoded.
+// form until encoded. Backends that do not price byte volume (the native
+// path) never invoke it.
 type KeyBytes[K comparable, V any] func(k K, v V) int
 
 // ShuffleByKey redistributes per-partition hash maps by key so that every
 // key lives in exactly one output partition, merging values with merge. This
 // is the reduceByKey of the data-cube algorithm: the inputs act as combiner
-// output, the exchange is charged to the simulated network, and the merge
-// runs as a reduce stage.
-func ShuffleByKey[K comparable, V any](c *Cluster, in *PColl[map[K]V], name string, outParts int, merge func(V, V) V, size KeyBytes[K, V]) *PColl[map[K]V] {
+// output, the exchange is charged to the backend, and the merge runs as a
+// reduce stage. On the native backend the exchange partitions records into
+// preallocated per-bucket slices instead of building a map per (input
+// partition, output partition) pair.
+func ShuffleByKey[K comparable, V any](b Backend, in *PColl[map[K]V], name string, outParts int, merge func(V, V) V, size KeyBytes[K, V]) *PColl[map[K]V] {
 	if outParts <= 0 {
-		outParts = c.conf.Partitions
+		outParts = b.Config().Partitions
+	}
+	if !b.accountsBytes() {
+		return shuffleByKeyNative(b, in, name, outParts, merge)
 	}
 	// Map side: split each input partition into outParts buckets by key
 	// hash. Runs as a stage so its cost lands on the simulated clock.
@@ -84,17 +91,17 @@ func ShuffleByKey[K comparable, V any](c *Cluster, in *PColl[map[K]V], name stri
 	var shuffleBytes, shuffleRecords int64
 	byteCounts := make([]int64, in.NumParts())
 	recCounts := make([]int64, in.NumParts())
-	c.RunStage(name+"/map", in.NumParts(), func(i int) {
+	b.RunStage(name+"/map", in.NumParts(), func(i int) {
 		local := make([]map[K]V, outParts)
-		for b := range local {
-			local[b] = make(map[K]V)
+		for bkt := range local {
+			local[bkt] = make(map[K]V)
 		}
 		for k, v := range in.parts[i] {
-			b := int(hashKey(k) % uint64(outParts))
-			if old, ok := local[b][k]; ok {
-				local[b][k] = merge(old, v)
+			bkt := int(hashKey(k) % uint64(outParts))
+			if old, ok := local[bkt][k]; ok {
+				local[bkt][k] = merge(old, v)
 			} else {
-				local[b][k] = v
+				local[bkt][k] = v
 			}
 			byteCounts[i] += int64(size(k, v))
 			recCounts[i]++
@@ -105,13 +112,13 @@ func ShuffleByKey[K comparable, V any](c *Cluster, in *PColl[map[K]V], name stri
 		shuffleBytes += byteCounts[i]
 		shuffleRecords += recCounts[i]
 	}
-	c.ChargeShuffle(shuffleBytes, shuffleRecords)
-	// Reduce side: merge bucket b of every input partition.
+	b.ChargeShuffle(shuffleBytes, shuffleRecords)
+	// Reduce side: merge bucket p of every input partition.
 	out := make([]map[K]V, outParts)
-	c.RunStage(name+"/reduce", outParts, func(b int) {
+	b.RunStage(name+"/reduce", outParts, func(p int) {
 		merged := make(map[K]V)
 		for i := range buckets {
-			for k, v := range buckets[i][b] {
+			for k, v := range buckets[i][p] {
 				if old, ok := merged[k]; ok {
 					merged[k] = merge(old, v)
 				} else {
@@ -119,29 +126,83 @@ func ShuffleByKey[K comparable, V any](c *Cluster, in *PColl[map[K]V], name stri
 				}
 			}
 		}
-		out[b] = merged
+		out[p] = merged
+	})
+	return NewPColl(out)
+}
+
+// kvPair is one shuffled record on the native path.
+type kvPair[K comparable, V any] struct {
+	k K
+	v V
+}
+
+// shuffleByKeyNative is the fast exchange: the map side appends records to
+// preallocated per-bucket slices (keys within one input partition are
+// already unique, so no map insert or merge is needed there), and the reduce
+// side merges each bucket column into one map presized to its record count.
+func shuffleByKeyNative[K comparable, V any](b Backend, in *PColl[map[K]V], name string, outParts int, merge func(V, V) V) *PColl[map[K]V] {
+	buckets := make([][][]kvPair[K, V], in.NumParts())
+	var records atomic.Int64
+	b.RunStage(name+"/map", in.NumParts(), func(i int) {
+		part := in.parts[i]
+		local := make([][]kvPair[K, V], outParts)
+		per := len(part)/outParts + 1
+		for bkt := range local {
+			local[bkt] = make([]kvPair[K, V], 0, per)
+		}
+		for k, v := range part {
+			bkt := int(hashKey(k) % uint64(outParts))
+			local[bkt] = append(local[bkt], kvPair[K, V]{k, v})
+		}
+		records.Add(int64(len(part)))
+		buckets[i] = local
+	})
+	b.ChargeShuffle(0, records.Load())
+	out := make([]map[K]V, outParts)
+	b.RunStage(name+"/reduce", outParts, func(p int) {
+		total := 0
+		for i := range buckets {
+			total += len(buckets[i][p])
+		}
+		merged := make(map[K]V, total)
+		for i := range buckets {
+			for _, e := range buckets[i][p] {
+				if old, ok := merged[e.k]; ok {
+					merged[e.k] = merge(old, e.v)
+				} else {
+					merged[e.k] = e.v
+				}
+			}
+		}
+		out[p] = merged
 	})
 	return NewPColl(out)
 }
 
 // CollectMap gathers a keyed collection to the driver, merging duplicates
-// (none exist after ShuffleByKey; MapParts output may have them). The
-// gather is charged as network transfer to one node.
-func CollectMap[K comparable, V any](c *Cluster, in *PColl[map[K]V], name string, merge func(V, V) V, size KeyBytes[K, V]) map[K]V {
+// (none exist after ShuffleByKey; MapParts output may have them). The gather
+// runs as a named single-task stage and its volume is charged as a transfer
+// to the driver.
+func CollectMap[K comparable, V any](b Backend, in *PColl[map[K]V], name string, merge func(V, V) V, size KeyBytes[K, V]) map[K]V {
 	total := make(map[K]V)
 	var bytes int64
-	for _, part := range in.parts {
-		for k, v := range part {
-			if old, ok := total[k]; ok {
-				total[k] = merge(old, v)
-			} else {
-				total[k] = v
+	account := b.accountsBytes()
+	b.RunStage(name, 1, func(int) {
+		for _, part := range in.parts {
+			for k, v := range part {
+				if old, ok := total[k]; ok {
+					total[k] = merge(old, v)
+				} else {
+					total[k] = v
+				}
+				if account {
+					bytes += int64(size(k, v))
+				}
 			}
-			bytes += int64(size(k, v))
 		}
-	}
-	c.AdvanceSim(c.transferTime(bytes))
-	_ = name
+	})
+	b.ChargeGather(bytes)
 	return total
 }
 

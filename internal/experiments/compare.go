@@ -37,7 +37,7 @@ func platformRun(cfg Config, kind platform.Kind, executors, cores int, dsName st
 		return 0, err
 	}
 	conf := platform.Scale(platform.Config(kind, executors, cores, 0), float64(cfg.Scale))
-	cl := engine.NewCluster(conf)
+	cl := engine.NewSimBackend(conf)
 	defer cl.Close()
 	opt.Seed = cfg.Seed
 	res, err := miner.New(cl, ds, opt).Run()
@@ -131,7 +131,7 @@ func fig511(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(sz.label, secs(naive.SimTime), secs(base.SimTime), secs(optim.SimTime), secs(star.SimTime))
+		t.AddRow(sz.label, secs(cfg.runtime(naive)), secs(cfg.runtime(base)), secs(cfg.runtime(optim)), secs(cfg.runtime(star)))
 	}
 	return []*Table{t}, nil
 }
@@ -170,8 +170,8 @@ func optimizedVsBaseline(cfg Config, id, name string, paperRows, sampleSize int)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprint(k), secs(base.SimTime), secs(optim.SimTime), secs(star.SimTime),
-			ratio(base.SimTime, optim.SimTime))
+		t.AddRow(fmt.Sprint(k), secs(cfg.runtime(base)), secs(cfg.runtime(optim)), secs(cfg.runtime(star)),
+			ratio(cfg.runtime(base), cfg.runtime(optim)))
 	}
 	return []*Table{t}, nil
 }
@@ -205,8 +205,8 @@ func fig514(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			impr := 100 * (1 - optim.SimTime.Seconds()/base.SimTime.Seconds())
-			t.AddRow(cse.name, fmt.Sprint(s), secs(base.SimTime), secs(optim.SimTime),
+			impr := 100 * (1 - cfg.runtime(optim).Seconds()/cfg.runtime(base).Seconds())
+			t.AddRow(cse.name, fmt.Sprint(s), secs(cfg.runtime(base)), secs(cfg.runtime(optim)),
 				fmt.Sprintf("%.0f", impr))
 		}
 	}
@@ -247,9 +247,9 @@ func fig515(cfg Config) ([]*Table, error) {
 		}
 		res := rec.Result
 		t.AddRow(r.label,
-			secs(res.SimPhases[metrics.PhaseRuleGen]),
-			secs(res.SimPhases[metrics.PhaseScaling]),
-			secs(res.SimTime))
+			secs(cfg.phaseTime(res, metrics.PhaseRuleGen)),
+			secs(cfg.phaseTime(res, metrics.PhaseScaling)),
+			secs(cfg.runtime(res)))
 		cl.Close()
 	}
 	return []*Table{t}, nil

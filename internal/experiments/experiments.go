@@ -16,6 +16,7 @@ import (
 
 	"sirum/internal/datagen"
 	"sirum/internal/dataset"
+	"sirum/internal/miner"
 )
 
 // Config controls experiment scale. The zero value gets defaults suitable
@@ -31,6 +32,12 @@ type Config struct {
 	Seed int64
 	// Executors and Cores define the default virtual cluster.
 	Executors, Cores int
+	// Backend selects the execution substrate for the generic mining
+	// helpers: "sim" (default) reports simulated cluster time, "native"
+	// reports wall-clock. Platform-profile and scaling experiments
+	// (fig-5.1/5.2, fig-5.16–5.19) always use the sim backend, since the
+	// quantity they report is the modelled cluster cost.
+	Backend string
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +179,24 @@ func Run(id string, cfg Config) ([]*Table, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
 	return r.Run(cfg.withDefaults())
+}
+
+// runtime returns the duration a generic figure reports for one run: the
+// simulated cluster clock by default, real elapsed time under the native
+// backend (which keeps no virtual clock).
+func (c Config) runtime(res *miner.Result) time.Duration {
+	if c.Backend == "native" {
+		return res.WallTime
+	}
+	return res.SimTime
+}
+
+// phaseTime is runtime for one instrumented phase.
+func (c Config) phaseTime(res *miner.Result, name string) time.Duration {
+	if c.Backend == "native" {
+		return res.Phases[name]
+	}
+	return res.SimPhases[name]
 }
 
 // secs renders a duration as seconds with three decimals.

@@ -56,7 +56,7 @@ func rctFigure(cfg Config, id, name string, paperRows, sampleSize int) ([]*Table
 			if err != nil {
 				return nil, err
 			}
-			times[vi] = res.SimPhases[metrics.PhaseScaling]
+			times[vi] = cfg.phaseTime(res, metrics.PhaseScaling)
 		}
 		t.AddRow(fmt.Sprint(k), secs(times[0]), secs(times[1]), ratio(times[0], times[1]))
 	}
@@ -81,7 +81,7 @@ func fig55(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			times[vi] = res.SimPhases[metrics.PhaseRuleGen]
+			times[vi] = cfg.phaseTime(res, metrics.PhaseRuleGen)
 		}
 		t.AddRow(fmt.Sprint(s), secs(times[0]), secs(times[1]), ratio(times[0], times[1]))
 	}
@@ -109,7 +109,7 @@ func fig56(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			times[vi] = res.SimPhases[metrics.PhaseRuleGen]
+			times[vi] = cfg.phaseTime(res, metrics.PhaseRuleGen)
 		}
 		t.AddRow(fmt.Sprint(s), secs(times[0]), secs(times[1]), ratio(times[0], times[1]))
 	}
@@ -134,7 +134,7 @@ func dimSweep(cfg Config) ([][4]string, [][3]string, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			rg[vi] = res.SimPhases[metrics.PhaseRuleGen]
+			rg[vi] = cfg.phaseTime(res, metrics.PhaseRuleGen)
 			emitted[vi] = res.Counters[metrics.CtrPairsEmitted]
 		}
 		times = append(times, [4]string{fmt.Sprint(d), secs(rg[0]), secs(rg[1]), ratio(rg[0], rg[1])})
@@ -205,7 +205,7 @@ func multiRuleFigure(cfg Config, id, name string, paperRows, sampleSize int) ([]
 		if err != nil {
 			return nil, err
 		}
-		row := []string{fmt.Sprint(k), secs(base.SimPhases[metrics.PhaseRuleGen])}
+		row := []string{fmt.Sprint(k), secs(cfg.phaseTime(base, metrics.PhaseRuleGen))}
 		starRules := 0
 		for _, l := range []int{2, 3} {
 			plain, err := cfg.mineFresh(ds, miner.Options{Variant: miner.MultiRule, K: k, SampleSize: sampleSize, RulesPerIter: l})
@@ -219,7 +219,7 @@ func multiRuleFigure(cfg Config, id, name string, paperRows, sampleSize int) ([]
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, secs(plain.SimPhases[metrics.PhaseRuleGen]), secs(star.SimPhases[metrics.PhaseRuleGen]))
+			row = append(row, secs(cfg.phaseTime(plain, metrics.PhaseRuleGen)), secs(cfg.phaseTime(star, metrics.PhaseRuleGen)))
 			if l == 2 {
 				starRules = len(star.Rules)
 			}
@@ -249,7 +249,7 @@ func ablationGroups(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprint(g), secs(res.SimPhases[metrics.PhaseRuleGen]),
+		t.AddRow(fmt.Sprint(g), secs(cfg.phaseTime(res, metrics.PhaseRuleGen)),
 			fmt.Sprint(res.Counters[metrics.CtrPairsEmitted]))
 	}
 	return []*Table{t}, nil
@@ -275,7 +275,7 @@ func ablationRedundant(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		t.AddRow(fmt.Sprint(on), fmt.Sprint(res.Candidates),
-			secs(res.SimPhases[metrics.PhaseRuleGen]), fmt.Sprintf("%.6f", res.KL))
+			secs(cfg.phaseTime(res, metrics.PhaseRuleGen)), fmt.Sprintf("%.6f", res.KL))
 	}
 	return []*Table{t}, nil
 }

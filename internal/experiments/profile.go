@@ -23,11 +23,19 @@ const (
 	tlcFullRows = 1_080_000_000
 )
 
+// newBackend builds the configured execution substrate (sim by default).
+func (c Config) newBackend(conf engine.Config) engine.Backend {
+	if c.Backend == "native" {
+		return engine.NewNativeBackend(conf)
+	}
+	return engine.NewSimBackend(conf)
+}
+
 // cluster builds a Spark-profile cluster with overheads scaled to the run.
-func (c Config) cluster(executors, cores int, memPerExec int64) *engine.Cluster {
+func (c Config) cluster(executors, cores int, memPerExec int64) engine.Backend {
 	conf := platform.Scale(platform.Config(platform.Spark, executors, cores, memPerExec), float64(c.Scale))
 	conf.Partitions = executors * cores
-	return engine.NewCluster(conf)
+	return c.newBackend(conf)
 }
 
 // mineFresh runs one mining job on a fresh default cluster.
@@ -77,8 +85,8 @@ func fig31(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rg := res.SimPhases[metrics.PhaseRuleGen]
-		sc := res.SimPhases[metrics.PhaseScaling]
+		rg := cfg.phaseTime(res, metrics.PhaseRuleGen)
+		sc := cfg.phaseTime(res, metrics.PhaseScaling)
 		t.AddRow(cse.name, fmt.Sprint(ds.NumRows()), secs(rg), secs(sc), secs(rg+sc))
 	}
 	return []*Table{t}, nil
@@ -121,9 +129,9 @@ func fig32(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		prune := res.SimPhases[metrics.PhaseCandPruning]
-		anc := res.SimPhases[metrics.PhaseAncestorGen]
-		gain := res.SimPhases[metrics.PhaseGainComputing]
+		prune := cfg.phaseTime(res, metrics.PhaseCandPruning)
+		anc := cfg.phaseTime(res, metrics.PhaseAncestorGen)
+		gain := cfg.phaseTime(res, metrics.PhaseGainComputing)
 		total := prune + anc + gain
 		pct := func(x float64) string {
 			if total == 0 {
@@ -139,7 +147,7 @@ func fig32(cfg Config) ([]*Table, error) {
 
 // memoryRun mines Income under a given executor memory budget and returns
 // the run plus the residency series sampled from the cache.
-func memoryRun(cfg Config, memPerExec int64, fraction float64) (*miner.Result, *engine.Cluster, error) {
+func memoryRun(cfg Config, memPerExec int64, fraction float64) (*miner.Result, engine.Backend, error) {
 	ds, err := cfg.data("income", incomeRows)
 	if err != nil {
 		return nil, nil, err
@@ -180,12 +188,12 @@ func fig43(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		spill := cl.Reg.Counter(metrics.CtrSpillBytes)
-		reload := cl.Reg.Counter(metrics.CtrSpillReads)
+		spill := cl.Reg().Counter(metrics.CtrSpillBytes)
+		reload := cl.Reg().Counter(metrics.CtrSpillReads)
 		t.AddRow(fmt.Sprintf("%.1fx data", mult), fmt.Sprint(spill == 0),
 			fmt.Sprintf("%.2f", float64(spill)/(1<<20)),
 			fmt.Sprintf("%.2f", float64(reload)/(1<<20)),
-			secs(res.SimTime))
+			secs(cfg.runtime(res)))
 		cl.Close()
 	}
 	return []*Table{t}, nil
@@ -217,8 +225,8 @@ func fig44(cfg Config) ([]*Table, error) {
 			rows = int(float64(rows) * fr)
 		}
 		t.AddRow(fmt.Sprintf("sample %.0f%%", fr*100), fmt.Sprint(rows),
-			fmt.Sprintf("%.2f", float64(cl.Reg.Counter(metrics.CtrSpillBytes))/(1<<20)),
-			secs(res.SimTime), fmt.Sprintf("%.5f", res.InfoGain))
+			fmt.Sprintf("%.2f", float64(cl.Reg().Counter(metrics.CtrSpillBytes))/(1<<20)),
+			secs(cfg.runtime(res)), fmt.Sprintf("%.5f", res.InfoGain))
 		cl.Close()
 	}
 	return []*Table{t}, nil

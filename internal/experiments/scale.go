@@ -22,15 +22,15 @@ func init() {
 
 // scaledCluster builds a Spark cluster with the given executor count and a
 // straggler factor, overheads scaled to the experiment.
-func scaledCluster(cfg Config, executors int, slowNode float64) *engine.Cluster {
+func scaledCluster(cfg Config, executors int, slowNode float64) *engine.SimBackend {
 	conf := platform.Scale(platform.Config(platform.Spark, executors, cfg.Cores, 0), float64(cfg.Scale))
 	conf.Partitions = executors * cfg.Cores
 	conf.SlowNodeFactor = slowNode
-	return engine.NewCluster(conf)
+	return engine.NewSimBackend(conf)
 }
 
 // mineOnCluster is mineFresh with an explicit cluster.
-func mineOnCluster(cl *engine.Cluster, cfg Config, ds *dataset.Dataset, opt miner.Options) (*miner.Result, error) {
+func mineOnCluster(cl engine.Backend, cfg Config, ds *dataset.Dataset, opt miner.Options) (*miner.Result, error) {
 	defer cl.Close()
 	opt.Seed = cfg.Seed
 	return miner.New(cl, ds, opt).Run()
@@ -135,7 +135,7 @@ func onSampleFigure(cfg Config, id, name string, paperRows int, rates []float64)
 	for _, rate := range rates {
 		conf := platform.Scale(platform.Config(platform.Spark, 4, cfg.Cores, memPerExec/4), float64(cfg.Scale))
 		conf.Partitions = 4 * cfg.Cores
-		cl := engine.NewCluster(conf)
+		cl := engine.NewSimBackend(conf)
 		opt := miner.Options{
 			Variant: miner.Optimized, K: cfg.k(10), SampleSize: cfg.s(16), Seed: cfg.Seed,
 			EvaluateOnFullData: true,

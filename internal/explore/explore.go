@@ -65,8 +65,8 @@ func PriorKnowledge(ds *dataset.Dataset, n int) []rule.Rule {
 	return rules
 }
 
-// Run executes the exploration scenario on the given cluster.
-func Run(c *engine.Cluster, ds *dataset.Dataset, opt Options) (*Recommendation, error) {
+// Run executes the exploration scenario on the given backend.
+func Run(c engine.Backend, ds *dataset.Dataset, opt Options) (*Recommendation, error) {
 	if opt.K <= 0 {
 		opt.K = 10
 	}

@@ -9,8 +9,8 @@ import (
 	"sirum/internal/rule"
 )
 
-func testCluster() *engine.Cluster {
-	return engine.NewCluster(engine.Config{Executors: 2, CoresPerExecutor: 2, Partitions: 4})
+func testCluster() *engine.SimBackend {
+	return engine.NewSimBackend(engine.Config{Executors: 2, CoresPerExecutor: 2, Partitions: 4})
 }
 
 func TestPriorKnowledge(t *testing.T) {
@@ -74,7 +74,7 @@ func TestOptimizedBeatsPriorWorkStyle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return rec, c.Reg.Counters()
+		return rec, c.Reg().Counters()
 	}
 	_, baseCtr := run(false)
 	_, optCtr := run(true)

@@ -17,7 +17,7 @@ import (
 // RemineFactor times the divergence measured right after the last full mine,
 // the rule list is considered stale and is mined from scratch.
 type Incremental struct {
-	c   *engine.Cluster
+	c   engine.Backend
 	opt Options
 
 	data      *dataset.Dataset
@@ -50,7 +50,7 @@ type IncrementalResult struct {
 
 // NewIncremental builds an incremental miner. opt configures the full mining
 // passes (the same options Run accepts).
-func NewIncremental(c *engine.Cluster, opt Options) *Incremental {
+func NewIncremental(c engine.Backend, opt Options) *Incremental {
 	return &Incremental{c: c, opt: opt.withDefaults(), RemineFactor: 1.5}
 }
 

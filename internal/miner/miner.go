@@ -15,18 +15,18 @@ import (
 	"sirum/internal/stats"
 )
 
-// Miner executes the greedy informative-rule mining loop (Algorithm 2) on a
-// simulated cluster.
+// Miner executes the greedy informative-rule mining loop (Algorithm 2) on an
+// execution backend.
 type Miner struct {
-	c    *engine.Cluster
+	c    engine.Backend
 	ds   *dataset.Dataset
 	opt  Options
 	full *dataset.Dataset // the unsampled dataset for EvaluateOnFullData
 }
 
-// New builds a miner over ds. The cluster carries the platform profile
-// (executors, memory, shuffle behaviour) and accumulates metrics.
-func New(c *engine.Cluster, ds *dataset.Dataset, opt Options) *Miner {
+// New builds a miner over ds. The backend carries the execution substrate
+// (parallelism, memory, cost model if simulated) and accumulates metrics.
+func New(c engine.Backend, ds *dataset.Dataset, opt Options) *Miner {
 	return &Miner{c: c, ds: ds, opt: opt.withDefaults()}
 }
 
@@ -35,8 +35,8 @@ func (m *Miner) timed(phase string, f func() error) error {
 	wallStart := time.Now()
 	simStart := m.c.SimTime()
 	err := f()
-	m.c.Reg.AddPhase(phase, time.Since(wallStart))
-	m.c.Reg.AddSimPhase(phase, m.c.SimTime()-simStart)
+	m.c.Reg().AddPhase(phase, time.Since(wallStart))
+	m.c.Reg().AddSimPhase(phase, m.c.SimTime()-simStart)
 	return err
 }
 
@@ -78,7 +78,7 @@ func (m *Miner) Run() (*Result, error) {
 		// Initial read from the distributed file system.
 		m.c.ChargeDiskRead(dataBytes)
 		var err error
-		data, err = m.c.CacheTuples(blocks)
+		data, err = engine.CacheTuples(m.c, blocks)
 		return err
 	})
 	if err != nil {
@@ -215,12 +215,12 @@ func (m *Miner) Run() (*Result, error) {
 		res.InfoGain = igFull
 	}
 
-	res.Phases = m.c.Reg.Phases()
+	res.Phases = m.c.Reg().Phases()
 	res.SimPhases = map[string]time.Duration{}
 	for name := range res.Phases {
-		res.SimPhases[name] = m.c.Reg.SimPhase(name)
+		res.SimPhases[name] = m.c.Reg().SimPhase(name)
 	}
-	res.Counters = m.c.Reg.Counters()
+	res.Counters = m.c.Reg().Counters()
 	return res, nil
 }
 
@@ -270,9 +270,9 @@ func (m *Miner) generateCandidates(data *engine.CachedData, sample *candgen.Samp
 		return nil, 0, err
 	}
 	n := cube.CountCandidates(m.c, cands)
-	m.c.Reg.Add(metrics.CtrCandidates, n)
-	m.c.Reg.AddPhase(metrics.PhaseRuleGen, time.Since(wallStart))
-	m.c.Reg.AddSimPhase(metrics.PhaseRuleGen, m.c.SimTime()-simStart)
+	m.c.Reg().Add(metrics.CtrCandidates, n)
+	m.c.Reg().AddPhase(metrics.PhaseRuleGen, time.Since(wallStart))
+	m.c.Reg().AddSimPhase(metrics.PhaseRuleGen, m.c.SimTime()-simStart)
 	return cands, n, nil
 }
 
@@ -333,7 +333,7 @@ func mustFromKey(key string, d int) rule.Rule {
 // their children in the candidate set — their gain is identical to the
 // child's, so evaluating both is wasted work (Chapter 7, future work). The
 // child (more specific rule) is kept.
-func pruneRedundant(c *engine.Cluster, cands *engine.PColl[map[string]cube.Agg], d int) *engine.PColl[map[string]cube.Agg] {
+func pruneRedundant(c engine.Backend, cands *engine.PColl[map[string]cube.Agg], d int) *engine.PColl[map[string]cube.Agg] {
 	// The check needs parent lookups across partitions, so gather the
 	// counts first (keys only — small relative to full aggregates).
 	counts := make(map[string]float64)

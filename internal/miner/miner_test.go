@@ -12,8 +12,8 @@ import (
 	"sirum/internal/rule"
 )
 
-func testCluster() *engine.Cluster {
-	return engine.NewCluster(engine.Config{Executors: 2, CoresPerExecutor: 2, Partitions: 4})
+func testCluster() *engine.SimBackend {
+	return engine.NewSimBackend(engine.Config{Executors: 2, CoresPerExecutor: 2, Partitions: 4})
 }
 
 func mineFlights(t *testing.T, opt Options) *Result {
@@ -144,7 +144,7 @@ func TestRCTMatchesNaiveScaling(t *testing.T) {
 			mhat[i] = 1
 		}
 		blocks := engine.BlocksFromColumns(ds.Dims, work, mhat, 3)
-		data, err := c.CacheTuples(blocks)
+		data, err := engine.CacheTuples(c, blocks)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +230,7 @@ func TestMultiRuleSelectionInvariants(t *testing.T) {
 		mhat[i] = avg
 	}
 	blocks := engine.BlocksFromColumns(ds.Dims, work, mhat, 2)
-	data, err := c.CacheTuples(blocks)
+	data, err := engine.CacheTuples(c, blocks)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ type distScaler interface {
 
 // scalerBase carries the state shared by both distributed scalers.
 type scalerBase struct {
-	c        *engine.Cluster
+	c        engine.Backend
 	data     *engine.CachedData
 	epsilon  float64
 	maxLoops int
@@ -120,7 +120,7 @@ type naiveDistScaler struct {
 	resetOnAdd bool
 }
 
-func newNaiveDistScaler(c *engine.Cluster, data *engine.CachedData, dataBytes int64, epsilon float64, shuffleJoin, resetOnAdd bool) *naiveDistScaler {
+func newNaiveDistScaler(c engine.Backend, data *engine.CachedData, dataBytes int64, epsilon float64, shuffleJoin, resetOnAdd bool) *naiveDistScaler {
 	return &naiveDistScaler{
 		scalerBase: scalerBase{
 			c: c, data: data, epsilon: epsilon, maxLoops: maxent.DefaultMaxLoops,
@@ -184,7 +184,7 @@ func (s *naiveDistScaler) scale() error {
 				nextRatio = scaleRatio(s.targets[ri], est)
 			}
 		}
-		s.c.Reg.Add(metrics.CtrScalingLoops, 1)
+		s.c.Reg().Add(metrics.CtrScalingLoops, 1)
 		if next < 0 || worst <= s.epsilon {
 			return nil
 		}
@@ -212,7 +212,7 @@ type rctDistScaler struct {
 	words int // bit-array words per tuple
 }
 
-func newRCTDistScaler(c *engine.Cluster, data *engine.CachedData, dataBytes int64, epsilon float64, maxRules int) *rctDistScaler {
+func newRCTDistScaler(c engine.Backend, data *engine.CachedData, dataBytes int64, epsilon float64, maxRules int) *rctDistScaler {
 	if maxRules <= 0 {
 		maxRules = 64
 	}
@@ -361,7 +361,7 @@ func (s *rctDistScaler) scaleRCT(rct map[string]*rctAgg) error {
 				nextRatio = scaleRatio(s.targets[ri], est)
 			}
 		}
-		s.c.Reg.Add(metrics.CtrScalingLoops, 1)
+		s.c.Reg().Add(metrics.CtrScalingLoops, 1)
 		if next < 0 || worst <= s.epsilon {
 			return nil
 		}

@@ -96,9 +96,10 @@ func Config(k Kind, executors, coresPerExecutor int, memPerExecutor int64) engin
 	}
 }
 
-// NewCluster builds a cluster for the profile.
-func NewCluster(k Kind, executors, coresPerExecutor int, memPerExecutor int64) *engine.Cluster {
-	return engine.NewCluster(Config(k, executors, coresPerExecutor, memPerExecutor))
+// NewCluster builds a simulated cluster for the profile (platform profiles
+// are cost models, so they always run on the sim backend).
+func NewCluster(k Kind, executors, coresPerExecutor int, memPerExecutor int64) *engine.SimBackend {
+	return engine.NewSimBackend(Config(k, executors, coresPerExecutor, memPerExecutor))
 }
 
 // ImplSpeedup is the calibration constant relating this repository's
@@ -126,7 +127,8 @@ func Scale(conf engine.Config, factor float64) engine.Config {
 	return conf
 }
 
-// NewScaledCluster builds a cluster with overheads divided by factor.
-func NewScaledCluster(k Kind, executors, coresPerExecutor int, memPerExecutor int64, factor float64) *engine.Cluster {
-	return engine.NewCluster(Scale(Config(k, executors, coresPerExecutor, memPerExecutor), factor))
+// NewScaledCluster builds a simulated cluster with overheads divided by
+// factor.
+func NewScaledCluster(k Kind, executors, coresPerExecutor int, memPerExecutor int64, factor float64) *engine.SimBackend {
+	return engine.NewSimBackend(Scale(Config(k, executors, coresPerExecutor, memPerExecutor), factor))
 }

@@ -53,7 +53,7 @@ func TestPlatformOrdering(t *testing.T) {
 		// Serialize real task execution so measured durations (and hence
 		// the simulated makespans) are stable under host CPU contention.
 		conf.RealParallelism = 1
-		c := engine.NewCluster(conf)
+		c := engine.NewSimBackend(conf)
 		defer c.Close()
 		res, err := miner.New(c, ds, miner.Options{Variant: miner.Baseline, K: 3, SampleSize: 8, Seed: 2}).Run()
 		if err != nil {

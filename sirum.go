@@ -8,9 +8,10 @@
 // The package is the public facade over the full system: the miner with all
 // of the thesis' optimizations (Rule Coverage Table scaling, inverted-index
 // candidate pruning, column-grouped ancestor generation, multi-rule
-// insertion, mining on samples), a simulated Spark-like execution substrate,
-// and the data-cube exploration application. See README.md for a tour and
-// DESIGN.md for the architecture.
+// insertion, mining on samples), a pluggable execution layer — a native
+// multicore backend for real workloads and a simulated Spark-like cluster
+// for reproducing the paper's figures (Options.Backend selects one) — and
+// the data-cube exploration application. See README.md for a tour.
 //
 // Quick start:
 //
@@ -148,8 +149,25 @@ func (v Variant) internal() (miner.Variant, error) {
 	}
 }
 
-// Cluster sizes the simulated execution substrate. The zero value uses a
-// modest in-process cluster.
+// Backend selects the execution substrate a mining job runs on.
+type Backend string
+
+// Supported backends.
+const (
+	// BackendNative (the default) runs the dataflow at host speed: real
+	// goroutine parallelism with work stealing and no simulation
+	// bookkeeping. Result.SimTime is always zero on this backend.
+	BackendNative Backend = "native"
+	// BackendSim runs the dataflow on the simulated Spark-like cluster the
+	// thesis' evaluation models; Result.SimTime reports the simulated
+	// cluster clock.
+	BackendSim Backend = "sim"
+)
+
+// Cluster sizes the execution substrate. For BackendSim the fields shape the
+// virtual cluster and its cost model; for BackendNative they only size the
+// partition count and optional cache budget. The zero value uses a modest
+// in-process cluster.
 type Cluster struct {
 	Executors        int   // virtual worker nodes (default 4)
 	CoresPerExecutor int   // task slots per node (default 2)
@@ -172,6 +190,22 @@ func (c Cluster) config() engine.Config {
 	return conf
 }
 
+// backend builds the execution substrate for the given kind ("" = native).
+func (c Cluster) backend(kind Backend) (engine.Backend, error) {
+	conf := c.config()
+	switch kind {
+	case "", BackendNative:
+		// The virtual-cluster shape prices the simulation; a native run
+		// partitions for the host instead (see NewNativeBackend).
+		conf.Partitions = 0
+		return engine.NewNativeBackend(conf), nil
+	case BackendSim:
+		return engine.NewSimBackend(conf), nil
+	default:
+		return nil, fmt.Errorf("sirum: unknown backend %q", kind)
+	}
+}
+
 // Options configures mining. Zero values get the thesis' defaults.
 type Options struct {
 	// K is the number of rules to mine (beyond the implicit all-wildcards
@@ -192,6 +226,10 @@ type Options struct {
 	SampleFraction float64
 	// Cluster sizes the execution substrate.
 	Cluster Cluster
+	// Backend selects the execution substrate (default BackendNative).
+	// Both backends produce identical rule lists; they differ only in how
+	// the work is executed and accounted.
+	Backend Backend
 }
 
 // Condition is one non-wildcard attribute constraint of a rule.
@@ -239,7 +277,8 @@ type Result struct {
 	// Iterations of the greedy loop.
 	Iterations int
 	// WallTime is real elapsed time; SimTime is the simulated-cluster time
-	// (see DESIGN.md on the execution model).
+	// (always zero under BackendNative; see DESIGN.md on the execution
+	// model).
 	WallTime, SimTime time.Duration
 }
 
@@ -253,7 +292,10 @@ func (d *Dataset) Mine(opt Options) (*Result, error) {
 	if sampleSize == 0 && d.NumRows() > 1000 {
 		sampleSize = 64
 	}
-	cl := engine.NewCluster(opt.Cluster.config())
+	cl, err := opt.Cluster.backend(opt.Backend)
+	if err != nil {
+		return nil, err
+	}
 	defer cl.Close()
 	mopt := miner.Options{
 		Variant:            v,
@@ -307,6 +349,8 @@ type ExploreOptions struct {
 	GroupBys int
 	Seed     int64
 	Cluster  Cluster
+	// Backend selects the execution substrate (default BackendNative).
+	Backend Backend
 }
 
 // ExploreResult carries the recommendations plus the prior the analyst is
@@ -318,7 +362,10 @@ type ExploreResult struct {
 
 // Explore recommends informative rules relative to prior knowledge.
 func (d *Dataset) Explore(opt ExploreOptions) (*ExploreResult, error) {
-	cl := engine.NewCluster(opt.Cluster.config())
+	cl, err := opt.Cluster.backend(opt.Backend)
+	if err != nil {
+		return nil, err
+	}
 	defer cl.Close()
 	rec, err := explore.Run(cl, d.ds, explore.Options{
 		K: opt.K, GroupBys: opt.GroupBys, Optimized: true, MultiRule: true, Seed: opt.Seed,

@@ -82,8 +82,27 @@ func TestMineFlights(t *testing.T) {
 	if res.KL < 0 || res.InfoGain <= 0 {
 		t.Errorf("KL=%v InfoGain=%v", res.KL, res.InfoGain)
 	}
-	if res.Iterations != 3 || res.WallTime <= 0 || res.SimTime <= 0 {
+	if res.Iterations != 3 || res.WallTime <= 0 {
 		t.Errorf("run stats: %+v", res)
+	}
+	if res.SimTime != 0 {
+		t.Errorf("native backend reported sim time %v", res.SimTime)
+	}
+	// The simulated backend mines the same rules and reports a cluster clock.
+	sim, err := ds.Mine(Options{K: 3, Backend: BackendSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.SimTime <= 0 {
+		t.Errorf("sim backend reported sim time %v", sim.SimTime)
+	}
+	if len(sim.Rules) != len(res.Rules) {
+		t.Fatalf("sim mined %d rules, native %d", len(sim.Rules), len(res.Rules))
+	}
+	for i := range sim.Rules {
+		if sim.Rules[i].String() != res.Rules[i].String() {
+			t.Errorf("rule %d: sim %s vs native %s", i, sim.Rules[i], res.Rules[i])
+		}
 	}
 }
 
