@@ -143,6 +143,54 @@ func benchBackendMine(b *testing.B, backend Backend) {
 func BenchmarkMineSimBackend(b *testing.B)    { benchBackendMine(b, BackendSim) }
 func BenchmarkMineNativeBackend(b *testing.B) { benchBackendMine(b, BackendNative) }
 
+// preparedJob is the shared workload of the cold-vs-prepared pair.
+func preparedJob() Options { return Options{K: 5, SampleSize: 32, Seed: 2} }
+
+// BenchmarkMineCold is one full cold query on the native backend: substrate
+// construction, data load, measure transform, sample draw, and a mining run
+// that recomputes candidate pruning every iteration — what every
+// Dataset.Mine pays.
+func BenchmarkMineCold(b *testing.B) {
+	ds, err := Generate("gdelt", 20000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Mine(preparedJob()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinePrepared is the same job as BenchmarkMineCold asked of a
+// prepared session (the first warm-up query runs outside the timer): blocks,
+// transform, sample, index and the memoized candidate structure are all
+// reused, so each iteration measures what the second and later queries of an
+// interactive session cost.
+func BenchmarkMinePrepared(b *testing.B) {
+	ds, err := Generate("gdelt", 20000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := ds.Prepare(PrepareOptions{SampleSize: 32, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Mine(preparedJob()); err != nil { // warm: builds the LCA memo
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Mine(preparedJob()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMineBaseline is the same job on the unoptimized baseline, so the
 // two public-API benchmarks show the paper's headline speedup directly.
 func BenchmarkMineBaseline(b *testing.B) {

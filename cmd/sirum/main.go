@@ -8,6 +8,10 @@
 //
 // With -dataset instead of -input, one of the built-in synthetic evaluation
 // datasets is mined (income, gdelt, susy, tlc, flights).
+//
+// With -ks (comma-separated list, e.g. -ks 5,10,20) the dataset is prepared
+// once and every K runs as a query against the shared session — the
+// interactive prepare-once/query-many path — reporting per-query times.
 package main
 
 import (
@@ -15,7 +19,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"sirum"
 )
@@ -35,6 +41,7 @@ func run(args []string, out io.Writer) error {
 	dsName := fs.String("dataset", "", "built-in dataset instead of -input: income|gdelt|susy|tlc|flights")
 	rows := fs.Int("rows", 10000, "rows for built-in datasets")
 	k := fs.Int("k", 10, "number of rules to mine")
+	ks := fs.String("ks", "", "comma-separated K values: prepare once, mine one query per K (overrides -k)")
 	sample := fs.Int("sample", 64, "|s| for candidate pruning (0 = exhaustive)")
 	variant := fs.String("variant", "optimized", "miner variant: naive|baseline|rct|fastpruning|fastancestor|multirule|optimized")
 	fraction := fs.Float64("fraction", 0, "mine on this fraction of the data (0 = all)")
@@ -69,6 +76,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintln(out, ds.Summary())
+	if *ks != "" {
+		return runSession(out, ds, *ks, *sample, *variant, *fraction, *seed, *executors, *backend)
+	}
 	res, err := ds.Mine(sirum.Options{
 		K:              *k,
 		SampleSize:     *sample,
@@ -92,5 +102,47 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "   simulated cluster time: %v", res.SimTime.Round(1e6))
 	}
 	fmt.Fprintln(out)
+	return nil
+}
+
+// runSession prepares the dataset once and answers one query per K.
+func runSession(out io.Writer, ds *sirum.Dataset, ks string, sample int, variant string, fraction float64, seed int64, executors int, backend string) error {
+	var kList []int
+	for _, part := range strings.Split(ks, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k <= 0 {
+			return fmt.Errorf("bad -ks entry %q", part)
+		}
+		kList = append(kList, k)
+	}
+	prepStart := time.Now()
+	p, err := ds.Prepare(sirum.PrepareOptions{
+		SampleSize:     sample,
+		Seed:           seed,
+		SampleFraction: fraction,
+		Cluster:        sirum.Cluster{Executors: executors},
+		Backend:        sirum.Backend(backend),
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	fmt.Fprintf(out, "prepared in %v; mining %d queries on the shared session\n", time.Since(prepStart).Round(1e6), len(kList))
+	for _, k := range kList {
+		res, err := p.Mine(sirum.Options{
+			K:              k,
+			SampleSize:     sample,
+			Variant:        sirum.Variant(variant),
+			SampleFraction: fraction,
+			Seed:           seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nK=%d  (KL %.6f, info gain %.6f, wall %v)\n", k, res.KL, res.InfoGain, res.WallTime.Round(1e6))
+		for _, r := range res.Rules {
+			fmt.Fprintf(out, "  %-58s  %10.4g  %8d\n", r.String(), r.Avg, r.Count)
+		}
+	}
 	return nil
 }

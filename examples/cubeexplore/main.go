@@ -5,6 +5,11 @@
 // the rules that add the most information beyond them — the cells worth
 // drilling into next.
 //
+// Cube exploration is the archetypal interactive workload, so this example
+// runs it through the session layer: the cube is prepared once, and the
+// exploration plus a follow-up ad-hoc query are both queries against the
+// shared prepared state.
+//
 //	go run ./examples/cubeexplore
 package main
 
@@ -22,7 +27,13 @@ func main() {
 	}
 	fmt.Println("dataset:", ds.Summary())
 
-	res, err := ds.Explore(sirum.ExploreOptions{K: 4, GroupBys: 2, Seed: 11})
+	session, err := ds.Prepare(sirum.PrepareOptions{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+
+	res, err := session.Explore(sirum.ExploreOptions{K: 4, GroupBys: 2, Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,4 +52,15 @@ func main() {
 		fmt.Printf("  %-55s avg=%.2f count=%d gain=%.3f\n", r, r.Avg, r.Count, r.Gain)
 	}
 	fmt.Printf("\ninformation gain beyond the prior: %.5f\n", res.Result.InfoGain)
+
+	// The analyst follows up without prior knowledge — same session, no
+	// re-load: what would the top rules be from a cold start?
+	top, err := session.Mine(sirum.Options{K: 3, SampleSize: 0, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfollow-up on the same session — top rules with no prior:")
+	for _, r := range top.Rules {
+		fmt.Printf("  %-55s avg=%.2f count=%d\n", r, r.Avg, r.Count)
+	}
 }

@@ -1,48 +1,63 @@
-// Streaming SIRUM: keep a rule list fresh as batches arrive (the Chapter 7
-// future-work extension implemented in internal/miner.Incremental).
+// Streaming SIRUM through the session layer: prepare a dataset once, keep a
+// rule list fresh as batches arrive via Prepared.Append (the Chapter 7
+// future-work extension), and answer ad-hoc queries against the same
+// long-lived session in between.
 //
 // Batches from the same distribution are folded in with a cheap refit (two
 // data scans per rule, via the Rule Coverage Table); when the refit shows
 // the rule list no longer explains the data — the unexplained-divergence
-// share drifts past a threshold — a full mining pass replaces it.
+// share drifts past a threshold — a full mining pass replaces it. Every
+// Append invalidates the prepared blocks/sample/index and rebuilds them on
+// the grown data, so queries after it see the new reality.
 //
 //	go run ./examples/streaming
 package main
 
 import (
+	"encoding/csv"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
-	"sirum/internal/datagen"
-	"sirum/internal/engine"
-	"sirum/internal/miner"
+	"sirum"
 )
 
 func main() {
-	// A serving workload wants answers at host speed, not a cost model: run
-	// on the native backend (swap in NewSimBackend to study cluster costs).
-	c := engine.NewNativeBackend(engine.Config{})
-	defer c.Close()
-	inc := miner.NewIncremental(c, miner.Options{Variant: miner.Optimized, K: 4, SampleSize: 32, Seed: 1})
+	opt := sirum.Options{K: 4, SampleSize: 32, Seed: 1}
 
-	fmt.Println("three batches from one distribution, then a regime change:")
+	base, err := sirum.Generate("income", 4000, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A serving workload wants answers at host speed: the session owns a
+	// native backend (set Backend: sirum.BackendSim to study cluster costs).
+	// RemineFactor 1.15 re-mines once the rule list's unexplained share
+	// drifts ~15% past its post-mine level.
+	session, err := base.Prepare(sirum.PrepareOptions{SampleSize: 32, Seed: 1, RemineFactor: 1.15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+
+	fmt.Println("batches from one distribution, then a regime change:")
 	for i, batch := range []struct {
 		rows int
 		seed int64
 		flip bool
 	}{
-		{4000, 10, false},
 		{1000, 11, false},
 		{1000, 12, false},
 		{6000, 13, true}, // regime change: the quality flag inverts
 	} {
-		ds := datagen.Income(batch.rows, batch.seed)
-		if batch.flip {
-			for r := range ds.Measure {
-				ds.Measure[r] = 1 - ds.Measure[r]
-			}
+		ds, err := sirum.Generate("income", batch.rows, batch.seed)
+		if err != nil {
+			log.Fatal(err)
 		}
-		res, err := inc.Append(ds)
+		if batch.flip {
+			ds = invert(ds)
+		}
+		res, err := session.Append(ds, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,8 +68,47 @@ func main() {
 		fmt.Printf("\nbatch %d (+%d rows, total %d): %s, KL=%.5f\n",
 			i+1, batch.rows, res.Rows, action, res.KL)
 		for _, r := range res.Rules {
-			fmt.Printf("   %-45s avg=%.3f count=%d\n", r.Rule, r.Avg, r.Count)
+			fmt.Printf("   %-45s avg=%.3f count=%d\n", r, r.Avg, r.Count)
 		}
 	}
-	fmt.Println("\nbatches 2-3 refit in place; the regime change triggered a re-mine.")
+
+	// The same session still answers ad-hoc queries — here a deeper list
+	// over everything accumulated so far.
+	deep, err := session.Mine(sirum.Options{K: 8, SampleSize: 32, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nad-hoc query on the final session (%d rows): %d rules, info gain %.5f\n",
+		session.NumRows(), len(deep.Rules), deep.InfoGain)
+	fmt.Println("\nbatch 1 mined the initial rule list, batch 2 refit it in place,")
+	fmt.Println("and the regime change in batch 3 triggered a full re-mine.")
+}
+
+// invert flips the binary quality flag (measure m becomes 1−m), simulating a
+// regime change, via a public-API CSV round trip: WriteCSV puts the measure
+// in the last column.
+func invert(ds *sirum.Dataset) *sirum.Dataset {
+	var sb strings.Builder
+	if err := ds.WriteCSV(&sb); err != nil {
+		log.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := sirum.NewBuilder(ds.DimNames(), ds.MeasureName())
+	for _, rec := range recs[1:] { // skip header
+		m, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := b.Add(rec[:len(rec)-1], 1-m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
 }

@@ -28,13 +28,18 @@ type Sample struct {
 }
 
 // DrawSample projects n uniformly sampled rows of ds onto their dimension
-// codes.
+// codes. All rows share one flat backing array — one allocation instead of
+// one per row.
 func DrawSample(ds *dataset.Dataset, r *rand.Rand, n int) *Sample {
 	sub := ds.Sample(r, n)
-	s := &Sample{D: ds.NumDims(), Domains: ds.DomainSizes()}
-	for i := 0; i < sub.NumRows(); i++ {
-		row, _ := sub.Row(i, nil)
-		s.Rows = append(s.Rows, row)
+	d := ds.NumDims()
+	s := &Sample{D: d, Domains: ds.DomainSizes()}
+	rows := sub.NumRows()
+	s.Rows = make([][]int32, rows)
+	flat := make([]int32, rows*d)
+	for i := 0; i < rows; i++ {
+		row, _ := sub.Row(i, flat[i*d:(i+1)*d])
+		s.Rows[i] = row
 	}
 	return s
 }
@@ -105,14 +110,17 @@ func (ix *InvertedIndex) Bytes() int64 {
 // carrying (t[m], t[m̂], 1). One output map per data block. When indexed is
 // true the inverted-index strategy of Section 4.2 replaces the attribute-by-
 // attribute cross product; both strategies produce identical output, and the
-// comparison counter records the work saved.
-func LCAParts(c engine.Backend, data *engine.CachedData, s *Sample, indexed bool) (*engine.PColl[map[string]cube.Agg], error) {
+// comparison counter records the work saved. A prepare-once session passes
+// its prebuilt index as ix so repeated rounds skip reconstruction; pass nil
+// to build one on the fly.
+func LCAParts(c engine.Backend, data *engine.CachedData, s *Sample, indexed bool, ix *InvertedIndex) (*engine.PColl[map[string]cube.Agg], error) {
 	if s.Size() == 0 {
 		return nil, fmt.Errorf("candgen: empty sample")
 	}
-	var ix *InvertedIndex
 	if indexed {
-		ix = BuildIndex(s)
+		if ix == nil {
+			ix = BuildIndex(s)
+		}
 		c.Broadcast(ix.Bytes() + s.Bytes())
 	} else {
 		c.Broadcast(s.Bytes())

@@ -108,11 +108,11 @@ func TestIndexedEqualsNaive(t *testing.T) {
 	_, cd2, _ := flightData(t, c2)
 	s := DrawSample(ds, stats.NewRand(3), 4)
 
-	naive, err := LCAParts(c1, cd1, s, false)
+	naive, err := LCAParts(c1, cd1, s, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	indexed, err := LCAParts(c2, cd2, s, true)
+	indexed, err := LCAParts(c2, cd2, s, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestLCAPartsEmptySample(t *testing.T) {
 	c := newTestCluster()
 	defer c.Close()
 	_, cd, _ := flightData(t, c)
-	if _, err := LCAParts(c, cd, &Sample{D: 3}, false); err == nil {
+	if _, err := LCAParts(c, cd, &Sample{D: 3}, false, nil); err == nil {
 		t.Error("empty sample accepted")
 	}
 }
@@ -159,7 +159,7 @@ func TestSamplePipelineMatchesDirectSums(t *testing.T) {
 	defer c.Close()
 	ds, cd, work := flightData(t, c)
 	s := DrawSample(ds, stats.NewRand(11), 3)
-	lcas, err := LCAParts(c, cd, s, true)
+	lcas, err := LCAParts(c, cd, s, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestQuickSamplePipeline(t *testing.T) {
 			return false
 		}
 		s := DrawSample(ds, stats.NewRand(seed), sz)
-		lcas, err := LCAParts(c, cd, s, seed%2 == 0)
+		lcas, err := LCAParts(c, cd, s, seed%2 == 0, nil)
 		if err != nil {
 			return false
 		}

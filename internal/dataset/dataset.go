@@ -19,7 +19,16 @@ const NoValue int32 = -2
 
 // Dict maps the string values of one dimension attribute to dense int32
 // codes in insertion order.
+//
+// A Dict has two phases with an explicit boundary. During construction the
+// single mutating entry point, Code, inserts new values; it must be called
+// from one goroutine (builders and generators do). Builder.Build freezes the
+// dictionary, after which Code panics and every remaining method — Lookup,
+// Value, Size, Values — is a pure read. That split is what makes a built
+// Dataset safe to share across concurrent mining queries without locks: no
+// read path can ever race a mutation, because mutations are impossible.
 type Dict struct {
+	frozen bool
 	toCode map[string]int32
 	values []string
 }
@@ -29,16 +38,25 @@ func NewDict() *Dict {
 	return &Dict{toCode: make(map[string]int32)}
 }
 
-// Code returns the code for value v, inserting it if new.
+// Code returns the code for value v, inserting it if new. It is the only
+// mutating method and is construction-only: calling it on a frozen
+// dictionary (one owned by a finished Dataset) panics.
 func (d *Dict) Code(v string) int32 {
 	if c, ok := d.toCode[v]; ok {
 		return c
+	}
+	if d.frozen {
+		panic("dataset: Code insert on a frozen dictionary (datasets are immutable once built; use Lookup for reads)")
 	}
 	c := int32(len(d.values))
 	d.toCode[v] = c
 	d.values = append(d.values, v)
 	return c
 }
+
+// freeze ends the construction phase; from here on the dictionary is
+// read-only and safe for concurrent use.
+func (d *Dict) freeze() { d.frozen = true }
 
 // Lookup returns the code for v and whether it is present.
 func (d *Dict) Lookup(v string) (int32, bool) {
@@ -81,8 +99,15 @@ func (s Schema) DimIndex(name string) int {
 }
 
 // Dataset is a columnar multidimensional relation: len(Dims) dimension
-// columns of equal length and one measure column. Datasets are immutable
-// after construction by convention; mutation helpers return new datasets.
+// columns of equal length and one measure column.
+//
+// Immutability convention: a Dataset is frozen once built. Builder.Build
+// freezes the dictionaries (further Code inserts panic), and no code may
+// write to Dims or Measure afterwards; helpers that "change" a dataset
+// (Select, Sample, Project, Concat) return new datasets, sharing the frozen
+// dictionaries and, where safe, the columns. The prepare-once session layer
+// leans on this: any number of concurrent mining queries read one Dataset's
+// columns and dictionaries without synchronization.
 type Dataset struct {
 	Schema  Schema
 	Dicts   []*Dict   // one per dimension, aligned with Schema.DimNames
@@ -210,10 +235,14 @@ func (b *Builder) AddCodes(codes []int32, measure float64) error {
 // pre-register domain values.
 func (b *Builder) Dict(j int) *Dict { return b.ds.Dicts[j] }
 
-// Build finalizes and validates the dataset.
+// Build finalizes and validates the dataset, freezing its dictionaries: the
+// result is immutable and safe for concurrent readers.
 func (b *Builder) Build() (*Dataset, error) {
 	if err := b.ds.Validate(); err != nil {
 		return nil, err
+	}
+	for _, d := range b.ds.Dicts {
+		d.freeze()
 	}
 	return b.ds, nil
 }

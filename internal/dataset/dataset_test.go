@@ -291,3 +291,25 @@ func TestQuickSelectPreservesRows(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDictFreezesOnBuild pins the construction/read phase boundary: after
+// Build, dictionary reads are lock-free safe because inserts panic.
+func TestDictFreezesOnBuild(t *testing.T) {
+	b := NewBuilder(Schema{DimNames: []string{"a"}, MeasureName: "m"})
+	if err := b.Add([]string{"x"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Dicts[0].Code("x"); got != 0 {
+		t.Errorf("existing value lookup through Code = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Code insert on a frozen dictionary did not panic")
+		}
+	}()
+	ds.Dicts[0].Code("new-value")
+}

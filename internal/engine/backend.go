@@ -35,7 +35,11 @@ type Backend interface {
 	Name() string
 	// Config returns the effective (defaulted) configuration.
 	Config() Config
-	// Reg returns the backend's metrics registry.
+	// Reg returns the metrics registry charges land in. On a concrete
+	// backend this is the substrate-lifetime registry (scheduling, shuffle,
+	// spill totals across all queries); on a QueryScope it is the private
+	// per-query registry, which is where operator-level counters and phase
+	// timings accumulate — query results snapshot that one.
 	Reg() *metrics.Registry
 	// RunStage executes n tasks (task(0) … task(n-1)) with real parallelism
 	// and records one stage. Task panics are captured and re-raised on the
@@ -58,12 +62,17 @@ type Backend interface {
 	SimTime() time.Duration
 	// TotalMemory returns the backend-wide cache budget for cached blocks.
 	TotalMemory() int64
+	// Pool returns the backend's prepared-dataset pool: the cache that lets
+	// one long-lived backend hold several prepared (loaded and partitioned)
+	// datasets across queries, with LRU eviction.
+	Pool() *DataPool
 	// Close releases spill files and other resources; the backend is
 	// unusable afterwards.
 	Close() error
 
-	// spillPath returns a file path for spilling block id.
-	spillPath(id int) (string, error)
+	// spillPath returns a file path for spilling the named block. Names must
+	// be unique per logical block across all CachedData sharing the backend.
+	spillPath(name string) (string, error)
 	// chargeSpill / chargeSpillRead account for cache spill traffic.
 	chargeSpill(bytes int64)
 	chargeSpillRead(bytes int64)
@@ -77,6 +86,7 @@ type Backend interface {
 var (
 	_ Backend = (*SimBackend)(nil)
 	_ Backend = (*NativeBackend)(nil)
+	_ Backend = (*QueryScope)(nil)
 )
 
 // spiller lazily creates a temp directory for disk-backed blocks; it is
@@ -87,15 +97,16 @@ type spiller struct {
 	err  error
 }
 
-// path returns a file path for block id, creating the spill dir on first use.
-func (s *spiller) path(id int) (string, error) {
+// path returns a file path for the named block, creating the spill dir on
+// first use.
+func (s *spiller) path(name string) (string, error) {
 	s.once.Do(func() {
 		s.dir, s.err = os.MkdirTemp("", "sirum-spill-*")
 	})
 	if s.err != nil {
 		return "", s.err
 	}
-	return fmt.Sprintf("%s/block-%d.gob", s.dir, id), nil
+	return fmt.Sprintf("%s/%s.gob", s.dir, name), nil
 }
 
 // cleanup removes the spill directory if one was created.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"sirum/internal/metrics"
 )
@@ -41,6 +42,7 @@ func (b *TupleBlock) Bytes() int64 {
 type CachedData struct {
 	b      Backend
 	budget int64
+	uid    int64 // distinguishes spill files of CachedData sharing a backend
 
 	// allResident short-circuits the buffer pool: when every block fits in
 	// the budget nothing can ever spill, so Get is a plain array read with
@@ -57,8 +59,14 @@ type CachedData struct {
 	lastUsed  []int64
 	useTick   int64
 	resident  int64
+	dropped   bool
 	Residency *metrics.Series
 }
+
+// cachedDataSeq hands out the uids that keep spill file names of distinct
+// CachedData apart: a long-lived backend now hosts many prepared datasets
+// and per-query forks, which would otherwise collide on block-<i> names.
+var cachedDataSeq atomic.Int64
 
 // CacheTuples registers blocks with the backend's cache budget. Blocks are
 // admitted in order; once the budget fills, later blocks and faulted-in
@@ -67,6 +75,7 @@ func CacheTuples(b Backend, blocks []*TupleBlock) (*CachedData, error) {
 	cd := &CachedData{
 		b:         b,
 		budget:    b.TotalMemory(),
+		uid:       cachedDataSeq.Add(1),
 		blocks:    make([]*TupleBlock, len(blocks)),
 		files:     make([]string, len(blocks)),
 		sizes:     make([]int64, len(blocks)),
@@ -114,6 +123,9 @@ func (cd *CachedData) Get(i int) (*TupleBlock, error) {
 	}
 	cd.mu.Lock()
 	defer cd.mu.Unlock()
+	if cd.dropped {
+		return nil, fmt.Errorf("engine: read from dropped cache")
+	}
 	cd.useTick++
 	cd.lastUsed[i] = cd.useTick
 	if cd.blocks[i] != nil {
@@ -198,7 +210,7 @@ func (cd *CachedData) store(j int, b *TupleBlock) error {
 	path := cd.files[j]
 	if path == "" {
 		var err error
-		path, err = cd.b.spillPath(j)
+		path, err = cd.b.spillPath(fmt.Sprintf("data%d-block-%d", cd.uid, j))
 		if err != nil {
 			return err
 		}
@@ -245,6 +257,9 @@ func (cd *CachedData) Acquire(i int) (*TupleBlock, error) {
 	}
 	cd.mu.Lock()
 	defer cd.mu.Unlock()
+	if cd.dropped {
+		return nil, fmt.Errorf("engine: read from dropped cache")
+	}
 	cd.useTick++
 	cd.lastUsed[i] = cd.useTick
 	if cd.blocks[i] != nil {
@@ -301,6 +316,66 @@ func (cd *CachedData) Scan(name string, mutate bool, f func(i int, b *TupleBlock
 	return firstErr
 }
 
+// Fork returns a per-query view of the data: new blocks that share the
+// immutable dimension and measure columns of cd's blocks but own a fresh
+// estimate column initialised to 1 (the iterative-scaling starting point)
+// and no coverage bits. Forks are what make prepare-once/query-many safe:
+// concurrent queries scale their own Mhat/BA columns while reading one
+// shared copy of the data. The fork is registered against b's cache budget
+// (typically a per-query scope of the backend holding cd).
+func (cd *CachedData) Fork(b Backend) (*CachedData, error) {
+	blocks := make([]*TupleBlock, cd.NumBlocks())
+	for i := range blocks {
+		src, err := cd.Acquire(i)
+		if err != nil {
+			return nil, err
+		}
+		mhat := make([]float64, src.NumRows())
+		for r := range mhat {
+			mhat[r] = 1
+		}
+		blocks[i] = &TupleBlock{Start: src.Start, Dims: src.Dims, M: src.M, Mhat: mhat}
+		cd.Release(i)
+	}
+	return CacheTuples(b, blocks)
+}
+
+// TotalBytes returns the estimated footprint of all blocks, resident or not.
+func (cd *CachedData) TotalBytes() int64 {
+	var total int64
+	for _, s := range cd.sizes {
+		total += s
+	}
+	return total
+}
+
+// Drop releases the spill files (if any) and retires the cache. Spill-backed
+// reads on a dropped cache fail with an error; when every block was
+// resident the blocks remain readable (nothing to reclaim eagerly — forks
+// and late readers sharing their columns stay valid, and the garbage
+// collector does the rest). The pool only drops entries no query
+// references, so queries never observe the transition mid-scan.
+func (cd *CachedData) Drop() {
+	cd.mu.Lock()
+	defer cd.mu.Unlock()
+	if cd.dropped {
+		return
+	}
+	cd.dropped = true
+	for j, f := range cd.files {
+		if f != "" {
+			os.Remove(f)
+			cd.files[j] = ""
+		}
+	}
+	if !cd.allResident {
+		for j := range cd.blocks {
+			cd.blocks[j] = nil
+		}
+		cd.resident = 0
+	}
+}
+
 // SampleResidency appends a residency point stamped at the current simulated
 // time (used by experiments to densify the series between transitions).
 func (cd *CachedData) SampleResidency() {
@@ -311,7 +386,8 @@ func (cd *CachedData) SampleResidency() {
 }
 
 // BlocksFromColumns splits aligned columnar data into blocks of the given
-// partition count.
+// partition count. mhat may be nil for canonical (prepare-once) blocks whose
+// estimate columns are allocated per query by Fork.
 func BlocksFromColumns(dims [][]int32, m, mhat []float64, parts int) []*TupleBlock {
 	n := len(m)
 	if parts <= 0 {
@@ -327,7 +403,10 @@ func BlocksFromColumns(dims [][]int32, m, mhat []float64, parts int) []*TupleBlo
 	var out []*TupleBlock
 	for start := 0; start < n; start += per {
 		end := min(start+per, n)
-		b := &TupleBlock{Start: start, M: m[start:end], Mhat: mhat[start:end]}
+		b := &TupleBlock{Start: start, M: m[start:end]}
+		if mhat != nil {
+			b.Mhat = mhat[start:end]
+		}
 		b.Dims = make([][]int32, len(dims))
 		for j := range dims {
 			b.Dims[j] = dims[j][start:end]

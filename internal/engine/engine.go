@@ -91,6 +91,7 @@ func (c Config) withDefaults() Config {
 type SimBackend struct {
 	conf Config
 	reg  *metrics.Registry
+	pool *DataPool
 
 	simMu   sync.Mutex
 	simTime time.Duration
@@ -107,6 +108,7 @@ func NewSimBackend(conf Config) *SimBackend {
 	return &SimBackend{
 		conf: conf,
 		reg:  metrics.NewRegistry(),
+		pool: newDataPool(DefaultPoolLimit),
 		sem:  make(chan struct{}, conf.RealParallelism),
 	}
 }
@@ -119,6 +121,9 @@ func (c *SimBackend) Config() Config { return c.conf }
 
 // Reg returns the metrics registry.
 func (c *SimBackend) Reg() *metrics.Registry { return c.reg }
+
+// Pool returns the prepared-dataset pool.
+func (c *SimBackend) Pool() *DataPool { return c.pool }
 
 // Close removes any spill files. The backend is unusable afterwards.
 func (c *SimBackend) Close() error { return c.spill.cleanup() }
@@ -272,8 +277,8 @@ func (c *SimBackend) makespan(durations []time.Duration) time.Duration {
 }
 
 // spillPath lazily creates the spill directory and returns a file path for
-// block id.
-func (c *SimBackend) spillPath(id int) (string, error) { return c.spill.path(id) }
+// the named block.
+func (c *SimBackend) spillPath(name string) (string, error) { return c.spill.path(name) }
 
 // chargeSpill accounts for writing a spilled block: counter plus simulated
 // disk time.

@@ -20,6 +20,7 @@ import (
 type NativeBackend struct {
 	conf    Config
 	reg     *metrics.Registry
+	pool    *DataPool
 	workers int
 	spill   spiller
 }
@@ -42,6 +43,7 @@ func NewNativeBackend(conf Config) *NativeBackend {
 	return &NativeBackend{
 		conf:    conf,
 		reg:     metrics.NewRegistry(),
+		pool:    newDataPool(DefaultPoolLimit),
 		workers: conf.RealParallelism,
 	}
 }
@@ -54,6 +56,9 @@ func (b *NativeBackend) Config() Config { return b.conf }
 
 // Reg returns the metrics registry.
 func (b *NativeBackend) Reg() *metrics.Registry { return b.reg }
+
+// Pool returns the prepared-dataset pool.
+func (b *NativeBackend) Pool() *DataPool { return b.pool }
 
 // Close removes any spill files. The backend is unusable afterwards.
 func (b *NativeBackend) Close() error { return b.spill.cleanup() }
@@ -94,8 +99,9 @@ func (b *NativeBackend) ChargeDiskRead(bytes int64) {}
 func (b *NativeBackend) ChargeGather(bytes int64) {}
 
 // spillPath lazily creates the spill directory and returns a file path for
-// block id (the cache can still spill under an explicit memory budget).
-func (b *NativeBackend) spillPath(id int) (string, error) { return b.spill.path(id) }
+// the named block (the cache can still spill under an explicit memory
+// budget).
+func (b *NativeBackend) spillPath(name string) (string, error) { return b.spill.path(name) }
 
 func (b *NativeBackend) chargeSpill(bytes int64) {
 	b.reg.Add(metrics.CtrSpillBytes, bytes)

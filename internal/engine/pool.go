@@ -1,0 +1,157 @@
+package engine
+
+import "sync"
+
+// DefaultPoolLimit is the number of prepared datasets a backend retains
+// before evicting the least recently used one.
+const DefaultPoolLimit = 8
+
+// DataPool is the backend-held cache of prepared datasets: CachedData that a
+// prepare-once session has loaded and partitioned so that many queries can
+// run against it. Entries are keyed by a caller-chosen id and evicted in LRU
+// order once the pool exceeds its entry limit; an evicted entry's spill
+// files are released as soon as no query holds a reference. A session whose
+// entry was evicted simply re-prepares on its next query (the pool is a
+// cache, not an owner of last resort).
+type DataPool struct {
+	mu      sync.Mutex
+	limit   int
+	tick    int64
+	entries map[string]*poolEntry
+}
+
+type poolEntry struct {
+	cd       *CachedData
+	lastUsed int64
+	refs     int
+	dead     bool // removed or evicted; dropped once refs reach zero
+}
+
+// newDataPool returns an empty pool retaining up to limit entries.
+func newDataPool(limit int) *DataPool {
+	if limit <= 0 {
+		limit = DefaultPoolLimit
+	}
+	return &DataPool{limit: limit, entries: make(map[string]*poolEntry)}
+}
+
+// SetLimit changes the retention limit and evicts down to it.
+func (p *DataPool) SetLimit(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.limit = n
+	p.evictLocked()
+}
+
+// Len returns the number of live (non-dead) entries.
+func (p *DataPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.entries {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Put installs cd under id with one reference held by the caller (pair with
+// Release). An existing live entry under the same id is kept and returned
+// instead — concurrent re-preparations converge on one copy — so callers
+// must use the returned CachedData, not necessarily the one they passed.
+func (p *DataPool) Put(id string, cd *CachedData) *CachedData {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[id]; ok && !e.dead {
+		p.tick++
+		e.lastUsed = p.tick
+		e.refs++
+		cd.Drop() // the loser of the race releases its spill files
+		return e.cd
+	}
+	p.tick++
+	p.entries[id] = &poolEntry{cd: cd, lastUsed: p.tick, refs: 1}
+	p.evictLocked()
+	return cd
+}
+
+// Acquire returns the entry under id with a reference held (pair with
+// Release), or false when the entry is absent or evicted.
+func (p *DataPool) Acquire(id string) (*CachedData, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[id]
+	if !ok || e.dead {
+		return nil, false
+	}
+	p.tick++
+	e.lastUsed = p.tick
+	e.refs++
+	return e.cd, true
+}
+
+// Release drops one reference on id. Dead entries are dropped for good when
+// their last reference goes away.
+func (p *DataPool) Release(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[id]
+	if !ok {
+		return
+	}
+	if e.refs > 0 {
+		e.refs--
+	}
+	if e.dead && e.refs == 0 {
+		delete(p.entries, id)
+		e.cd.Drop()
+	}
+}
+
+// Remove marks the entry dead; its spill files are released once no query
+// references it.
+func (p *DataPool) Remove(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[id]
+	if !ok || e.dead {
+		return
+	}
+	e.dead = true
+	if e.refs == 0 {
+		delete(p.entries, id)
+		e.cd.Drop()
+	}
+}
+
+// evictLocked marks LRU unreferenced entries dead until at most limit live
+// entries remain. Referenced entries are skipped (a query is mid-fork on
+// them); they become eviction candidates again once released.
+func (p *DataPool) evictLocked() {
+	for {
+		live := 0
+		var victim string
+		var victimEntry *poolEntry
+		for id, e := range p.entries {
+			if e.dead {
+				continue
+			}
+			live++
+			if e.refs > 0 {
+				continue
+			}
+			if victimEntry == nil || e.lastUsed < victimEntry.lastUsed {
+				victim, victimEntry = id, e
+			}
+		}
+		if live <= p.limit || victimEntry == nil {
+			return
+		}
+		delete(p.entries, victim)
+		victimEntry.cd.Drop()
+	}
+}

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func poolBlocks(rows, parts int) []*TupleBlock {
+	dims := [][]int32{make([]int32, rows)}
+	m := make([]float64, rows)
+	for i := range m {
+		m[i] = float64(i + 1)
+	}
+	return BlocksFromColumns(dims, m, nil, parts)
+}
+
+func TestDataPoolLRUEviction(t *testing.T) {
+	b := NewNativeBackend(Config{})
+	defer b.Close()
+	p := b.Pool()
+	p.SetLimit(2)
+	for i := 0; i < 3; i++ {
+		cd, err := CacheTuples(b, poolBlocks(8, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Put(fmt.Sprintf("d%d", i), cd)
+		p.Release(fmt.Sprintf("d%d", i))
+	}
+	if p.Len() != 2 {
+		t.Fatalf("pool holds %d entries, want 2", p.Len())
+	}
+	if _, ok := p.Acquire("d0"); ok {
+		t.Error("d0 should have been evicted as LRU")
+	}
+	for _, id := range []string{"d1", "d2"} {
+		cd, ok := p.Acquire(id)
+		if !ok {
+			t.Fatalf("%s missing from pool", id)
+		}
+		if cd.NumBlocks() != 2 {
+			t.Errorf("%s has %d blocks", id, cd.NumBlocks())
+		}
+		p.Release(id)
+	}
+}
+
+func TestDataPoolReferencedEntriesSurviveEviction(t *testing.T) {
+	b := NewNativeBackend(Config{})
+	defer b.Close()
+	p := b.Pool()
+	p.SetLimit(1)
+	cd0, _ := CacheTuples(b, poolBlocks(4, 1))
+	p.Put("held", cd0) // reference kept
+	cd1, _ := CacheTuples(b, poolBlocks(4, 1))
+	p.Put("next", cd1)
+	p.Release("next")
+	if _, ok := p.Acquire("held"); !ok {
+		t.Fatal("referenced entry was evicted")
+	}
+	p.Release("held")
+	p.Release("held")
+}
+
+func TestDataPoolPutRaceConvergesOnOneCopy(t *testing.T) {
+	b := NewNativeBackend(Config{})
+	defer b.Close()
+	p := b.Pool()
+	cd0, _ := CacheTuples(b, poolBlocks(4, 1))
+	cd1, _ := CacheTuples(b, poolBlocks(4, 1))
+	got0 := p.Put("same", cd0)
+	got1 := p.Put("same", cd1)
+	if got0 != cd0 {
+		t.Error("first Put did not install its CachedData")
+	}
+	if got1 != cd0 {
+		t.Error("second Put did not converge on the existing entry")
+	}
+}
+
+// TestForkSharesImmutableColumns pins the fork contract: dimension and
+// measure columns are shared, estimate columns are private.
+func TestForkSharesImmutableColumns(t *testing.T) {
+	b := NewNativeBackend(Config{})
+	defer b.Close()
+	canonical, err := CacheTuples(b, poolBlocks(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := canonical.Fork(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := canonical.Fork(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := f1.Get(0)
+	b2, _ := f2.Get(0)
+	c0, _ := canonical.Get(0)
+	if &b1.M[0] != &c0.M[0] || &b2.M[0] != &c0.M[0] {
+		t.Error("forks do not share the measure column")
+	}
+	if &b1.Mhat[0] == &b2.Mhat[0] {
+		t.Error("forks share the estimate column")
+	}
+	for i, v := range b1.Mhat {
+		if v != 1 {
+			t.Fatalf("fork estimate[%d] = %v, want 1", i, v)
+		}
+	}
+	b1.Mhat[0] = 42
+	if b2.Mhat[0] != 1 {
+		t.Error("mutating one fork leaked into the other")
+	}
+	if c0.Mhat != nil {
+		t.Error("canonical blocks should have no estimate column")
+	}
+}
+
+// TestConcurrentForkAndScan runs concurrent forks plus mutating scans on one
+// shared canonical dataset — the engine-level shape of prepare-once /
+// query-many (run under -race in CI).
+func TestConcurrentForkAndScan(t *testing.T) {
+	b := NewNativeBackend(Config{})
+	defer b.Close()
+	canonical, err := CacheTuples(b, poolBlocks(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f, err := canonical.Fork(NewQueryScope(b))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for round := 0; round < 3; round++ {
+				errs[g] = f.Scan("test/scale", true, func(_ int, blk *TupleBlock) {
+					for i := range blk.Mhat {
+						blk.Mhat[i] *= 2
+					}
+				})
+				if errs[g] != nil {
+					return
+				}
+			}
+			f.Scan("test/check", false, func(bi int, blk *TupleBlock) {
+				for i, v := range blk.Mhat {
+					if v != 8 {
+						errs[g] = fmt.Errorf("goroutine %d block %d row %d: mhat %v, want 8", g, bi, i, v)
+						return
+					}
+				}
+			})
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQueryScopeIsolatesMetrics pins the per-query registry contract.
+func TestQueryScopeIsolatesMetrics(t *testing.T) {
+	b := NewSimBackend(Config{Executors: 2, CoresPerExecutor: 2})
+	defer b.Close()
+	s1 := NewQueryScope(b)
+	s2 := NewQueryScope(b)
+	s1.RunStage("one", 3, func(int) {})
+	s2.ChargeShuffle(100, 7)
+	if got := s1.Reg().Counter("tasks"); got != 3 {
+		t.Errorf("scope 1 tasks = %d, want 3", got)
+	}
+	if got := s2.Reg().Counter("tasks"); got != 0 {
+		t.Errorf("scope 2 saw scope 1's tasks: %d", got)
+	}
+	if got := s2.Reg().Counter("shuffle_bytes"); got != 100 {
+		t.Errorf("scope 2 shuffle bytes = %d", got)
+	}
+	if got := s1.Reg().Counter("shuffle_bytes"); got != 0 {
+		t.Errorf("scope 1 saw scope 2's shuffle: %d", got)
+	}
+	// The backend keeps substrate-lifetime totals across both scopes.
+	if got := b.Reg().Counter("tasks"); got != 3 {
+		t.Errorf("backend tasks = %d, want 3", got)
+	}
+	if got := b.Reg().Counter("shuffle_bytes"); got != 100 {
+		t.Errorf("backend shuffle bytes = %d", got)
+	}
+	// Scopes never chain, and closing one is a no-op for the backend.
+	if NewQueryScope(s1).Base() != b {
+		t.Error("scope of a scope did not attach to the base backend")
+	}
+	if err := s1.Close(); err != nil {
+		t.Errorf("scope close: %v", err)
+	}
+	if b.Pool() != s2.Pool() {
+		t.Error("scope does not share the backend pool")
+	}
+}

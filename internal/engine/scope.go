@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"time"
+
+	"sirum/internal/metrics"
+)
+
+// QueryScope is a per-query view of a shared Backend. It delegates all
+// execution — scheduling, cost charging, the simulated clock, spill files —
+// to the underlying backend, but owns a private metrics registry, so
+// counters and phase durations accumulated by one query never mix with
+// another query running concurrently on the same backend. Counter-bearing
+// charges are double-booked: the query's registry isolates one query, while
+// the backend's registry keeps accumulating lifetime totals across all
+// queries (the behaviour single-query callers always observed).
+//
+// Closing a scope is a no-op: a scope is a view, and tearing down the shared
+// backend is its owner's job.
+type QueryScope struct {
+	base Backend
+	reg  *metrics.Registry
+}
+
+// NewQueryScope wraps b with a fresh private registry. Wrapping another
+// scope attaches to its underlying backend, so scopes never chain.
+func NewQueryScope(b Backend) *QueryScope {
+	if s, ok := b.(*QueryScope); ok {
+		b = s.base
+	}
+	return &QueryScope{base: b, reg: metrics.NewRegistry()}
+}
+
+// Base returns the shared backend the scope charges execution to.
+func (s *QueryScope) Base() Backend { return s.base }
+
+// Name identifies the underlying backend.
+func (s *QueryScope) Name() string { return s.base.Name() }
+
+// Config returns the underlying backend's effective configuration.
+func (s *QueryScope) Config() Config { return s.base.Config() }
+
+// Reg returns the query-private metrics registry.
+func (s *QueryScope) Reg() *metrics.Registry { return s.reg }
+
+// RunStage schedules on the shared backend and books the task/stage counters
+// to the query.
+func (s *QueryScope) RunStage(name string, n int, task func(i int)) {
+	if n > 0 {
+		s.reg.Add(metrics.CtrTasks, int64(n))
+		s.reg.Add(metrics.CtrStages, 1)
+	}
+	s.base.RunStage(name, n, task)
+}
+
+// JobBoundary charges one job startup on the shared backend.
+func (s *QueryScope) JobBoundary() { s.base.JobBoundary() }
+
+// ChargeShuffle books the shuffle counters to the query and charges the
+// shared backend.
+func (s *QueryScope) ChargeShuffle(bytes, records int64) {
+	if bytes > 0 {
+		s.reg.Add(metrics.CtrShuffleBytes, bytes)
+		if s.base.accountsBytes() && s.base.Config().ShuffleToDisk {
+			s.reg.Add(metrics.CtrSpillBytes, bytes)
+		}
+	}
+	s.reg.Add(metrics.CtrShuffleRecords, records)
+	s.base.ChargeShuffle(bytes, records)
+}
+
+// Broadcast books the broadcast counter to the query and charges the shared
+// backend.
+func (s *QueryScope) Broadcast(bytes int64) {
+	if bytes > 0 {
+		s.reg.Add(metrics.CtrBroadcastBytes, bytes)
+	}
+	s.base.Broadcast(bytes)
+}
+
+// Repartition charges the shared backend, booking the traffic to the query
+// under the backend's own policy (a shuffle when the backend prices bytes,
+// free in-process on the native path).
+func (s *QueryScope) Repartition(bytes, records int64) {
+	if s.base.accountsBytes() {
+		if bytes > 0 {
+			s.reg.Add(metrics.CtrShuffleBytes, bytes)
+		}
+		s.reg.Add(metrics.CtrShuffleRecords, records)
+	}
+	s.base.Repartition(bytes, records)
+}
+
+// ChargeDiskRead charges the shared backend.
+func (s *QueryScope) ChargeDiskRead(bytes int64) { s.base.ChargeDiskRead(bytes) }
+
+// ChargeGather charges the shared backend.
+func (s *QueryScope) ChargeGather(bytes int64) { s.base.ChargeGather(bytes) }
+
+// SimTime returns the shared simulated clock. Under concurrent queries the
+// clock interleaves all queries' charges; per-query simulated durations are
+// only meaningful for queries run serially.
+func (s *QueryScope) SimTime() time.Duration { return s.base.SimTime() }
+
+// TotalMemory returns the shared cache budget.
+func (s *QueryScope) TotalMemory() int64 { return s.base.TotalMemory() }
+
+// Pool returns the shared prepared-dataset pool.
+func (s *QueryScope) Pool() *DataPool { return s.base.Pool() }
+
+// Close is a no-op: the scope's owner does not own the backend.
+func (s *QueryScope) Close() error { return nil }
+
+func (s *QueryScope) spillPath(name string) (string, error) { return s.base.spillPath(name) }
+
+func (s *QueryScope) chargeSpill(bytes int64) {
+	s.reg.Add(metrics.CtrSpillBytes, bytes)
+	s.base.chargeSpill(bytes)
+}
+
+func (s *QueryScope) chargeSpillRead(bytes int64) {
+	s.reg.Add(metrics.CtrSpillReads, bytes)
+	s.base.chargeSpillRead(bytes)
+}
+
+func (s *QueryScope) accountsBytes() bool { return s.base.accountsBytes() }

@@ -49,10 +49,15 @@ func rctFigure(cfg Config, id, name string, paperRows, sampleSize int) ([]*Table
 	if cfg.Quick {
 		ks = ks[:2]
 	}
+	s, err := cfg.newSession(ds, sampleSize)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
 	for _, k := range ks {
 		var times [2]time.Duration
 		for vi, v := range []miner.Variant{miner.Baseline, miner.RCT} {
-			res, err := cfg.mineFresh(ds, miner.Options{Variant: v, K: k, SampleSize: sampleSize})
+			res, err := s.mine(miner.Options{Variant: v, K: k, SampleSize: sampleSize})
 			if err != nil {
 				return nil, err
 			}
@@ -60,6 +65,7 @@ func rctFigure(cfg Config, id, name string, paperRows, sampleSize int) ([]*Table
 		}
 		t.AddRow(fmt.Sprint(k), secs(times[0]), secs(times[1]), ratio(times[0], times[1]))
 	}
+	t.Notes = append(t.Notes, s.amortNote())
 	return []*Table{t}, nil
 }
 
@@ -74,10 +80,15 @@ func fig55(cfg Config) ([]*Table, error) {
 		Header: []string{"|s|", "baseline_s", "fastpruning_s", "speedup"},
 		Notes:  []string{"expected shape: ~2x speedup, growing with |s|"},
 	}
+	sess, err := cfg.newSession(ds, cfg.s(64))
+	if err != nil {
+		return nil, err
+	}
+	defer sess.close()
 	for _, s := range []int{cfg.s(64), cfg.s(128), cfg.s(256)} {
 		var times [2]time.Duration
 		for vi, v := range []miner.Variant{miner.Baseline, miner.FastPruning} {
-			res, err := cfg.mineFresh(ds, miner.Options{Variant: v, K: cfg.k(20), SampleSize: s})
+			res, err := sess.mine(miner.Options{Variant: v, K: cfg.k(20), SampleSize: s})
 			if err != nil {
 				return nil, err
 			}
@@ -85,6 +96,7 @@ func fig55(cfg Config) ([]*Table, error) {
 		}
 		t.AddRow(fmt.Sprint(s), secs(times[0]), secs(times[1]), ratio(times[0], times[1]))
 	}
+	t.Notes = append(t.Notes, sess.amortNote())
 	return []*Table{t}, nil
 }
 
@@ -102,10 +114,15 @@ func fig56(cfg Config) ([]*Table, error) {
 			"(sample sizes scaled down with the dataset; see DESIGN.md)",
 		},
 	}
+	sess, err := cfg.newSession(ds, cfg.s(4))
+	if err != nil {
+		return nil, err
+	}
+	defer sess.close()
 	for _, s := range []int{cfg.s(4), cfg.s(8), cfg.s(16)} {
 		var times [2]time.Duration
 		for vi, v := range []miner.Variant{miner.Baseline, miner.FastAncestor} {
-			res, err := cfg.mineFresh(ds, miner.Options{Variant: v, K: cfg.k(3), SampleSize: s})
+			res, err := sess.mine(miner.Options{Variant: v, K: cfg.k(3), SampleSize: s})
 			if err != nil {
 				return nil, err
 			}
@@ -113,11 +130,14 @@ func fig56(cfg Config) ([]*Table, error) {
 		}
 		t.AddRow(fmt.Sprint(s), secs(times[0]), secs(times[1]), ratio(times[0], times[1]))
 	}
+	t.Notes = append(t.Notes, sess.amortNote())
 	return []*Table{t}, nil
 }
 
 // dimSweep runs Baseline and FastAncestor over SUSY projections (10–18
 // dims) and returns per-dimension rule-gen times plus emitted-pair counts.
+// Each projection is a distinct dataset and gets its own prepared session;
+// the two variants are queries against it.
 func dimSweep(cfg Config) ([][4]string, [][3]string, error) {
 	full, err := cfg.data("susy", susyRows)
 	if err != nil {
@@ -127,16 +147,22 @@ func dimSweep(cfg Config) ([][4]string, [][3]string, error) {
 	var pairs [][3]string
 	for _, d := range []int{10, 12, 14, 16, 18} {
 		ds := full.Project(d)
+		sess, err := cfg.newSession(ds, cfg.s(8))
+		if err != nil {
+			return nil, nil, err
+		}
 		var rg [2]time.Duration
 		var emitted [2]int64
 		for vi, v := range []miner.Variant{miner.Baseline, miner.FastAncestor} {
-			res, err := cfg.mineFresh(ds, miner.Options{Variant: v, K: cfg.k(3), SampleSize: cfg.s(8)})
+			res, err := sess.mine(miner.Options{Variant: v, K: cfg.k(3), SampleSize: cfg.s(8)})
 			if err != nil {
+				sess.close()
 				return nil, nil, err
 			}
 			rg[vi] = cfg.phaseTime(res, metrics.PhaseRuleGen)
 			emitted[vi] = res.Counters[metrics.CtrPairsEmitted]
 		}
+		sess.close()
 		times = append(times, [4]string{fmt.Sprint(d), secs(rg[0]), secs(rg[1]), ratio(rg[0], rg[1])})
 		pairs = append(pairs, [3]string{fmt.Sprint(d), fmt.Sprint(emitted[0]), fmt.Sprint(emitted[1])})
 	}
@@ -200,19 +226,24 @@ func multiRuleFigure(cfg Config, id, name string, paperRows, sampleSize int) ([]
 	if cfg.Quick {
 		ks = []int{6}
 	}
+	s, err := cfg.newSession(ds, sampleSize)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
 	for _, k := range ks {
-		base, err := cfg.mineFresh(ds, miner.Options{Variant: miner.Baseline, K: k, SampleSize: sampleSize})
+		base, err := s.mine(miner.Options{Variant: miner.Baseline, K: k, SampleSize: sampleSize})
 		if err != nil {
 			return nil, err
 		}
 		row := []string{fmt.Sprint(k), secs(cfg.phaseTime(base, metrics.PhaseRuleGen))}
 		starRules := 0
 		for _, l := range []int{2, 3} {
-			plain, err := cfg.mineFresh(ds, miner.Options{Variant: miner.MultiRule, K: k, SampleSize: sampleSize, RulesPerIter: l})
+			plain, err := s.mine(miner.Options{Variant: miner.MultiRule, K: k, SampleSize: sampleSize, RulesPerIter: l})
 			if err != nil {
 				return nil, err
 			}
-			star, err := cfg.mineFresh(ds, miner.Options{
+			star, err := s.mine(miner.Options{
 				Variant: miner.MultiRule, K: k, SampleSize: sampleSize, RulesPerIter: l,
 				TargetKL: base.KL, MaxRules: 4 * k,
 			})
@@ -228,6 +259,7 @@ func multiRuleFigure(cfg Config, id, name string, paperRows, sampleSize int) ([]
 		// Reorder: baseline, 2rule, 2rule*, 3rule, 3rule*, starRules.
 		t.AddRow(row[0], row[1], row[2], row[3], row[4], row[5], row[6])
 	}
+	t.Notes = append(t.Notes, s.amortNote())
 	return []*Table{t}, nil
 }
 
@@ -242,8 +274,13 @@ func ablationGroups(cfg Config) ([]*Table, error) {
 		Header: []string{"groups", "rule_gen_s", "pairs_emitted"},
 		Notes:  []string{"expected shape: g=2 captures most of the win; g>2 marginal (<~20%)"},
 	}
+	s, err := cfg.newSession(ds, cfg.s(8))
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
 	for _, g := range []int{1, 2, 3, 4} {
-		res, err := cfg.mineFresh(ds, miner.Options{
+		res, err := s.mine(miner.Options{
 			Variant: miner.FastAncestor, K: cfg.k(3), SampleSize: cfg.s(8), ColumnGroups: g,
 		})
 		if err != nil {
@@ -252,6 +289,7 @@ func ablationGroups(cfg Config) ([]*Table, error) {
 		t.AddRow(fmt.Sprint(g), secs(cfg.phaseTime(res, metrics.PhaseRuleGen)),
 			fmt.Sprint(res.Counters[metrics.CtrPairsEmitted]))
 	}
+	t.Notes = append(t.Notes, s.amortNote())
 	return []*Table{t}, nil
 }
 
@@ -266,8 +304,13 @@ func ablationRedundant(cfg Config) ([]*Table, error) {
 		Header: []string{"pruning", "candidates", "rule_gen_s", "final_KL"},
 		Notes:  []string{"expected shape: fewer candidates, same quality"},
 	}
+	s, err := cfg.newSession(ds, cfg.s(64))
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
 	for _, on := range []bool{false, true} {
-		res, err := cfg.mineFresh(ds, miner.Options{
+		res, err := s.mine(miner.Options{
 			Variant: miner.Optimized, K: cfg.k(10), SampleSize: cfg.s(64),
 			PruneRedundantAncestors: on,
 		})
@@ -277,5 +320,6 @@ func ablationRedundant(cfg Config) ([]*Table, error) {
 		t.AddRow(fmt.Sprint(on), fmt.Sprint(res.Candidates),
 			secs(cfg.phaseTime(res, metrics.PhaseRuleGen)), fmt.Sprintf("%.6f", res.KL))
 	}
+	t.Notes = append(t.Notes, s.amortNote())
 	return []*Table{t}, nil
 }

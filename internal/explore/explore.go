@@ -65,8 +65,9 @@ func PriorKnowledge(ds *dataset.Dataset, n int) []rule.Rule {
 	return rules
 }
 
-// Run executes the exploration scenario on the given backend.
-func Run(c engine.Backend, ds *dataset.Dataset, opt Options) (*Recommendation, error) {
+// minerOptions translates an exploration scenario over ds into a mining job
+// plus the prior rule list it seeds.
+func minerOptions(ds *dataset.Dataset, opt Options) (miner.Options, []rule.Rule) {
 	if opt.K <= 0 {
 		opt.K = 10
 	}
@@ -92,7 +93,25 @@ func Run(c engine.Backend, ds *dataset.Dataset, opt Options) (*Recommendation, e
 		mopt.Variant = miner.Baseline
 		mopt.ResetScaling = true // [29] re-scales all multipliers from scratch
 	}
+	return mopt, prior
+}
+
+// Run executes the exploration scenario cold on the given backend.
+func Run(c engine.Backend, ds *dataset.Dataset, opt Options) (*Recommendation, error) {
+	mopt, prior := minerOptions(ds, opt)
 	res, err := miner.New(c, ds, mopt).Run()
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	return &Recommendation{PriorRules: prior, Result: res}, nil
+}
+
+// RunPrepared executes the exploration scenario as one query against a
+// prepared mining session, reusing its loaded blocks and measure transform.
+// Safe to call concurrently with other queries on the same Prep.
+func RunPrepared(p *miner.Prep, opt Options) (*Recommendation, error) {
+	mopt, prior := minerOptions(p.Dataset(), opt)
+	res, err := p.Mine(mopt)
 	if err != nil {
 		return nil, fmt.Errorf("explore: %w", err)
 	}

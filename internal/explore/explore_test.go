@@ -74,7 +74,10 @@ func TestOptimizedBeatsPriorWorkStyle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return rec, c.Reg().Counters()
+		// Counters are scoped per query now; the run's own snapshot is the
+		// authoritative source (the backend registry keeps substrate-level
+		// totals only).
+		return rec, rec.Result.Counters
 	}
 	_, baseCtr := run(false)
 	_, optCtr := run(true)

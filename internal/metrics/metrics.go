@@ -130,6 +130,17 @@ func (r *Registry) Phases() map[string]time.Duration {
 	return out
 }
 
+// SimPhases returns a copy of all simulated-cluster phase durations.
+func (r *Registry) SimPhases() map[string]time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]time.Duration, len(r.sim))
+	for k, v := range r.sim {
+		out[k] = v
+	}
+	return out
+}
+
 // Merge adds every counter and phase of o into r.
 func (r *Registry) Merge(o *Registry) {
 	o.mu.Lock()

@@ -17,8 +17,9 @@ import (
 // RemineFactor times the divergence measured right after the last full mine,
 // the rule list is considered stale and is mined from scratch.
 type Incremental struct {
-	c   engine.Backend
-	opt Options
+	c    engine.Backend
+	opt  Options
+	prep *Prep // optional prepared state for full re-mines (see UsePrep)
 
 	data      *dataset.Dataset
 	rules     []rule.Rule // includes the all-wildcards rule first
@@ -54,6 +55,24 @@ func NewIncremental(c engine.Backend, opt Options) *Incremental {
 	return &Incremental{c: c, opt: opt.withDefaults(), RemineFactor: 1.5}
 }
 
+// Seed installs already-loaded data without mining it, so a prepare-once
+// session can hand its base dataset to the incremental maintainer: the first
+// Append then folds into the seed (and mines the union) instead of starting
+// from the batch alone.
+func (inc *Incremental) Seed(ds *dataset.Dataset) { inc.data = ds }
+
+// SetOptions replaces the options used by future refits and full re-mines.
+func (inc *Incremental) SetOptions(opt Options) { inc.opt = opt.withDefaults() }
+
+// Data returns the accumulated dataset (nil before any Seed/Append).
+func (inc *Incremental) Data() *dataset.Dataset { return inc.data }
+
+// UsePrep directs full re-mines at an existing prepared session instead of
+// a cold run, so the session layer's Append does not load the grown data
+// twice. The prep is consulted only while its Dataset matches the
+// accumulated data; pass nil to revert to cold re-mines.
+func (inc *Incremental) UsePrep(p *Prep) { inc.prep = p }
+
 // Rules returns the current rule list (excluding the leading all-wildcards
 // rule).
 func (inc *Incremental) Rules() []rule.Rule {
@@ -78,8 +97,18 @@ func (inc *Incremental) Append(batch *dataset.Dataset) (*IncrementalResult, erro
 		}
 		inc.data = merged
 	}
+	return inc.Maintain()
+}
 
-	// First batch, or nothing mined yet: full mine.
+// Maintain refits or re-mines the rule list on the current accumulated data
+// (which the caller may have grown externally via Seed — the session layer
+// concatenates and re-prepares first so a failed preparation leaves the
+// incremental state untouched). On error the rule list is unchanged.
+func (inc *Incremental) Maintain() (*IncrementalResult, error) {
+	if inc.data == nil || inc.data.NumRows() == 0 {
+		return nil, fmt.Errorf("miner: no data to maintain")
+	}
+	// Nothing mined yet: full mine.
 	if len(inc.rules) == 0 {
 		return inc.remine()
 	}
@@ -121,9 +150,17 @@ func (inc *Incremental) refit() (float64, []rule.Rule, error) {
 	return maxent.KLDivergence(work, s.Mhat()), kept, nil
 }
 
-// remine runs a full mining pass on the accumulated data.
+// remine runs a full mining pass on the accumulated data — as a query
+// against the caller-provided prepared state when it matches, cold
+// otherwise.
 func (inc *Incremental) remine() (*IncrementalResult, error) {
-	res, err := New(inc.c, inc.data, inc.opt).Run()
+	var res *Result
+	var err error
+	if inc.prep != nil && inc.prep.Dataset() == inc.data {
+		res, err = inc.prep.Mine(inc.opt)
+	} else {
+		res, err = New(inc.c, inc.data, inc.opt).Run()
+	}
 	if err != nil {
 		return nil, err
 	}

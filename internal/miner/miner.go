@@ -15,88 +15,100 @@ import (
 	"sirum/internal/stats"
 )
 
-// Miner executes the greedy informative-rule mining loop (Algorithm 2) on an
-// execution backend.
+// Miner executes one cold mining run (Algorithm 2) on an execution backend:
+// it prepares the dataset (load, measure transform, pruning sample) and runs
+// a single query against it. Interactive workloads that ask many queries
+// over one dataset should Prepare once and query the returned Prep instead.
 type Miner struct {
-	c    engine.Backend
-	ds   *dataset.Dataset
-	opt  Options
-	full *dataset.Dataset // the unsampled dataset for EvaluateOnFullData
+	c   engine.Backend
+	ds  *dataset.Dataset
+	opt Options
 }
 
 // New builds a miner over ds. The backend carries the execution substrate
-// (parallelism, memory, cost model if simulated) and accumulates metrics.
+// (parallelism, memory, cost model if simulated); metrics are accounted per
+// query, so one backend can serve many miners, even concurrently.
 func New(c engine.Backend, ds *dataset.Dataset, opt Options) *Miner {
 	return &Miner{c: c, ds: ds, opt: opt.withDefaults()}
 }
 
-// timed charges f's wall and simulated durations to the named phase.
-func (m *Miner) timed(phase string, f func() error) error {
-	wallStart := time.Now()
-	simStart := m.c.SimTime()
-	err := f()
-	m.c.Reg().AddPhase(phase, time.Since(wallStart))
-	m.c.Reg().AddSimPhase(phase, m.c.SimTime()-simStart)
-	return err
-}
-
-// Run mines the rule list. It is not safe to call concurrently on one Miner.
+// Run mines the rule list: prepare, then one query, on one metrics scope so
+// the result's phases cover the whole run. The prepared state is dropped
+// afterwards; cold runs keep the thesis' per-iteration work profile (no
+// cross-iteration LCA reuse).
 func (m *Miner) Run() (*Result, error) {
-	opt := m.opt
-	if m.ds.NumRows() == 0 {
-		return nil, fmt.Errorf("miner: empty dataset")
-	}
+	qc := engine.NewQueryScope(m.c)
 	wallStart := time.Now()
-	simStart := m.c.SimTime()
-
-	// SIRUM on sample data (Section 4.5): replace D with a Bernoulli sample
-	// sized to memory; keep the original around for final evaluation.
-	ds := m.ds
-	if opt.SampleFraction > 0 && opt.SampleFraction < 1 {
-		m.full = m.ds
-		ds = m.ds.SampleFraction(stats.NewRand(opt.Seed+1), opt.SampleFraction)
-		if ds.NumRows() == 0 {
-			return nil, fmt.Errorf("miner: sample fraction %v left no rows", opt.SampleFraction)
-		}
-	}
-	d := ds.NumDims()
-
-	// Measure preprocessing (Section 2.2) and data load.
-	transform, work := maxent.NewTransform(ds.Measure)
-	mhat := make([]float64, len(work))
-	for i := range mhat {
-		mhat[i] = 1
-	}
-	parts := opt.Partitions
-	if parts <= 0 {
-		parts = m.c.Config().Partitions
-	}
-	var data *engine.CachedData
-	dataBytes := ds.ApproxBytes()
-	err := m.timed(metrics.PhaseDataLoad, func() error {
-		blocks := engine.BlocksFromColumns(ds.Dims, work, mhat, parts)
-		// Initial read from the distributed file system.
-		m.c.ChargeDiskRead(dataBytes)
-		var err error
-		data, err = engine.CacheTuples(m.c, blocks)
-		return err
+	simStart := qc.SimTime()
+	p, err := prepare(m.c, m.ds, PrepOptions{
+		SampleSize:     m.opt.SampleSize,
+		Seed:           m.opt.Seed,
+		Partitions:     m.opt.Partitions,
+		SampleFraction: m.opt.SampleFraction,
+		DisableLCAMemo: true,
 	})
 	if err != nil {
 		return nil, err
 	}
+	defer p.Drop()
+	return p.mineScoped(qc, m.opt, wallStart, simStart)
+}
 
-	// Scaler per variant.
+// timedOn charges f's wall and simulated durations on c to the named phase.
+func timedOn(c engine.Backend, phase string, f func() error) error {
+	wallStart := time.Now()
+	simStart := c.SimTime()
+	err := f()
+	c.Reg().AddPhase(phase, time.Since(wallStart))
+	c.Reg().AddSimPhase(phase, c.SimTime()-simStart)
+	return err
+}
+
+// query is one mining query running against prepared state: it owns the
+// per-query metrics scope, the forked (mutable-estimate) data view, and the
+// candidate sample in effect for this query.
+type query struct {
+	p      *Prep
+	c      engine.Backend // per-query scope of the shared backend
+	opt    Options
+	data   *engine.CachedData // per-query fork of the prepared blocks
+	sample *candgen.Sample
+	index  *candgen.InvertedIndex
+	memo   *lcaMemo // non-nil when cross-iteration LCA reuse applies
+}
+
+// timed charges f's durations to the query's registry.
+func (q *query) timed(phase string, f func() error) error {
+	return timedOn(q.c, phase, f)
+}
+
+// mineScoped runs one query on the given scope. wallStart/simStart anchor
+// the result's totals (cold runs pass the instant before preparation so the
+// load is included, prepared queries the query start).
+func (p *Prep) mineScoped(qc engine.Backend, opt Options, wallStart time.Time, simStart time.Duration) (*Result, error) {
+	opt = opt.withDefaults()
+	q, err := p.newQuery(qc, opt)
+	if err != nil {
+		return nil, err
+	}
+	// The fork's blocks die with the query; release any spill files they
+	// grew so a long-lived backend does not accumulate per-query disk.
+	defer q.data.Drop()
+	ds := p.ds
+	d := ds.NumDims()
+
+	// Scaler per variant, over this query's private estimate columns.
 	var scaler distScaler
 	if opt.useRCT() {
-		scaler = newRCTDistScaler(m.c, data, dataBytes, opt.Epsilon, opt.MaxRules+len(opt.PriorRules)+1)
+		scaler = newRCTDistScaler(qc, q.data, p.dataBytes, opt.Epsilon, opt.MaxRules+len(opt.PriorRules)+1)
 	} else {
-		scaler = newNaiveDistScaler(m.c, data, dataBytes, opt.Epsilon, opt.useShuffleJoin(), opt.ResetScaling)
+		scaler = newNaiveDistScaler(qc, q.data, p.dataBytes, opt.Epsilon, opt.useShuffleJoin(), opt.ResetScaling)
 	}
 
 	res := &Result{}
 	selected := map[string]bool{}
 	addRules := func(rs []rule.Rule) error {
-		return m.timed(metrics.PhaseScaling, func() error {
+		return q.timed(metrics.PhaseScaling, func() error {
 			if err := scaler.AddRules(rs); err != nil {
 				return err
 			}
@@ -112,21 +124,12 @@ func (m *Miner) Run() (*Result, error) {
 	if err := addRules([]rule.Rule{rule.AllWildcards(d)}); err != nil {
 		return nil, err
 	}
-	if len(opt.PriorRules) > 0 {
-		for _, r := range opt.PriorRules {
-			if err := addRules([]rule.Rule{r}); err != nil {
-				return nil, err
-			}
+	for _, r := range opt.PriorRules {
+		if err := addRules([]rule.Rule{r}); err != nil {
+			return nil, err
 		}
 	}
 
-	// The sample for candidate pruning is drawn once per run, as in the
-	// thesis' evaluation, so variants given the same seed see the same
-	// candidate space.
-	var sample *candgen.Sample
-	if opt.SampleSize > 0 {
-		sample = candgen.DrawSample(ds, stats.NewRand(opt.Seed), opt.SampleSize)
-	}
 	groups := cube.SplitGroups(d, opt.ColumnGroups)
 
 	ruleBudget := opt.K
@@ -135,9 +138,9 @@ func (m *Miner) Run() (*Result, error) {
 	}
 	klOf := func() (float64, error) {
 		var kl float64
-		err := m.timed(metrics.PhaseRuleSelection, func() error {
+		err := q.timed(metrics.PhaseRuleSelection, func() error {
 			var e error
-			kl, e = m.currentKL(data)
+			kl, e = q.currentKL()
 			return e
 		})
 		return kl, err
@@ -145,15 +148,15 @@ func (m *Miner) Run() (*Result, error) {
 
 	for len(res.Rules) < ruleBudget {
 		res.Iterations++
-		cands, nCands, err := m.generateCandidates(data, sample, d, groups, dataBytes)
+		cands, nCands, err := q.generateCandidates(d, groups)
 		if err != nil {
 			return nil, err
 		}
 		res.Candidates = nCands
 
 		var picked []candgen.Candidate
-		err = m.timed(metrics.PhaseRuleSelection, func() error {
-			picked = m.selectRules(cands, nCands, selected, min(opt.RulesPerIter, ruleBudget-len(res.Rules)))
+		err = q.timed(metrics.PhaseRuleSelection, func() error {
+			picked = q.selectRules(cands, nCands, selected, min(opt.RulesPerIter, ruleBudget-len(res.Rules)))
 			return nil
 		})
 		if err != nil {
@@ -171,7 +174,7 @@ func (m *Miner) Run() (*Result, error) {
 			rs[i] = r
 			res.Rules = append(res.Rules, MinedRule{
 				Rule:  r,
-				Avg:   transform.InvertAvg(cand.Agg.SumM / cand.Agg.Count),
+				Avg:   p.transform.InvertAvg(cand.Agg.SumM / cand.Agg.Count),
 				Count: int64(cand.Agg.Count + 0.5),
 				Gain:  cand.Gain,
 			})
@@ -199,47 +202,119 @@ func (m *Miner) Run() (*Result, error) {
 		res.KL = kl
 	}
 	res.WallTime = time.Since(wallStart)
-	res.SimTime = m.c.SimTime() - simStart
+	res.SimTime = qc.SimTime() - simStart
 
 	// Information gain of the final estimates (Section 5.1).
-	ig, err := m.informationGain(data)
+	ig, err := q.informationGain()
 	if err != nil {
 		return nil, err
 	}
 	res.InfoGain = ig
-	if m.full != nil && opt.EvaluateOnFullData {
-		igFull, err := m.evaluateOnFull(scaler.Rules())
+	if p.full != nil && opt.EvaluateOnFullData {
+		igFull, err := q.evaluateOnFull(scaler.Rules())
 		if err != nil {
 			return nil, err
 		}
 		res.InfoGain = igFull
 	}
 
-	res.Phases = m.c.Reg().Phases()
-	res.SimPhases = map[string]time.Duration{}
-	for name := range res.Phases {
-		res.SimPhases[name] = m.c.Reg().SimPhase(name)
-	}
-	res.Counters = m.c.Reg().Counters()
+	res.Phases = qc.Reg().Phases()
+	res.SimPhases = qc.Reg().SimPhases()
+	res.Counters = qc.Reg().Counters()
 	return res, nil
+}
+
+// newQuery resolves the query's sample, forks the prepared blocks into a
+// private data view, and decides whether the prepared LCA memo applies.
+func (p *Prep) newQuery(qc engine.Backend, opt Options) (*query, error) {
+	if opt.SampleFraction != 0 && opt.SampleFraction != p.opt.SampleFraction {
+		return nil, fmt.Errorf("miner: prepared with SampleFraction=%v, query asked for %v (prepare again)",
+			p.opt.SampleFraction, opt.SampleFraction)
+	}
+	q := &query{p: p, c: qc, opt: opt}
+
+	// The prepared sample (and its lazily built index) is reused when the
+	// query's sample parameters match; otherwise the query draws its own.
+	// Exhaustive queries (SampleSize 0) need no sample at all. Index
+	// construction is charged as candidate pruning, where the per-iteration
+	// implementation used to pay it.
+	switch {
+	case opt.SampleSize <= 0:
+		// exhaustive
+	case opt.SampleSize == p.opt.SampleSize && opt.Seed == p.opt.Seed:
+		q.sample = p.sample
+		if opt.useIndex() {
+			if err := q.timed(metrics.PhaseCandPruning, func() error {
+				q.index = p.indexFor()
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		q.sample = candgen.DrawSample(p.ds, stats.NewRand(opt.Seed), opt.SampleSize)
+		if opt.useIndex() {
+			if err := q.timed(metrics.PhaseCandPruning, func() error {
+				q.index = candgen.BuildIndex(q.sample)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	err := q.timed(metrics.PhaseDataLoad, func() error {
+		cd, release, err := p.ensureData(qc)
+		if err != nil {
+			return err
+		}
+		defer release()
+		q.data, err = cd.Fork(qc)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if p.memoEligible(opt, q.sample) {
+		// The first query pays the build (it replaces that query's first
+		// LCA round, so it is charged as candidate pruning); later queries
+		// get it for free.
+		err := q.timed(metrics.PhaseCandPruning, func() error {
+			memo, err := p.memoFor(q)
+			q.memo = memo
+			return err
+		})
+		if err != nil {
+			q.data.Drop()
+			return nil, err
+		}
+	}
+	return q, nil
 }
 
 // generateCandidates runs one rule-generation round: candidate pruning (LCA
 // computation), ancestor generation (the cube), gain-input preparation (the
 // sample fix-up). Phases are timed separately to reproduce Figure 3.2.
-func (m *Miner) generateCandidates(data *engine.CachedData, sample *candgen.Sample, d int, groups [][]int, dataBytes int64) (*engine.PColl[map[string]cube.Agg], int64, error) {
+func (q *query) generateCandidates(d int, groups [][]int) (*engine.PColl[map[string]cube.Agg], int64, error) {
 	var lcas *engine.PColl[map[string]cube.Agg]
 	wallStart := time.Now()
-	simStart := m.c.SimTime()
-	err := m.timed(metrics.PhaseCandPruning, func() error {
+	simStart := q.c.SimTime()
+	err := q.timed(metrics.PhaseCandPruning, func() error {
 		var err error
-		if sample != nil {
-			if m.opt.useShuffleJoin() {
-				m.c.Repartition(dataBytes, 0)
+		switch {
+		case q.memo != nil:
+			// Prepared fast path: the candidate keys, support sums and row
+			// coverage are Mhat-independent, so only the estimate sums are
+			// recomputed from this query's fork.
+			lcas, err = q.memo.parts(q.c, q.data)
+		case q.sample != nil:
+			if q.opt.useShuffleJoin() {
+				q.c.Repartition(q.p.dataBytes, 0)
 			}
-			lcas, err = candgen.LCAParts(m.c, data, sample, m.opt.useIndex())
-		} else {
-			lcas, err = candgen.ExhaustiveParts(m.c, data)
+			lcas, err = candgen.LCAParts(q.c, q.data, q.sample, q.opt.useIndex(), q.index)
+		default:
+			lcas, err = candgen.ExhaustiveParts(q.c, q.data)
 		}
 		return err
 	})
@@ -248,31 +323,31 @@ func (m *Miner) generateCandidates(data *engine.CachedData, sample *candgen.Samp
 	}
 
 	var cands *engine.PColl[map[string]cube.Agg]
-	err = m.timed(metrics.PhaseAncestorGen, func() error {
+	err = q.timed(metrics.PhaseAncestorGen, func() error {
 		var err error
-		cands, err = cube.Compute(m.c, lcas, d, groups)
+		cands, err = cube.Compute(q.c, lcas, d, groups)
 		return err
 	})
 	if err != nil {
 		return nil, 0, err
 	}
 
-	err = m.timed(metrics.PhaseGainComputing, func() error {
-		if sample != nil {
-			cands = candgen.AdjustForSample(m.c, cands, sample, d)
+	err = q.timed(metrics.PhaseGainComputing, func() error {
+		if q.sample != nil {
+			cands = candgen.AdjustForSample(q.c, cands, q.sample, d)
 		}
-		if m.opt.PruneRedundantAncestors {
-			cands = pruneRedundant(m.c, cands, d)
+		if q.opt.PruneRedundantAncestors {
+			cands = pruneRedundant(q.c, cands, d)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, 0, err
 	}
-	n := cube.CountCandidates(m.c, cands)
-	m.c.Reg().Add(metrics.CtrCandidates, n)
-	m.c.Reg().AddPhase(metrics.PhaseRuleGen, time.Since(wallStart))
-	m.c.Reg().AddSimPhase(metrics.PhaseRuleGen, m.c.SimTime()-simStart)
+	n := cube.CountCandidates(q.c, cands)
+	q.c.Reg().Add(metrics.CtrCandidates, n)
+	q.c.Reg().AddPhase(metrics.PhaseRuleGen, time.Since(wallStart))
+	q.c.Reg().AddSimPhase(metrics.PhaseRuleGen, q.c.SimTime()-simStart)
 	return cands, n, nil
 }
 
@@ -280,8 +355,8 @@ func (m *Miner) generateCandidates(data *engine.CachedData, sample *candgen.Samp
 // gain, then further candidates that are mutually disjoint with every rule
 // already picked this iteration, rank within the top TopPercent of all
 // candidates, and gain at least MinGainRatio of the top gain (Section 4.4).
-func (m *Miner) selectRules(cands *engine.PColl[map[string]cube.Agg], total int64, selected map[string]bool, l int) []candgen.Candidate {
-	pool := candgen.TopByGain(m.c, cands, m.opt.TopPoolSize, selected)
+func (q *query) selectRules(cands *engine.PColl[map[string]cube.Agg], total int64, selected map[string]bool, l int) []candgen.Candidate {
+	pool := candgen.TopByGain(q.c, cands, q.opt.TopPoolSize, selected)
 	if len(pool) == 0 {
 		return nil
 	}
@@ -289,12 +364,12 @@ func (m *Miner) selectRules(cands *engine.PColl[map[string]cube.Agg], total int6
 	if l <= 1 {
 		return picked
 	}
-	d := m.ds.NumDims()
-	rankCut := int(m.opt.TopPercent * float64(total))
+	d := q.p.ds.NumDims()
+	rankCut := int(q.opt.TopPercent * float64(total))
 	if rankCut < 1 {
 		rankCut = 1
 	}
-	gainCut := m.opt.MinGainRatio * pool[0].Gain
+	gainCut := q.opt.MinGainRatio * pool[0].Gain
 	pickedRules := []rule.Rule{mustFromKey(pool[0].Key, d)}
 	for rank := 1; rank < len(pool) && len(picked) < l; rank++ {
 		if rank > rankCut {
@@ -373,8 +448,9 @@ func pruneRedundant(c engine.Backend, cands *engine.PColl[map[string]cube.Agg], 
 }
 
 // currentKL computes the divergence between the measure and estimate columns
-// across the cached blocks.
-func (m *Miner) currentKL(data *engine.CachedData) (float64, error) {
+// across the query's cached blocks.
+func (q *query) currentKL() (float64, error) {
+	data := q.data
 	type sums struct{ sp, sq float64 }
 	partial := make([]sums, data.NumBlocks())
 	if err := data.Scan("miner/kl-sums", false, func(bi int, b *engine.TupleBlock) {
@@ -420,9 +496,10 @@ func (m *Miner) currentKL(data *engine.CachedData) (float64, error) {
 	return kl, nil
 }
 
-// informationGain computes the Section 5.1 metric over the cached blocks.
-func (m *Miner) informationGain(data *engine.CachedData) (float64, error) {
-	kl, err := m.currentKL(data)
+// informationGain computes the Section 5.1 metric over the query's blocks.
+func (q *query) informationGain() (float64, error) {
+	data := q.data
+	kl, err := q.currentKL()
 	if err != nil {
 		return 0, err
 	}
@@ -474,10 +551,10 @@ func (m *Miner) informationGain(data *engine.CachedData) (float64, error) {
 // metric of the SIRUM-on-sample experiments. Rules whose support is empty on
 // the full data cannot occur (a sample rule always covers its sample rows,
 // which come from the full data).
-func (m *Miner) evaluateOnFull(rules []rule.Rule) (float64, error) {
-	_, work := maxent.NewTransform(m.full.Measure)
-	s := maxent.NewRCTScaler(m.full, work, len(rules)+1)
-	s.Epsilon = m.opt.Epsilon
+func (q *query) evaluateOnFull(rules []rule.Rule) (float64, error) {
+	_, work := maxent.NewTransform(q.p.full.Measure)
+	s := maxent.NewRCTScaler(q.p.full, work, len(rules)+1)
+	s.Epsilon = q.opt.Epsilon
 	for _, r := range rules {
 		if _, err := s.AddRule(r); err != nil {
 			return 0, fmt.Errorf("miner: refitting on full data: %w", err)

@@ -222,7 +222,7 @@ func TestMultiRuleSelectionInvariants(t *testing.T) {
 	ds := datagen.Flights()
 	c := testCluster()
 	defer c.Close()
-	m := New(c, ds, Options{Variant: MultiRule, K: 4, RulesPerIter: 3, TopPercent: 1.0, MinGainRatio: 0.0001, TopPoolSize: 64})
+	opt := Options{Variant: MultiRule, K: 4, RulesPerIter: 3, TopPercent: 1.0, MinGainRatio: 0.0001, TopPoolSize: 64}.withDefaults()
 	_, work := maxent.NewTransform(ds.Measure)
 	mhat := make([]float64, len(work))
 	avg := ds.MeanMeasure()
@@ -234,11 +234,17 @@ func TestMultiRuleSelectionInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands, n, err := m.generateCandidates(data, nil, 3, [][]int{{0, 1, 2}}, ds.ApproxBytes())
+	q := &query{
+		p:    &Prep{c: c, ds: ds, dataBytes: ds.ApproxBytes()},
+		c:    engine.NewQueryScope(c),
+		opt:  opt,
+		data: data,
+	}
+	cands, n, err := q.generateCandidates(3, [][]int{{0, 1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	picked := m.selectRules(cands, n, map[string]bool{}, 3)
+	picked := q.selectRules(cands, n, map[string]bool{}, 3)
 	if len(picked) < 2 {
 		t.Fatalf("picked %d rules", len(picked))
 	}

@@ -1,0 +1,181 @@
+package miner
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sirum/internal/datagen"
+	"sirum/internal/engine"
+)
+
+// assertSameRules compares two runs of the same job.
+func assertSameRules(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if len(want.Rules) == 0 {
+		t.Fatalf("%s: reference run mined nothing", label)
+	}
+	if len(want.Rules) != len(got.Rules) {
+		t.Fatalf("%s: rule counts differ: %d vs %d", label, len(want.Rules), len(got.Rules))
+	}
+	for i := range want.Rules {
+		if !want.Rules[i].Rule.Equal(got.Rules[i].Rule) {
+			t.Errorf("%s rule %d: %v vs %v", label, i, want.Rules[i].Rule, got.Rules[i].Rule)
+		}
+		if want.Rules[i].Count != got.Rules[i].Count {
+			t.Errorf("%s rule %d count: %d vs %d", label, i, want.Rules[i].Count, got.Rules[i].Count)
+		}
+	}
+	if math.Abs(want.KL-got.KL) > 1e-9*math.Max(1, math.Abs(want.KL)) {
+		t.Errorf("%s KL: %v vs %v", label, want.KL, got.KL)
+	}
+}
+
+// TestPreparedMatchesColdAcrossVariants pins the carve-up: a query against
+// prepared state (with the LCA memo active) returns exactly what a cold run
+// of the same job returns, for sampled, exhaustive and multi-rule shapes.
+func TestPreparedMatchesColdAcrossVariants(t *testing.T) {
+	ds := datagen.GDELT(2000, 42)
+	c := testCluster()
+	defer c.Close()
+	p, err := Prepare(c, ds, PrepOptions{SampleSize: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Drop()
+	jobs := []Options{
+		{Variant: Optimized, K: 4, SampleSize: 16, Seed: 9},
+		{Variant: Baseline, K: 3, SampleSize: 16, Seed: 9},
+		{Variant: RCT, K: 3, SampleSize: 16, Seed: 9},
+		{Variant: MultiRule, K: 4, SampleSize: 16, Seed: 9},
+		{Variant: Optimized, K: 2, SampleSize: 0, Seed: 9}, // exhaustive
+		{Variant: Optimized, K: 3, SampleSize: 8, Seed: 4}, // off-sample: query draws its own
+	}
+	for _, opt := range jobs {
+		cold := mineDataset(t, ds, opt)
+		warm, err := p.Mine(opt)
+		if err != nil {
+			t.Fatalf("%v: %v", opt.Variant, err)
+		}
+		assertSameRules(t, opt.Variant.String(), cold, warm)
+		// Run each job twice so the second query exercises the memoized
+		// path end to end.
+		warm2, err := p.Mine(opt)
+		if err != nil {
+			t.Fatalf("%v (2nd): %v", opt.Variant, err)
+		}
+		assertSameRules(t, opt.Variant.String()+" (2nd)", cold, warm2)
+	}
+}
+
+// TestPreparedSurvivesPoolEviction: with a pool limit of 1, alternating
+// queries over two prepared datasets keep evicting each other's blocks; the
+// sessions must transparently rebuild and still answer correctly.
+func TestPreparedSurvivesPoolEviction(t *testing.T) {
+	c := testCluster()
+	defer c.Close()
+	c.Pool().SetLimit(1)
+	dsA := datagen.GDELT(1200, 7)
+	dsB := datagen.Income(1200, 8)
+	pA, err := Prepare(c, dsA, PrepOptions{SampleSize: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pA.Drop()
+	pB, err := Prepare(c, dsB, PrepOptions{SampleSize: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pB.Drop()
+	if got := c.Pool().Len(); got != 1 {
+		t.Fatalf("pool holds %d prepared datasets, limit 1", got)
+	}
+	opt := Options{Variant: Optimized, K: 3, SampleSize: 8, Seed: 3}
+	coldA := mineDataset(t, dsA, opt)
+	coldB := mineDataset(t, dsB, opt)
+	for round := 0; round < 2; round++ {
+		gotA, err := pA.Mine(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRules(t, "A", coldA, gotA)
+		gotB, err := pB.Mine(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRules(t, "B", coldB, gotB)
+	}
+}
+
+// TestPreparedFractionMismatchRejected: a query cannot change the Bernoulli
+// data sample the session was prepared with.
+func TestPreparedFractionMismatchRejected(t *testing.T) {
+	ds := datagen.Income(3000, 5)
+	c := testCluster()
+	defer c.Close()
+	p, err := Prepare(c, ds, PrepOptions{SampleSize: 8, Seed: 2, SampleFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Drop()
+	if _, err := p.Mine(Options{K: 2, SampleSize: 8, Seed: 2, SampleFraction: 0.25}); err == nil {
+		t.Error("mismatched SampleFraction accepted")
+	}
+	// Zero (unset) and the prepared fraction both work.
+	if _, err := p.Mine(Options{K: 2, SampleSize: 8, Seed: 2}); err != nil {
+		t.Errorf("unset fraction rejected: %v", err)
+	}
+	res, err := p.Mine(Options{K: 2, SampleSize: 8, Seed: 2, SampleFraction: 0.5, EvaluateOnFullData: true})
+	if err != nil {
+		t.Fatalf("matching fraction rejected: %v", err)
+	}
+	if res.InfoGain <= 0 {
+		t.Errorf("full-data info gain = %v", res.InfoGain)
+	}
+}
+
+// TestForkSpillFilesReleased: under memory pressure, per-query forks spill
+// blocks to disk; those files must be released when the query ends, or a
+// serving session would grow disk without bound. Only the canonical blocks
+// may stay spilled.
+func TestForkSpillFilesReleased(t *testing.T) {
+	t.Setenv("TMPDIR", t.TempDir()) // hermetic: don't count other tests' spill dirs
+	ds := datagen.GDELT(5000, 3)
+	c := engine.NewNativeBackend(engine.Config{Executors: 1, MemoryPerExecutor: 64 << 10})
+	defer c.Close()
+	p, err := Prepare(c, ds, PrepOptions{SampleSize: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Drop()
+	for i := 0; i < 5; i++ {
+		if _, err := p.Mine(Options{K: 2, SampleSize: 8, Seed: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirs, _ := filepath.Glob(os.TempDir() + "/sirum-spill-*")
+	total := 0
+	for _, d := range dirs {
+		files, _ := filepath.Glob(d + "/*.gob")
+		total += len(files)
+	}
+	if total > p.parts {
+		t.Fatalf("%d spill files remain after 5 queries; at most the %d canonical blocks may stay spilled", total, p.parts)
+	}
+}
+
+// TestPrepareEmptyDataset preserves the cold-path error contract.
+func TestPrepareEmptyDataset(t *testing.T) {
+	c := testCluster()
+	defer c.Close()
+	b := engine.NewNativeBackend(engine.Config{})
+	defer b.Close()
+	empty := datagen.Flights().Select(nil)
+	if _, err := Prepare(c, empty, PrepOptions{}); err == nil {
+		t.Error("prepared an empty dataset")
+	}
+	if _, err := New(b, empty, Options{K: 2}).Run(); err == nil {
+		t.Error("cold run accepted an empty dataset")
+	}
+}

@@ -1,0 +1,242 @@
+package sirum
+
+import (
+	"fmt"
+	"sync"
+
+	"sirum/internal/engine"
+	"sirum/internal/explore"
+	"sirum/internal/miner"
+)
+
+// PrepareOptions configures Dataset.Prepare — the work done once per
+// dataset, before any query: building the execution substrate, loading and
+// partitioning the data onto it, computing the measure transform, drawing
+// the candidate-pruning sample and its inverted index.
+type PrepareOptions struct {
+	// SampleSize is |s| for candidate pruning, drawn once so every query
+	// sees the same candidate space. 0 keeps the Mine default (64 for
+	// datasets above 1000 rows, exhaustive otherwise).
+	SampleSize int
+	// Seed drives sampling (default 1). Queries whose Seed matches reuse
+	// the prepared sample; others draw their own.
+	Seed int64
+	// SampleFraction in (0,1) prepares a Bernoulli sample of the data
+	// ("SIRUM on sample data") instead of the data itself.
+	SampleFraction float64
+	// Cluster sizes the execution substrate the session owns.
+	Cluster Cluster
+	// Backend selects the execution substrate (default BackendNative).
+	Backend Backend
+	// RemineFactor tunes Append's staleness trigger: a full re-mine fires
+	// when the refit rule list's share of unexplained divergence exceeds
+	// RemineFactor times the share right after the last full mine (default
+	// 1.5; lower re-mines more eagerly — the share saturates at 1.0 when
+	// the rules stop explaining anything, so thresholds must stay below
+	// that times the base share).
+	RemineFactor float64
+}
+
+// prepOptions derives the internal preparation options for a dataset of the
+// given size, applying the Mine sample-size default.
+func (o PrepareOptions) prepOptions(rows int) miner.PrepOptions {
+	ss := o.SampleSize
+	if ss == 0 && rows > 1000 {
+		ss = 64
+	}
+	return miner.PrepOptions{SampleSize: ss, Seed: o.Seed, SampleFraction: o.SampleFraction}
+}
+
+// Prepared is a mining session: a dataset prepared once on a long-lived
+// execution substrate, answering many queries. Mine and Explore are safe to
+// call concurrently — every query works on a private fork of the mutable
+// estimate state with private metrics, sharing only the immutable prepared
+// blocks, sample and index. Append folds new data in; it invalidates the
+// prepared state and rebuilds it on the grown dataset, blocking until
+// in-flight queries finish. Close releases the substrate.
+type Prepared struct {
+	mu     sync.RWMutex
+	d      *Dataset
+	cl     engine.Backend
+	popt   PrepareOptions
+	prep   *miner.Prep
+	inc    *miner.Incremental
+	closed bool
+}
+
+// Prepare loads the dataset onto a fresh execution substrate and returns the
+// session. The caller owns the session and must Close it.
+func (d *Dataset) Prepare(opt PrepareOptions) (*Prepared, error) {
+	cl, err := opt.Cluster.backend(opt.Backend)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := miner.Prepare(cl, d.ds, opt.prepOptions(d.NumRows()))
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	inc := miner.NewIncremental(cl, miner.Options{})
+	inc.Seed(d.ds)
+	if opt.RemineFactor > 0 {
+		inc.RemineFactor = opt.RemineFactor
+	}
+	return &Prepared{d: d, cl: cl, popt: opt, prep: prep, inc: inc}, nil
+}
+
+// NumRows returns the current (accumulated) number of tuples.
+func (p *Prepared) NumRows() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.d.NumRows()
+}
+
+// checkQuery validates that a query does not try to move the session to a
+// different substrate mid-flight.
+func (p *Prepared) checkQuery(backend Backend) error {
+	if p.closed {
+		return fmt.Errorf("sirum: session is closed")
+	}
+	if backend != "" && backend != p.popt.Backend && !(backend == BackendNative && p.popt.Backend == "") {
+		return fmt.Errorf("sirum: session prepared on backend %q; leave Options.Backend unset per query", p.backendName())
+	}
+	return nil
+}
+
+func (p *Prepared) backendName() string {
+	if p.popt.Backend == "" {
+		return string(BackendNative)
+	}
+	return string(p.popt.Backend)
+}
+
+// Mine runs one query against the prepared state. Options.Cluster and
+// Options.Backend are fixed at Prepare time and ignored here (a differing
+// Backend is rejected). Safe for concurrent use.
+func (p *Prepared) Mine(opt Options) (*Result, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if err := p.checkQuery(opt.Backend); err != nil {
+		return nil, err
+	}
+	mopt, err := opt.minerOptions(p.d.NumRows())
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.prep.Mine(mopt)
+	if err != nil {
+		return nil, err
+	}
+	return p.d.publicResult(res), nil
+}
+
+// Explore recommends informative rules beyond the prior knowledge, as
+// Dataset.Explore, but against the prepared state. Safe for concurrent use.
+func (p *Prepared) Explore(opt ExploreOptions) (*ExploreResult, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if err := p.checkQuery(opt.Backend); err != nil {
+		return nil, err
+	}
+	rec, err := explore.RunPrepared(p.prep, explore.Options{
+		K: opt.K, GroupBys: opt.GroupBys, Optimized: true, MultiRule: true, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.d.exploreResult(rec)
+}
+
+// AppendResult reports one Append: whether the maintained rule list had to
+// be re-mined from scratch or a cheap refit sufficed, and its current state
+// on the grown data.
+type AppendResult struct {
+	// Remined is true when the batch triggered a full mining pass (the rule
+	// list had drifted past the staleness threshold, or nothing was mined
+	// yet).
+	Remined bool
+	// Rows is the accumulated dataset size.
+	Rows int
+	// KL is the divergence of the maintained rule list on the accumulated
+	// data.
+	KL float64
+	// Rules is the maintained rule list with aggregates recomputed on the
+	// accumulated data.
+	Rules []Rule
+}
+
+// Append folds a batch of new tuples into the session: the data grows, the
+// prepared state (blocks, transform, sample, index) is invalidated and
+// rebuilt, and the maintained rule list is refit — or re-mined with opt when
+// it no longer explains the data (see the streaming example). Append blocks
+// until in-flight queries finish; queries issued after it see the grown
+// data.
+func (p *Prepared) Append(batch *Dataset, opt Options) (*AppendResult, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("sirum: session is closed")
+	}
+	old := p.d
+	merged, err := old.ds.Concat(batch.ds)
+	if err != nil {
+		return nil, err
+	}
+	grown := &Dataset{ds: merged}
+	mopt, err := opt.minerOptions(grown.NumRows())
+	if err != nil {
+		return nil, err
+	}
+
+	// Prepare the grown dataset before touching any session state, so a
+	// failed preparation (or maintenance pass) leaves the session exactly
+	// as it was — retrying the Append cannot double-count the batch.
+	prep, err := miner.Prepare(p.cl, grown.ds, p.popt.prepOptions(grown.NumRows()))
+	if err != nil {
+		return nil, err
+	}
+	p.inc.SetOptions(mopt)
+	p.inc.Seed(grown.ds)
+	p.inc.UsePrep(prep) // a re-mine runs as a query, not a second data load
+	incRes, err := p.inc.Maintain()
+	if err != nil {
+		p.inc.Seed(old.ds) // roll back: the rule list is untouched on error
+		p.inc.UsePrep(nil)
+		prep.Drop()
+		return nil, err
+	}
+	p.prep.Drop()
+	p.prep = prep
+	p.d = grown
+
+	out := &AppendResult{Remined: incRes.Remined, Rows: incRes.Rows, KL: incRes.KL}
+	for _, mr := range incRes.Rules {
+		out.Rules = append(out.Rules, grown.publicRule(mr))
+	}
+	return out, nil
+}
+
+// Close drops the prepared state and tears down the session's execution
+// substrate. The session is unusable afterwards.
+func (p *Prepared) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.prep.Drop()
+	return p.cl.Close()
+}
+
+// exploreResult translates an internal recommendation, describing the prior
+// cells against this dataset.
+func (d *Dataset) exploreResult(rec *explore.Recommendation) (*ExploreResult, error) {
+	out := &ExploreResult{Result: d.publicResult(rec.Result)}
+	for _, pr := range rec.PriorRules {
+		avgSum, count := pr.SupportSums(d.ds)
+		mr := miner.MinedRule{Rule: pr, Avg: avgSum / float64(count), Count: int64(count)}
+		out.Prior = append(out.Prior, d.publicRule(mr))
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package sirum
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPreparedMine is the session-layer contract pinned under the
+// race detector in CI: ≥4 queries with different K and variants run
+// concurrently against one shared prepared backend, and each result must
+// match the equivalent cold Dataset.Mine.
+func TestConcurrentPreparedMine(t *testing.T) {
+	ds, err := Generate("income", 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ds.Prepare(PrepareOptions{SampleSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	queries := []Options{
+		{K: 3, SampleSize: 16, Seed: 2},
+		{K: 4, SampleSize: 16, Seed: 2, Variant: VariantBaseline},
+		{K: 2, SampleSize: 16, Seed: 2, Variant: VariantRCT},
+		{K: 5, SampleSize: 16, Seed: 2, Variant: VariantMultiRule},
+		{K: 3, SampleSize: 16, Seed: 2, Variant: VariantFastPruning},
+		{K: 3, SampleSize: 8, Seed: 7, Variant: VariantFastAncestor}, // off-sample query: draws its own
+	}
+	cold := make([]*Result, len(queries))
+	for i, opt := range queries {
+		cold[i], err = ds.Mine(opt)
+		if err != nil {
+			t.Fatalf("cold query %d: %v", i, err)
+		}
+	}
+
+	warm := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	for i, opt := range queries {
+		wg.Add(1)
+		go func(i int, opt Options) {
+			defer wg.Done()
+			warm[i], errs[i] = p.Mine(opt)
+		}(i, opt)
+	}
+	wg.Wait()
+
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatalf("prepared query %d: %v", i, errs[i])
+		}
+		assertSameResult(t, fmt.Sprintf("query %d", i), cold[i], warm[i])
+	}
+}
+
+// assertSameResult compares a cold and a prepared run of the same job.
+func assertSameResult(t *testing.T, label string, cold, warm *Result) {
+	t.Helper()
+	if len(cold.Rules) == 0 {
+		t.Fatalf("%s: cold run mined nothing", label)
+	}
+	if len(cold.Rules) != len(warm.Rules) {
+		t.Fatalf("%s: rule counts differ: cold %d prepared %d", label, len(cold.Rules), len(warm.Rules))
+	}
+	for j := range cold.Rules {
+		c, w := cold.Rules[j], warm.Rules[j]
+		if c.String() != w.String() {
+			t.Errorf("%s rule %d: cold %s vs prepared %s", label, j, c, w)
+		}
+		if c.Count != w.Count {
+			t.Errorf("%s rule %d count: cold %d vs prepared %d", label, j, c.Count, w.Count)
+		}
+		if relErr(c.Avg, w.Avg) > 1e-9 {
+			t.Errorf("%s rule %d avg: cold %v vs prepared %v", label, j, c.Avg, w.Avg)
+		}
+		if relErr(c.Gain, w.Gain) > 1e-6 {
+			t.Errorf("%s rule %d gain: cold %v vs prepared %v", label, j, c.Gain, w.Gain)
+		}
+	}
+	if relErr(cold.KL, warm.KL) > 1e-6 {
+		t.Errorf("%s KL: cold %v vs prepared %v", label, cold.KL, warm.KL)
+	}
+	if relErr(cold.InfoGain, warm.InfoGain) > 1e-6 {
+		t.Errorf("%s InfoGain: cold %v vs prepared %v", label, cold.InfoGain, warm.InfoGain)
+	}
+}
+
+// TestConcurrentPreparedExplore runs exploration and plain mining
+// concurrently on one session and checks the exploration against the cold
+// path.
+func TestConcurrentPreparedExplore(t *testing.T) {
+	ds, err := Generate("flights", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldExp, err := ds.Explore(ExploreOptions{K: 2, GroupBys: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ds.Prepare(PrepareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var wg sync.WaitGroup
+	var warmExp *ExploreResult
+	var expErr, mineErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); warmExp, expErr = p.Explore(ExploreOptions{K: 2, GroupBys: 2}) }()
+	go func() { defer wg.Done(); _, mineErr = p.Mine(Options{K: 3}) }()
+	wg.Wait()
+	if expErr != nil || mineErr != nil {
+		t.Fatalf("explore err %v, mine err %v", expErr, mineErr)
+	}
+	if len(warmExp.Result.Rules) != len(coldExp.Result.Rules) {
+		t.Fatalf("recommendation counts differ: cold %d prepared %d",
+			len(coldExp.Result.Rules), len(warmExp.Result.Rules))
+	}
+	for i := range warmExp.Result.Rules {
+		if warmExp.Result.Rules[i].String() != coldExp.Result.Rules[i].String() {
+			t.Errorf("recommendation %d: cold %s vs prepared %s",
+				i, coldExp.Result.Rules[i], warmExp.Result.Rules[i])
+		}
+	}
+}
+
+// TestPreparedAppend exercises the session lifecycle: append invalidates and
+// rebuilds the prepared state, maintains the rule list, and subsequent
+// queries see the grown data.
+func TestPreparedAppend(t *testing.T) {
+	ds, err := Generate("income", 1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ds.Prepare(PrepareOptions{SampleSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	batch, err := Generate("income", 600, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Append(batch, Options{K: 3, SampleSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Remined {
+		t.Error("first append should mine the rule list")
+	}
+	if res.Rows != 1800 {
+		t.Errorf("rows after append = %d, want 1800", res.Rows)
+	}
+	if len(res.Rules) == 0 {
+		t.Error("append produced no rules")
+	}
+	if p.NumRows() != 1800 {
+		t.Errorf("session rows = %d, want 1800", p.NumRows())
+	}
+	// A query after Append runs against the grown data.
+	mined, err := p.Mine(Options{K: 2, SampleSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined.Rules) == 0 {
+		t.Error("post-append query mined nothing")
+	}
+	// A small same-distribution batch refits instead of re-mining.
+	small, err := Generate("income", 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := p.Append(small, Options{K: 3, SampleSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rows != 2000 {
+		t.Errorf("rows after second append = %d, want 2000", res2.Rows)
+	}
+}
+
+// TestPreparedRejectsForeignBackend pins that a session cannot be moved to a
+// different substrate per query.
+func TestPreparedRejectsForeignBackend(t *testing.T) {
+	ds, err := Generate("flights", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ds.Prepare(PrepareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Mine(Options{K: 2, Backend: BackendSim}); err == nil {
+		t.Error("query on a foreign backend accepted")
+	}
+	if _, err := p.Mine(Options{K: 2, Backend: BackendNative}); err != nil {
+		t.Errorf("query on the session's own backend rejected: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Mine(Options{K: 2}); err == nil {
+		t.Error("query on a closed session accepted")
+	}
+}

@@ -282,30 +282,43 @@ type Result struct {
 	WallTime, SimTime time.Duration
 }
 
-// Mine runs SIRUM over the dataset.
+// minerOptions translates public options to the internal miner's, applying
+// the same defaults whether the job runs cold or against a prepared session
+// over a dataset of the given size.
+func (o Options) minerOptions(rows int) (miner.Options, error) {
+	v, err := o.Variant.internal()
+	if err != nil {
+		return miner.Options{}, err
+	}
+	sampleSize := o.SampleSize
+	if sampleSize == 0 && rows > 1000 {
+		sampleSize = 64
+	}
+	return miner.Options{
+		Variant:            v,
+		K:                  o.K,
+		SampleSize:         sampleSize,
+		Epsilon:            o.Epsilon,
+		Seed:               o.Seed,
+		SampleFraction:     o.SampleFraction,
+		EvaluateOnFullData: o.SampleFraction > 0 && o.SampleFraction < 1,
+	}, nil
+}
+
+// Mine runs SIRUM cold over the dataset: the execution substrate is built,
+// loaded and torn down for this one query. To ask many questions of one
+// dataset — different K, variants, priors — Prepare once and query the
+// returned Prepared instead.
 func (d *Dataset) Mine(opt Options) (*Result, error) {
-	v, err := opt.Variant.internal()
+	mopt, err := opt.minerOptions(d.NumRows())
 	if err != nil {
 		return nil, err
-	}
-	sampleSize := opt.SampleSize
-	if sampleSize == 0 && d.NumRows() > 1000 {
-		sampleSize = 64
 	}
 	cl, err := opt.Cluster.backend(opt.Backend)
 	if err != nil {
 		return nil, err
 	}
 	defer cl.Close()
-	mopt := miner.Options{
-		Variant:            v,
-		K:                  opt.K,
-		SampleSize:         sampleSize,
-		Epsilon:            opt.Epsilon,
-		Seed:               opt.Seed,
-		SampleFraction:     opt.SampleFraction,
-		EvaluateOnFullData: opt.SampleFraction > 0 && opt.SampleFraction < 1,
-	}
 	res, err := miner.New(cl, d.ds, mopt).Run()
 	if err != nil {
 		return nil, err
@@ -373,13 +386,7 @@ func (d *Dataset) Explore(opt ExploreOptions) (*ExploreResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &ExploreResult{Result: d.publicResult(rec.Result)}
-	for _, pr := range rec.PriorRules {
-		avgSum, count := pr.SupportSums(d.ds)
-		mr := miner.MinedRule{Rule: pr, Avg: avgSum / float64(count), Count: int64(count)}
-		out.Prior = append(out.Prior, d.publicRule(mr))
-	}
-	return out, nil
+	return d.exploreResult(rec)
 }
 
 // Fit computes the maximum-entropy estimate of the measure for each tuple
