@@ -1,0 +1,142 @@
+// Command sirumd serves informative rule mining over HTTP: a registry of
+// named prepared sessions (create from CSV or the built-in synthetic
+// generators), each answering concurrent mine/explore queries and streaming
+// appends, with admission control bounding in-flight work.
+//
+// Usage:
+//
+//	sirumd [-addr :8080] [-inflight 16]
+//	sirumd -selftest [-dataset income] [-rows 5000] [-queries 64]
+//	       [-concurrency 8] [-k 3] [-sample 16]
+//
+// Endpoints:
+//
+//	POST   /v1/datasets             {"id":"d1","generator":{"name":"income","rows":5000}}
+//	GET    /v1/datasets             list sessions
+//	GET    /v1/datasets/{id}        session info + lifetime stats
+//	DELETE /v1/datasets/{id}        close a session
+//	POST   /v1/datasets/{id}/mine   {"k":5,"sample_size":16}
+//	POST   /v1/datasets/{id}/explore {"k":4,"group_bys":2}
+//	POST   /v1/datasets/{id}/append {"rows":[{"dims":[...],"measure":1.5}]}
+//	GET    /v1/healthz
+//
+// -selftest starts the daemon on a loopback port, fires a storm of
+// concurrent mixed mine/explore queries through the full HTTP path, checks
+// every mine against a baseline, and reports throughput with p50/p95
+// latency — the serving path's measurable baseline.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sirum/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sirumd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sirumd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	inflight := fs.Int("inflight", 0, "max concurrently executing queries (0 = 2x cores); excess requests queue")
+	selftest := fs.Bool("selftest", false, "start on a loopback port, run the load generator, and exit")
+	dataset := fs.String("dataset", "income", "selftest: built-in dataset backing the load session")
+	rows := fs.Int("rows", 5000, "selftest: dataset rows")
+	queries := fs.Int("queries", 64, "selftest: total queries to fire")
+	concurrency := fs.Int("concurrency", 8, "selftest: concurrent client workers")
+	k := fs.Int("k", 3, "selftest: rules per query")
+	sample := fs.Int("sample", 16, "selftest: |s| for candidate pruning")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{MaxInFlight: *inflight})
+	if *selftest {
+		return runSelftest(out, srv, server.LoadConfig{
+			Dataset:     *dataset,
+			Rows:        *rows,
+			Queries:     *queries,
+			Concurrency: *concurrency,
+			K:           *k,
+			SampleSize:  *sample,
+		})
+	}
+	return serve(out, srv, *addr)
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains: the HTTP server
+// stops accepting and waits for active requests, and the app server waits
+// for admitted queries before closing any prepared session.
+func serve(out io.Writer, srv *server.Server, addr string) error {
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(out, "sirumd listening on %s\n", addr)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "sirumd draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	// Even when the drain timed out, still run the app-level Close: it waits
+	// for the straggler queries (a running mine cannot be cancelled
+	// mid-flight) and then tears sessions and their spill directories down.
+	if cerr := srv.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// runSelftest serves on an ephemeral loopback port and turns the load
+// generator loose on it.
+func runSelftest(out io.Writer, srv *server.Server, cfg server.LoadConfig) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer func() {
+		httpSrv.Close()
+		srv.Close()
+	}()
+
+	cfg.BaseURL = "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "selftest: %d queries x %d workers on %s (%d rows)\n",
+		cfg.Queries, cfg.Concurrency, cfg.Dataset, cfg.Rows)
+	rep, err := server.RunLoad(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, rep)
+	if rep.Errors > 0 {
+		return fmt.Errorf("selftest: %d of %d queries failed: %s", rep.Errors, rep.Queries, rep.FirstError)
+	}
+	return nil
+}

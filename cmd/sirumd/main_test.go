@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelftestSmoke runs the daemon's self-test end to end on a small
+// synthetic dataset: server up, load generator through the real HTTP path,
+// throughput and latency percentiles reported, zero errors.
+func TestSelftestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest mines real queries")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-selftest", "-dataset", "income", "-rows", "600",
+		"-queries", "10", "-concurrency", "4", "-k", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("selftest failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"throughput:", "p50:", "p95:", "errors: 0", "consistency: verified"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("selftest output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}, &strings.Builder{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -44,6 +44,7 @@ type Config struct {
 	ShuffleToDisk     bool          // materialize shuffle data on disk (MapReduce-style)
 	RealParallelism   int           // actual concurrent goroutines (defaults to NumCPU)
 	SlowNodeFactor    float64       // executor 0 runs this much slower; <=1 disables
+	PoolLimit         int           // prepared datasets retained in the backend's DataPool (default DefaultPoolLimit); size up for servers holding many sessions on one backend
 }
 
 // SparkLike returns the default configuration modelled on the thesis'
@@ -83,6 +84,9 @@ func (c Config) withDefaults() Config {
 	if c.MemoryPerExecutor <= 0 {
 		c.MemoryPerExecutor = 1 << 40 // effectively unlimited
 	}
+	if c.PoolLimit <= 0 {
+		c.PoolLimit = DefaultPoolLimit
+	}
 	return c
 }
 
@@ -108,7 +112,7 @@ func NewSimBackend(conf Config) *SimBackend {
 	return &SimBackend{
 		conf: conf,
 		reg:  metrics.NewRegistry(),
-		pool: newDataPool(DefaultPoolLimit),
+		pool: newDataPool(conf.PoolLimit),
 		sem:  make(chan struct{}, conf.RealParallelism),
 	}
 }

@@ -43,7 +43,7 @@ func NewNativeBackend(conf Config) *NativeBackend {
 	return &NativeBackend{
 		conf:    conf,
 		reg:     metrics.NewRegistry(),
-		pool:    newDataPool(DefaultPoolLimit),
+		pool:    newDataPool(conf.PoolLimit),
 		workers: conf.RealParallelism,
 	}
 }

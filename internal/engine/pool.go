@@ -13,6 +13,10 @@ const DefaultPoolLimit = 8
 // files are released as soon as no query holds a reference. A session whose
 // entry was evicted simply re-prepares on its next query (the pool is a
 // cache, not an owner of last resort).
+//
+// References are counted through *Ref handles bound to the entry they were
+// taken on, never through the id: after a Remove + Put reuses an id, a stale
+// handle still releases the entry it was issued for, not the replacement.
 type DataPool struct {
 	mu      sync.Mutex
 	limit   int
@@ -24,7 +28,36 @@ type poolEntry struct {
 	cd       *CachedData
 	lastUsed int64
 	refs     int
-	dead     bool // removed or evicted; dropped once refs reach zero
+	dead     bool // removed while referenced; dropped once refs reach zero
+}
+
+// Ref is a counted reference to one pool entry, returned by Put and Acquire.
+// Release is idempotent and safe to call concurrently with any pool
+// operation; it always targets the entry the handle was issued for, even if
+// the entry's id has since been removed and reused.
+type Ref struct {
+	pool *DataPool
+	e    *poolEntry
+	once sync.Once
+}
+
+// Release drops this handle's reference. A dead (removed or evicted) entry
+// is dropped for good when its last reference goes away.
+func (r *Ref) Release() {
+	if r == nil {
+		return
+	}
+	r.once.Do(func() {
+		r.pool.mu.Lock()
+		if r.e.refs > 0 {
+			r.e.refs--
+		}
+		drop := r.e.dead && r.e.refs == 0
+		r.pool.mu.Unlock()
+		if drop {
+			r.e.cd.Drop()
+		}
+	})
 }
 
 // newDataPool returns an empty pool retaining up to limit entries.
@@ -41,106 +74,101 @@ func (p *DataPool) SetLimit(n int) {
 		n = 1
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.limit = n
-	p.evictLocked()
+	victims := p.evictLocked()
+	p.mu.Unlock()
+	dropAll(victims)
 }
 
-// Len returns the number of live (non-dead) entries.
+// Limit returns the retention limit.
+func (p *DataPool) Limit() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.limit
+}
+
+// Len returns the number of live entries.
 func (p *DataPool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	n := 0
-	for _, e := range p.entries {
-		if !e.dead {
-			n++
-		}
-	}
-	return n
+	return len(p.entries)
 }
 
 // Put installs cd under id with one reference held by the caller (pair with
-// Release). An existing live entry under the same id is kept and returned
-// instead — concurrent re-preparations converge on one copy — so callers
-// must use the returned CachedData, not necessarily the one they passed.
-func (p *DataPool) Put(id string, cd *CachedData) *CachedData {
+// the returned handle's Release). An existing live entry under the same id
+// is kept and returned instead — concurrent re-preparations converge on one
+// copy — so callers must use the returned CachedData, not necessarily the
+// one they passed. Re-putting the CachedData already live under id is a
+// no-op beyond taking a reference (the entry's spill files stay intact).
+func (p *DataPool) Put(id string, cd *CachedData) (*CachedData, *Ref) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if e, ok := p.entries[id]; ok && !e.dead {
+	if e, ok := p.entries[id]; ok {
 		p.tick++
 		e.lastUsed = p.tick
 		e.refs++
-		cd.Drop() // the loser of the race releases its spill files
-		return e.cd
+		pooled := e.cd
+		p.mu.Unlock()
+		if pooled != cd {
+			// The loser of a concurrent re-preparation race releases its
+			// duplicate copy's spill files. Guard the identity case: dropping
+			// cd when it *is* the pooled entry would kill the live entry.
+			cd.Drop()
+		}
+		return pooled, &Ref{pool: p, e: e}
 	}
 	p.tick++
-	p.entries[id] = &poolEntry{cd: cd, lastUsed: p.tick, refs: 1}
-	p.evictLocked()
-	return cd
+	e := &poolEntry{cd: cd, lastUsed: p.tick, refs: 1}
+	p.entries[id] = e
+	victims := p.evictLocked()
+	p.mu.Unlock()
+	dropAll(victims)
+	return cd, &Ref{pool: p, e: e}
 }
 
-// Acquire returns the entry under id with a reference held (pair with
-// Release), or false when the entry is absent or evicted.
-func (p *DataPool) Acquire(id string) (*CachedData, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.entries[id]
-	if !ok || e.dead {
-		return nil, false
-	}
-	p.tick++
-	e.lastUsed = p.tick
-	e.refs++
-	return e.cd, true
-}
-
-// Release drops one reference on id. Dead entries are dropped for good when
-// their last reference goes away.
-func (p *DataPool) Release(id string) {
+// Acquire returns the entry under id with a reference held (pair with the
+// returned handle's Release), or false when the entry is absent or evicted.
+func (p *DataPool) Acquire(id string) (*CachedData, *Ref, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	e, ok := p.entries[id]
 	if !ok {
-		return
+		return nil, nil, false
 	}
-	if e.refs > 0 {
-		e.refs--
-	}
-	if e.dead && e.refs == 0 {
-		delete(p.entries, id)
-		e.cd.Drop()
-	}
+	p.tick++
+	e.lastUsed = p.tick
+	e.refs++
+	return e.cd, &Ref{pool: p, e: e}, true
 }
 
-// Remove marks the entry dead; its spill files are released once no query
-// references it.
+// Remove deletes the entry under id; its spill files are released once no
+// query references it. The id is immediately free for a new Put — handles on
+// the removed entry keep working and cannot touch the replacement.
 func (p *DataPool) Remove(id string) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	e, ok := p.entries[id]
-	if !ok || e.dead {
-		return
-	}
-	e.dead = true
-	if e.refs == 0 {
+	if ok {
 		delete(p.entries, id)
+		e.dead = true
+	}
+	drop := ok && e.refs == 0
+	p.mu.Unlock()
+	if drop {
 		e.cd.Drop()
 	}
 }
 
-// evictLocked marks LRU unreferenced entries dead until at most limit live
-// entries remain. Referenced entries are skipped (a query is mid-fork on
-// them); they become eviction candidates again once released.
-func (p *DataPool) evictLocked() {
-	for {
-		live := 0
+// evictLocked removes LRU unreferenced entries until at most limit entries
+// remain, returning the victims for the caller to Drop after unlocking —
+// deleting spill files is filesystem I/O that must not stall every
+// concurrent Acquire/Put/Release on the shared pool. Referenced entries are
+// skipped (a query is mid-fork on them); they become eviction candidates
+// again once released.
+func (p *DataPool) evictLocked() []*poolEntry {
+	var victims []*poolEntry
+	for len(p.entries) > p.limit {
 		var victim string
 		var victimEntry *poolEntry
 		for id, e := range p.entries {
-			if e.dead {
-				continue
-			}
-			live++
 			if e.refs > 0 {
 				continue
 			}
@@ -148,10 +176,18 @@ func (p *DataPool) evictLocked() {
 				victim, victimEntry = id, e
 			}
 		}
-		if live <= p.limit || victimEntry == nil {
-			return
+		if victimEntry == nil {
+			break
 		}
 		delete(p.entries, victim)
-		victimEntry.cd.Drop()
+		victimEntry.dead = true
+		victims = append(victims, victimEntry)
+	}
+	return victims
+}
+
+func dropAll(victims []*poolEntry) {
+	for _, e := range victims {
+		e.cd.Drop()
 	}
 }

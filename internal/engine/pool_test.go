@@ -15,6 +15,18 @@ func poolBlocks(rows, parts int) []*TupleBlock {
 	return BlocksFromColumns(dims, m, nil, parts)
 }
 
+// spillingBackend returns a native backend whose cache budget forces every
+// CachedData to spill, so Drop has an observable effect (reads fail).
+func spillingBackend() *NativeBackend {
+	return NewNativeBackend(Config{Executors: 1, MemoryPerExecutor: 1})
+}
+
+// scannable reports whether cd's blocks are still readable (spilled blocks
+// of a dropped cache are not).
+func scannable(cd *CachedData) error {
+	return cd.Scan("test/scannable", false, func(int, *TupleBlock) {})
+}
+
 func TestDataPoolLRUEviction(t *testing.T) {
 	b := NewNativeBackend(Config{})
 	defer b.Close()
@@ -25,24 +37,24 @@ func TestDataPoolLRUEviction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p.Put(fmt.Sprintf("d%d", i), cd)
-		p.Release(fmt.Sprintf("d%d", i))
+		_, ref := p.Put(fmt.Sprintf("d%d", i), cd)
+		ref.Release()
 	}
 	if p.Len() != 2 {
 		t.Fatalf("pool holds %d entries, want 2", p.Len())
 	}
-	if _, ok := p.Acquire("d0"); ok {
+	if _, _, ok := p.Acquire("d0"); ok {
 		t.Error("d0 should have been evicted as LRU")
 	}
 	for _, id := range []string{"d1", "d2"} {
-		cd, ok := p.Acquire(id)
+		cd, ref, ok := p.Acquire(id)
 		if !ok {
 			t.Fatalf("%s missing from pool", id)
 		}
 		if cd.NumBlocks() != 2 {
 			t.Errorf("%s has %d blocks", id, cd.NumBlocks())
 		}
-		p.Release(id)
+		ref.Release()
 	}
 }
 
@@ -52,15 +64,17 @@ func TestDataPoolReferencedEntriesSurviveEviction(t *testing.T) {
 	p := b.Pool()
 	p.SetLimit(1)
 	cd0, _ := CacheTuples(b, poolBlocks(4, 1))
-	p.Put("held", cd0) // reference kept
+	_, held := p.Put("held", cd0) // reference kept
 	cd1, _ := CacheTuples(b, poolBlocks(4, 1))
-	p.Put("next", cd1)
-	p.Release("next")
-	if _, ok := p.Acquire("held"); !ok {
+	_, ref1 := p.Put("next", cd1)
+	ref1.Release()
+	_, ref2, ok := p.Acquire("held")
+	if !ok {
 		t.Fatal("referenced entry was evicted")
 	}
-	p.Release("held")
-	p.Release("held")
+	ref2.Release()
+	held.Release()
+	held.Release() // double release is a no-op
 }
 
 func TestDataPoolPutRaceConvergesOnOneCopy(t *testing.T) {
@@ -69,13 +83,138 @@ func TestDataPoolPutRaceConvergesOnOneCopy(t *testing.T) {
 	p := b.Pool()
 	cd0, _ := CacheTuples(b, poolBlocks(4, 1))
 	cd1, _ := CacheTuples(b, poolBlocks(4, 1))
-	got0 := p.Put("same", cd0)
-	got1 := p.Put("same", cd1)
+	got0, _ := p.Put("same", cd0)
+	got1, _ := p.Put("same", cd1)
 	if got0 != cd0 {
 		t.Error("first Put did not install its CachedData")
 	}
 	if got1 != cd0 {
 		t.Error("second Put did not converge on the existing entry")
+	}
+}
+
+// TestDataPoolRePutSameDataKeepsEntryAlive is the regression test for the
+// identity re-Put bug: Putting the *same* CachedData already live under an
+// id must not treat the caller as the loser of a re-preparation race — the
+// old code called cd.Drop() on it, deleting the live entry's spill files.
+func TestDataPoolRePutSameDataKeepsEntryAlive(t *testing.T) {
+	b := spillingBackend()
+	defer b.Close()
+	p := b.Pool()
+	cd, err := CacheTuples(b, poolBlocks(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got0, ref0 := p.Put("d", cd)
+	got1, ref1 := p.Put("d", cd) // identity re-Put of the pooled CachedData
+	if got0 != cd || got1 != cd {
+		t.Fatal("identity re-Put did not return the pooled CachedData")
+	}
+	if err := scannable(cd); err != nil {
+		t.Fatalf("pooled entry unreadable after identity re-Put (spill files dropped): %v", err)
+	}
+	ref0.Release()
+	ref1.Release()
+	// Both references released and the entry is still live: it must remain
+	// readable until removed or evicted.
+	if err := scannable(cd); err != nil {
+		t.Fatalf("live entry unreadable after releases: %v", err)
+	}
+	p.Remove("d")
+	if err := scannable(cd); err == nil {
+		t.Error("removed unreferenced entry still readable: spill files leaked")
+	}
+}
+
+// TestDataPoolStaleReleaseCannotTouchReplacement is the regression test for
+// the id-keyed release bug: after Remove + Put reuse an id, a release of the
+// *old* entry's reference must not decrement the replacement's refcount —
+// with id-keyed Release the pool could then evict a dataset another query
+// still holds.
+func TestDataPoolStaleReleaseCannotTouchReplacement(t *testing.T) {
+	b := spillingBackend()
+	defer b.Close()
+	p := b.Pool()
+
+	cd1, err := CacheTuples(b, poolBlocks(32, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, oldRef := p.Put("d", cd1)
+	p.Remove("d") // dead but referenced: lives until oldRef releases
+
+	cd2, err := CacheTuples(b, poolBlocks(32, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, newRef := p.Put("d", cd2) // same id, new entry, held by a query
+
+	oldRef.Release() // stale release: must hit cd1's entry, not cd2's
+	if err := scannable(cd1); err == nil {
+		t.Error("dead entry kept its spill files after its last release")
+	}
+
+	// The replacement must still be referenced: a Remove now may not drop it
+	// out from under the holder.
+	p.Remove("d")
+	if err := scannable(cd2); err != nil {
+		t.Fatalf("replacement entry dropped while a query still held it: %v", err)
+	}
+	newRef.Release()
+	if err := scannable(cd2); err == nil {
+		t.Error("removed replacement still readable after final release")
+	}
+}
+
+// TestDataPoolConcurrentPutAcquireRemoveRelease exercises the full lifecycle
+// from many goroutines (run under -race in CI): ids are continually removed
+// and re-put while readers hold and release references, and no reader may
+// ever observe a dropped entry through a reference it holds.
+func TestDataPoolConcurrentPutAcquireRemoveRelease(t *testing.T) {
+	b := spillingBackend()
+	defer b.Close()
+	p := b.Pool()
+	p.SetLimit(4)
+
+	const goroutines = 8
+	const rounds = 40
+	ids := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				id := ids[(g+round)%len(ids)]
+				cd, ref, ok := p.Acquire(id)
+				if !ok {
+					fresh, err := CacheTuples(b, poolBlocks(16, 2))
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					cd, ref = p.Put(id, fresh)
+				}
+				// While the reference is held the data must stay readable,
+				// no matter what other goroutines remove or re-put.
+				if err := scannable(cd); err != nil {
+					errs[g] = fmt.Errorf("round %d id %s: %w", round, id, err)
+					ref.Release()
+					return
+				}
+				if round%5 == g%5 {
+					p.Remove(id)
+				}
+				ref.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

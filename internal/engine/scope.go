@@ -108,6 +108,41 @@ func (s *QueryScope) TotalMemory() int64 { return s.base.TotalMemory() }
 // Pool returns the shared prepared-dataset pool.
 func (s *QueryScope) Pool() *DataPool { return s.base.Pool() }
 
+// engineCounters are the counter names the concrete backends book on their
+// own registry inside the execution methods (see e.g. NativeBackend.RunStage
+// and ChargeShuffle): a scope's copies of these are double-booked per-query
+// views of work the substrate already accounted for.
+var engineCounters = map[string]bool{
+	metrics.CtrTasks:          true,
+	metrics.CtrStages:         true,
+	metrics.CtrShuffleBytes:   true,
+	metrics.CtrShuffleRecords: true,
+	metrics.CtrBroadcastBytes: true,
+	metrics.CtrSpillBytes:     true,
+	metrics.CtrSpillReads:     true,
+}
+
+// Finish folds the scope's operator-level metrics — phase durations and the
+// counters only operators book (candidates, scaling loops, emitted pairs,
+// …) — into the shared backend's lifetime registry, so substrate-lifetime
+// snapshots see the mining work of every query, not just the engine-level
+// charges the backends book themselves. Call once when the query completes;
+// engine-booked counters are excluded to avoid double counting.
+func (s *QueryScope) Finish() {
+	base := s.base.Reg()
+	for k, v := range s.reg.Counters() {
+		if !engineCounters[k] {
+			base.Add(k, v)
+		}
+	}
+	for k, v := range s.reg.Phases() {
+		base.AddPhase(k, v)
+	}
+	for k, v := range s.reg.SimPhases() {
+		base.AddSimPhase(k, v)
+	}
+}
+
 // Close is a no-op: the scope's owner does not own the backend.
 func (s *QueryScope) Close() error { return nil }
 

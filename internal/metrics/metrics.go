@@ -141,6 +141,43 @@ func (r *Registry) SimPhases() map[string]time.Duration {
 	return out
 }
 
+// Snapshot is a point-in-time, JSON-serializable copy of a registry:
+// counters plus wall-clock and simulated phase durations (nanoseconds on the
+// wire, time.Duration's encoding). A server returns one per query response
+// so clients see exactly what the query cost.
+type Snapshot struct {
+	Counters  map[string]int64         `json:"counters,omitempty"`
+	Phases    map[string]time.Duration `json:"phases_ns,omitempty"`
+	SimPhases map[string]time.Duration `json:"sim_phases_ns,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Empty maps are omitted so
+// the zero registry serializes to {}.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for k, v := range r.counters {
+			s.Counters[k] = v
+		}
+	}
+	if len(r.phases) > 0 {
+		s.Phases = make(map[string]time.Duration, len(r.phases))
+		for k, v := range r.phases {
+			s.Phases[k] = v
+		}
+	}
+	if len(r.sim) > 0 {
+		s.SimPhases = make(map[string]time.Duration, len(r.sim))
+		for k, v := range r.sim {
+			s.SimPhases[k] = v
+		}
+	}
+	return s
+}
+
 // Merge adds every counter and phase of o into r.
 func (r *Registry) Merge(o *Registry) {
 	o.mu.Lock()

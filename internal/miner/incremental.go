@@ -64,6 +64,12 @@ func (inc *Incremental) Seed(ds *dataset.Dataset) { inc.data = ds }
 // SetOptions replaces the options used by future refits and full re-mines.
 func (inc *Incremental) SetOptions(opt Options) { inc.opt = opt.withDefaults() }
 
+// Options returns the options in effect for refits and full re-mines, with
+// defaults applied. Callers that SetOptions speculatively (the session
+// layer's Append) capture this first so a failed maintenance pass can be
+// rolled back to the last good configuration.
+func (inc *Incremental) Options() Options { return inc.opt }
+
 // Data returns the accumulated dataset (nil before any Seed/Append).
 func (inc *Incremental) Data() *dataset.Dataset { return inc.data }
 

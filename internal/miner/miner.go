@@ -38,6 +38,7 @@ func New(c engine.Backend, ds *dataset.Dataset, opt Options) *Miner {
 // cross-iteration LCA reuse).
 func (m *Miner) Run() (*Result, error) {
 	qc := engine.NewQueryScope(m.c)
+	defer qc.Finish() // backend lifetime totals include this run's operator metrics
 	wallStart := time.Now()
 	simStart := qc.SimTime()
 	p, err := prepare(m.c, m.ds, PrepOptions{

@@ -166,6 +166,10 @@ func (p *Prep) Options() PrepOptions { return p.opt }
 // It is safe to call concurrently.
 func (p *Prep) Mine(opt Options) (*Result, error) {
 	qc := engine.NewQueryScope(p.c)
+	// The query's operator metrics fold into the substrate's lifetime
+	// registry (even on error — the work happened), so session stats see
+	// every query.
+	defer qc.Finish()
 	return p.mineScoped(qc, opt.withDefaults(), time.Now(), qc.SimTime())
 }
 
@@ -184,13 +188,13 @@ func (p *Prep) Drop() {
 // charging the load to qc.
 func (p *Prep) ensureData(qc engine.Backend) (*engine.CachedData, func(), error) {
 	pool := p.c.Pool()
-	if cd, ok := pool.Acquire(p.poolID); ok {
-		return cd, func() { pool.Release(p.poolID) }, nil
+	if cd, ref, ok := pool.Acquire(p.poolID); ok {
+		return cd, ref.Release, nil
 	}
 	p.loadMu.Lock()
 	defer p.loadMu.Unlock()
-	if cd, ok := pool.Acquire(p.poolID); ok {
-		return cd, func() { pool.Release(p.poolID) }, nil
+	if cd, ref, ok := pool.Acquire(p.poolID); ok {
+		return cd, ref.Release, nil
 	}
 	blocks := engine.BlocksFromColumns(p.ds.Dims, p.work, nil, p.parts)
 	// Initial read from the distributed file system.
@@ -199,8 +203,8 @@ func (p *Prep) ensureData(qc engine.Backend) (*engine.CachedData, func(), error)
 	if err != nil {
 		return nil, nil, err
 	}
-	data = pool.Put(p.poolID, data)
-	return data, func() { pool.Release(p.poolID) }, nil
+	data, ref := pool.Put(p.poolID, data)
+	return data, ref.Release, nil
 }
 
 // memoEligible reports whether the prepared LCA memo may serve this query:

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"time"
+
+	"sirum"
+)
+
+// The wire types of sirumd's HTTP/JSON API. Field names are snake_case on
+// the wire; durations serialize as nanoseconds (time.Duration's encoding).
+
+// GeneratorSpec asks for one of the built-in synthetic evaluation datasets.
+type GeneratorSpec struct {
+	Name string `json:"name"` // income|gdelt|susy|tlc|flights
+	Rows int    `json:"rows,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+}
+
+// PrepareSpec mirrors sirum.PrepareOptions plus substrate sizing.
+type PrepareSpec struct {
+	SampleSize     int     `json:"sample_size,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+	SampleFraction float64 `json:"sample_fraction,omitempty"`
+	Executors      int     `json:"executors,omitempty"`
+	PoolLimit      int     `json:"pool_limit,omitempty"`
+	Backend        string  `json:"backend,omitempty"` // native|sim
+	RemineFactor   float64 `json:"remine_factor,omitempty"`
+}
+
+// CreateRequest registers a named prepared session from either a built-in
+// generator or an inline CSV document.
+type CreateRequest struct {
+	// ID names the session; one is assigned when empty.
+	ID string `json:"id,omitempty"`
+	// Generator builds a synthetic dataset (mutually exclusive with CSV).
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+	// CSV is a full CSV document with a header row; Measure names the
+	// measure column and Ignore lists columns to drop.
+	CSV     string   `json:"csv,omitempty"`
+	Measure string   `json:"measure,omitempty"`
+	Ignore  []string `json:"ignore,omitempty"`
+	// Prepare configures the prepare-once phase.
+	Prepare PrepareSpec `json:"prepare,omitempty"`
+}
+
+// SessionInfo describes one registered session.
+type SessionInfo struct {
+	ID        string              `json:"id"`
+	Rows      int                 `json:"rows"`
+	Dims      []string            `json:"dims"`
+	Measure   string              `json:"measure"`
+	Queries   int64               `json:"queries"`
+	CreatedAt time.Time           `json:"created_at"`
+	Stats     *sirum.SessionStats `json:"stats,omitempty"`
+}
+
+// ListResponse enumerates the registered sessions.
+type ListResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// MineRequest carries per-query mining options; zero values get the
+// library's defaults.
+type MineRequest struct {
+	K              int     `json:"k,omitempty"`
+	SampleSize     int     `json:"sample_size,omitempty"`
+	Variant        string  `json:"variant,omitempty"`
+	Epsilon        float64 `json:"epsilon,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+	SampleFraction float64 `json:"sample_fraction,omitempty"`
+}
+
+// ConditionJSON is one attribute constraint of a rule.
+type ConditionJSON struct {
+	Attr  string `json:"attr"`
+	Value string `json:"value"`
+}
+
+// RuleJSON is one mined rule with display aggregates.
+type RuleJSON struct {
+	Conditions []ConditionJSON `json:"conditions"`
+	Display    string          `json:"display"`
+	Avg        float64         `json:"avg"`
+	Count      int64           `json:"count"`
+	Gain       float64         `json:"gain,omitempty"`
+}
+
+// MineResponse reports one mining query, including the per-query metrics
+// snapshot so clients see exactly what their query cost in isolation from
+// concurrent traffic.
+type MineResponse struct {
+	Rules      []RuleJSON         `json:"rules"`
+	KL         float64            `json:"kl"`
+	InfoGain   float64            `json:"info_gain"`
+	Iterations int                `json:"iterations"`
+	WallNS     time.Duration      `json:"wall_ns"`
+	Metrics    sirum.QueryMetrics `json:"metrics"`
+}
+
+// ExploreRequest carries data-cube exploration options.
+type ExploreRequest struct {
+	K        int   `json:"k,omitempty"`
+	GroupBys int   `json:"group_bys,omitempty"`
+	Seed     int64 `json:"seed,omitempty"`
+}
+
+// ExploreResponse reports recommendations plus the assumed prior.
+type ExploreResponse struct {
+	Prior []RuleJSON `json:"prior"`
+	MineResponse
+}
+
+// RowJSON is one appended tuple.
+type RowJSON struct {
+	Dims    []string `json:"dims"`
+	Measure float64  `json:"measure"`
+}
+
+// AppendRequest folds new tuples into the session; the mining options apply
+// if the maintained rule list has drifted enough to be re-mined.
+type AppendRequest struct {
+	Rows []RowJSON `json:"rows"`
+	MineRequest
+}
+
+// AppendResponse reports one append.
+type AppendResponse struct {
+	Remined bool       `json:"remined"`
+	Rows    int        `json:"rows"`
+	KL      float64    `json:"kl"`
+	Rules   []RuleJSON `json:"rules"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse reports daemon liveness and load.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+	InFlight int    `json:"in_flight"`
+	Queries  int64  `json:"queries"`
+	Rejected int64  `json:"rejected"`
+}
+
+func publicRules(rules []sirum.Rule) []RuleJSON {
+	out := make([]RuleJSON, 0, len(rules))
+	for _, r := range rules {
+		rj := RuleJSON{Display: r.String(), Avg: r.Avg, Count: r.Count, Gain: r.Gain}
+		for _, c := range r.Conditions {
+			rj.Conditions = append(rj.Conditions, ConditionJSON{Attr: c.Attr, Value: c.Value})
+		}
+		out = append(out, rj)
+	}
+	return out
+}
+
+func mineResponse(res *sirum.Result) MineResponse {
+	return MineResponse{
+		Rules:      publicRules(res.Rules),
+		KL:         res.KL,
+		InfoGain:   res.InfoGain,
+		Iterations: res.Iterations,
+		WallNS:     res.WallTime,
+		Metrics:    res.Metrics,
+	}
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig drives the load generator against a running sirumd.
+type LoadConfig struct {
+	// BaseURL of the daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Dataset is the built-in generator backing the test session (default
+	// "income") with Rows rows (default 5000).
+	Dataset string
+	Rows    int
+	// Queries is the total number of queries to fire (default 64).
+	Queries int
+	// Concurrency is how many client workers fire them (default 8).
+	Concurrency int
+	// K per query (default 3); every ExploreEvery-th query is an explore
+	// instead of a mine (default 4; negative runs mines only).
+	K            int
+	ExploreEvery int
+	// SampleSize for the prepared session and every query (default 16).
+	SampleSize int
+	// Timeout per request (default 2 minutes).
+	Timeout time.Duration
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Dataset == "" {
+		c.Dataset = "income"
+	}
+	if c.Rows <= 0 {
+		c.Rows = 5000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 64
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.ExploreEvery == 0 {
+		c.ExploreEvery = 4
+	}
+	if c.SampleSize <= 0 {
+		c.SampleSize = 16
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	return c
+}
+
+// LoadReport summarizes one load-generator run.
+type LoadReport struct {
+	Queries     int           `json:"queries"`
+	Mines       int           `json:"mines"`
+	Explores    int           `json:"explores"`
+	Errors      int           `json:"errors"`
+	Wall        time.Duration `json:"wall_ns"`
+	Throughput  float64       `json:"queries_per_sec"`
+	P50         time.Duration `json:"p50_ns"`
+	P95         time.Duration `json:"p95_ns"`
+	Max         time.Duration `json:"max_ns"`
+	FirstError  string        `json:"first_error,omitempty"`
+	InfoGain    float64       `json:"info_gain"`   // from the baseline mine
+	RuleCount   int           `json:"rule_count"`  // rules in the baseline mine
+	Consistency string        `json:"consistency"` // "verified": concurrent mines matched the baseline
+}
+
+// String renders the report for terminals.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"queries: %d (%d mine, %d explore)   errors: %d\nwall: %v   throughput: %.1f q/s\nlatency p50: %v   p95: %v   max: %v\nbaseline: %d rules, info gain %.4f   consistency: %s",
+		r.Queries, r.Mines, r.Explores, r.Errors,
+		r.Wall.Round(time.Millisecond), r.Throughput,
+		r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond), r.Max.Round(time.Millisecond),
+		r.RuleCount, r.InfoGain, r.Consistency)
+}
+
+// loadClient wraps the JSON round trips.
+type loadClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *loadClient) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s %s: %s (%d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// RunLoad fires cfg.Queries mixed mine/explore queries at cfg.Concurrency
+// against one prepared session and reports throughput and latency
+// percentiles. Every mine uses the same options, so the responses must all
+// equal a baseline mined before the storm — the report records whether that
+// held ("consistency: verified"), making the run a serving-path correctness
+// check, not just a stopwatch.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	c := &loadClient{base: cfg.BaseURL, hc: &http.Client{Timeout: cfg.Timeout}}
+
+	var created SessionInfo
+	err := c.do("POST", "/v1/datasets", CreateRequest{
+		Generator: &GeneratorSpec{Name: cfg.Dataset, Rows: cfg.Rows, Seed: 1},
+		Prepare:   PrepareSpec{SampleSize: cfg.SampleSize, Seed: 1},
+	}, &created)
+	if err != nil {
+		return nil, fmt.Errorf("creating load session: %w", err)
+	}
+	sessionPath := "/v1/datasets/" + created.ID
+	defer c.do("DELETE", sessionPath, nil, nil)
+
+	mineReq := MineRequest{K: cfg.K, SampleSize: cfg.SampleSize, Seed: 1}
+	var baseline MineResponse
+	if err := c.do("POST", sessionPath+"/mine", mineReq, &baseline); err != nil {
+		return nil, fmt.Errorf("baseline mine: %w", err)
+	}
+
+	latencies := make([]time.Duration, cfg.Queries)
+	outcomes := make([]error, cfg.Queries)
+	isExplore := make([]bool, cfg.Queries)
+	var mismatches atomic.Int64
+	var next atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Queries {
+					return
+				}
+				explore := cfg.ExploreEvery > 0 && i%cfg.ExploreEvery == cfg.ExploreEvery-1
+				isExplore[i] = explore
+				qStart := time.Now()
+				if explore {
+					var resp ExploreResponse
+					outcomes[i] = c.do("POST", sessionPath+"/explore", ExploreRequest{K: cfg.K, GroupBys: 1, Seed: 1}, &resp)
+					if outcomes[i] == nil && len(resp.Rules) == 0 {
+						outcomes[i] = fmt.Errorf("explore %d returned no rules", i)
+					}
+				} else {
+					var resp MineResponse
+					outcomes[i] = c.do("POST", sessionPath+"/mine", mineReq, &resp)
+					if outcomes[i] == nil && !sameRules(resp.Rules, baseline.Rules) {
+						mismatches.Add(1)
+						outcomes[i] = fmt.Errorf("mine %d diverged from the baseline rule list", i)
+					}
+				}
+				latencies[i] = time.Since(qStart)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &LoadReport{
+		Queries:   cfg.Queries,
+		Wall:      wall,
+		InfoGain:  baseline.InfoGain,
+		RuleCount: len(baseline.Rules),
+	}
+	for i := range outcomes {
+		if isExplore[i] {
+			rep.Explores++
+		} else {
+			rep.Mines++
+		}
+		if outcomes[i] != nil {
+			rep.Errors++
+			if rep.FirstError == "" {
+				rep.FirstError = outcomes[i].Error()
+			}
+		}
+	}
+	if wall > 0 {
+		rep.Throughput = float64(cfg.Queries) / wall.Seconds()
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rep.P50 = percentile(sorted, 0.50)
+	rep.P95 = percentile(sorted, 0.95)
+	rep.Max = sorted[len(sorted)-1]
+	if mismatches.Load() == 0 && rep.Errors == 0 {
+		rep.Consistency = "verified"
+	} else {
+		rep.Consistency = fmt.Sprintf("%d mismatches", mismatches.Load())
+	}
+	return rep, nil
+}
+
+func sameRules(a, b []RuleJSON) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Display != b[i].Display || a[i].Count != b[i].Count {
+			return false
+		}
+	}
+	return true
+}
+
+// percentile returns the value at fraction q of a sorted slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,505 @@
+// Package server implements sirumd: an HTTP/JSON daemon serving informative
+// rule mining over a registry of named prepared sessions. The paper frames
+// SIRUM as an interactive tool — an analyst repeatedly asks for the K most
+// informative rules under evolving priors — so the daemon holds each dataset
+// prepared once (loaded, partitioned, sampled, indexed) and answers many
+// cheap per-query passes against it, concurrently.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/datasets            create a prepared session (generator or CSV)
+//	GET    /v1/datasets            list sessions
+//	GET    /v1/datasets/{id}       one session with lifetime stats
+//	DELETE /v1/datasets/{id}       close and unregister a session
+//	POST   /v1/datasets/{id}/mine     one mining query
+//	POST   /v1/datasets/{id}/explore  one data-cube exploration query
+//	POST   /v1/datasets/{id}/append   fold new rows in, refit/re-mine
+//	GET    /v1/healthz             liveness and load counters
+//
+// An admission-control semaphore bounds the queries executing at once;
+// excess requests queue until a slot frees or their context is cancelled.
+// Close drains in-flight queries before tearing sessions down.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sirum"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// MaxInFlight bounds the units of heavy work executing at once —
+	// mine/explore/append queries and session preparation (default
+	// 2 × GOMAXPROCS). Requests beyond it queue; they fail with 503 only
+	// when their context is cancelled while waiting.
+	MaxInFlight int
+	// MaxBodyBytes caps a request body (default 64 MiB) so one oversized
+	// CSV or row batch cannot exhaust memory before validation.
+	MaxBodyBytes int64
+	// Now stamps session creation times (defaults to time.Now; tests pin it).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is the daemon state: the session registry plus admission control.
+// Create with New, serve via Handler, tear down with Close.
+type Server struct {
+	conf Config
+	mux  *http.ServeMux
+	sem  chan struct{} // admission: one slot per executing query
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+	closed   bool
+
+	inflight sync.WaitGroup // queries admitted but not yet finished
+	queries  atomic.Int64   // queries answered (including failed ones)
+	rejected atomic.Int64   // queries turned away at admission
+}
+
+// storeMax raises v to n monotonically: appends only grow a session, and
+// handlers may reach their post-Append store out of order.
+func storeMax(v *atomic.Int64, n int64) {
+	for {
+		cur := v.Load()
+		if n <= cur || v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// session is one registry entry: a prepared mining session plus bookkeeping.
+type session struct {
+	id      string
+	ds      *sirum.Dataset // creation-time dataset; the schema never changes
+	p       *sirum.Prepared
+	created time.Time
+	queries atomic.Int64
+	rows    atomic.Int64 // cached row count, so listings never wait behind a long Append holding the session lock
+}
+
+// New builds a server with an empty session registry.
+func New(conf Config) *Server {
+	conf = conf.withDefaults()
+	s := &Server{
+		conf:     conf,
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, conf.MaxInFlight),
+		sessions: make(map[string]*session),
+	}
+	s.mux.HandleFunc("POST /v1/datasets", s.wrap(s.handleCreate))
+	s.mux.HandleFunc("GET /v1/datasets", s.wrap(s.handleList))
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.wrap(s.handleGet))
+	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.wrap(s.handleDelete))
+	s.mux.HandleFunc("POST /v1/datasets/{id}/mine", s.wrap(s.handleMine))
+	s.mux.HandleFunc("POST /v1/datasets/{id}/explore", s.wrap(s.handleExplore))
+	s.mux.HandleFunc("POST /v1/datasets/{id}/append", s.wrap(s.handleAppend))
+	s.mux.HandleFunc("GET /v1/healthz", s.wrap(s.handleHealth))
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains in-flight queries, then closes and unregisters every session.
+// New work is rejected from the moment Close is called. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	drain := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		drain = append(drain, sess)
+	}
+	s.sessions = make(map[string]*session)
+	s.mu.Unlock()
+
+	// Graceful shutdown: every admitted query finishes against its session
+	// before any Prepared.Close tears the substrate down.
+	s.inflight.Wait()
+	var firstErr error
+	for _, sess := range drain {
+		if err := sess.p.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// apiError carries an HTTP status with a message.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) error {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// mapError classifies an error into an HTTP status: explicit apiErrors keep
+// theirs; library validation errors (the "sirum:"/"miner:"/"explore:"
+// prefixes — bad variant, foreign backend, mismatched schema or sample
+// options) are the caller's fault; anything else is internal.
+func mapError(err error) (int, string) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status, ae.msg
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "session is closed") {
+		return http.StatusConflict, msg
+	}
+	for _, prefix := range []string{"sirum:", "miner:", "explore:", "dataset:", "datagen:"} {
+		if strings.HasPrefix(msg, prefix) {
+			return http.StatusBadRequest, msg
+		}
+	}
+	return http.StatusInternalServerError, msg
+}
+
+// wrap adapts an error-returning handler to http.HandlerFunc with uniform
+// JSON error mapping.
+func (s *Server) wrap(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := h(w, r); err != nil {
+			status, msg := mapError(err)
+			writeJSON(w, status, ErrorResponse{Error: msg})
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.conf.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return errf(http.StatusRequestEntityTooLarge, "request body over %d bytes", tooLarge.Limit)
+		}
+		return errf(http.StatusBadRequest, "bad request body: %v", err)
+	}
+	return nil
+}
+
+// admit takes one admission slot, queueing while the semaphore is full.
+// The returned release must be called when the query finishes.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errf(http.StatusServiceUnavailable, "server is shutting down")
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	select {
+	case s.sem <- struct{}{}:
+		s.queries.Add(1)
+		return func() {
+			<-s.sem
+			s.inflight.Done()
+		}, nil
+	case <-ctx.Done():
+		s.inflight.Done()
+		s.rejected.Add(1)
+		return nil, errf(http.StatusServiceUnavailable, "query queue full: %v", ctx.Err())
+	}
+}
+
+// lookup resolves a session id.
+func (s *Server) lookup(id string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, errf(http.StatusNotFound, "unknown dataset %q", id)
+	}
+	return sess, nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) error {
+	var req CreateRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return err
+	}
+	// Preparation is the heaviest work the daemon does (load, partition,
+	// sample, index); it takes an admission slot like any query so a burst
+	// of creates cannot starve admitted traffic.
+	release, err := s.admit(r.Context())
+	if err != nil {
+		return err
+	}
+	defer release()
+	var ds *sirum.Dataset
+	switch {
+	case req.Generator != nil && req.CSV != "":
+		return errf(http.StatusBadRequest, "use either generator or csv, not both")
+	case req.Generator != nil:
+		rows := req.Generator.Rows
+		if rows <= 0 {
+			rows = 10000
+		}
+		seed := req.Generator.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		ds, err = sirum.Generate(req.Generator.Name, rows, seed)
+	case req.CSV != "":
+		if req.Measure == "" {
+			return errf(http.StatusBadRequest, "measure is required with csv")
+		}
+		ds, err = sirum.ReadCSV(strings.NewReader(req.CSV), req.Measure, req.Ignore...)
+	default:
+		return errf(http.StatusBadRequest, "one of generator or csv is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	p, err := ds.Prepare(sirum.PrepareOptions{
+		SampleSize:     req.Prepare.SampleSize,
+		Seed:           req.Prepare.Seed,
+		SampleFraction: req.Prepare.SampleFraction,
+		Cluster:        sirum.Cluster{Executors: req.Prepare.Executors, PoolLimit: req.Prepare.PoolLimit},
+		Backend:        sirum.Backend(req.Prepare.Backend),
+		RemineFactor:   req.Prepare.RemineFactor,
+	})
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		p.Close()
+		return errf(http.StatusServiceUnavailable, "server is shutting down")
+	}
+	id := req.ID
+	if id == "" {
+		s.nextID++
+		id = fmt.Sprintf("d%d", s.nextID)
+	}
+	if _, exists := s.sessions[id]; exists {
+		s.mu.Unlock()
+		p.Close()
+		return errf(http.StatusConflict, "dataset %q already exists", id)
+	}
+	sess := &session{id: id, ds: ds, p: p, created: s.conf.Now()}
+	sess.rows.Store(int64(ds.NumRows()))
+	s.sessions[id] = sess
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusCreated, s.info(sess, false))
+	return nil
+}
+
+func (s *Server) info(sess *session, withStats bool) SessionInfo {
+	inf := SessionInfo{
+		ID:        sess.id,
+		Rows:      int(sess.rows.Load()),
+		Dims:      sess.ds.DimNames(),
+		Measure:   sess.ds.MeasureName(),
+		Queries:   sess.queries.Load(),
+		CreatedAt: sess.created,
+	}
+	if withStats {
+		st := sess.p.Stats()
+		inf.Stats = &st
+	}
+	return inf
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) error {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	resp := ListResponse{Sessions: make([]SessionInfo, 0, len(sessions))}
+	for _, sess := range sessions {
+		resp.Sessions = append(resp.Sessions, s.info(sess, false))
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) error {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, s.info(sess, true))
+	return nil
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return errf(http.StatusNotFound, "unknown dataset %q", id)
+	}
+	// Prepared.Close blocks until queries already holding the session's
+	// read-lock finish, so deletion drains naturally.
+	if err := sess.p.Close(); err != nil {
+		return err
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+func (req MineRequest) options() sirum.Options {
+	return sirum.Options{
+		K:              req.K,
+		SampleSize:     req.SampleSize,
+		Variant:        sirum.Variant(req.Variant),
+		Epsilon:        req.Epsilon,
+		Seed:           req.Seed,
+		SampleFraction: req.SampleFraction,
+	}
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) error {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	var req MineRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return err
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		return err
+	}
+	defer release()
+	sess.queries.Add(1)
+	res, err := sess.p.Mine(req.options())
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, mineResponse(res))
+	return nil
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) error {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	var req ExploreRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return err
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		return err
+	}
+	defer release()
+	sess.queries.Add(1)
+	res, err := sess.p.Explore(sirum.ExploreOptions{K: req.K, GroupBys: req.GroupBys, Seed: req.Seed})
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, ExploreResponse{
+		Prior:        publicRules(res.Prior),
+		MineResponse: mineResponse(res.Result),
+	})
+	return nil
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) error {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	var req AppendRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return err
+	}
+	if len(req.Rows) == 0 {
+		return errf(http.StatusBadRequest, "rows is required")
+	}
+	b := sirum.NewBuilder(sess.ds.DimNames(), sess.ds.MeasureName())
+	for i, row := range req.Rows {
+		if err := b.Add(row.Dims, row.Measure); err != nil {
+			return errf(http.StatusBadRequest, "row %d: %v", i, err)
+		}
+	}
+	batch, err := b.Build()
+	if err != nil {
+		return errf(http.StatusBadRequest, "building batch: %v", err)
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		return err
+	}
+	defer release()
+	sess.queries.Add(1)
+	res, err := sess.p.Append(batch, req.options())
+	if err != nil {
+		return err
+	}
+	storeMax(&sess.rows, int64(res.Rows))
+	writeJSON(w, http.StatusOK, AppendResponse{
+		Remined: res.Remined,
+		Rows:    res.Rows,
+		KL:      res.KL,
+		Rules:   publicRules(res.Rules),
+	})
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Sessions: n,
+		InFlight: len(s.sem),
+		Queries:  s.queries.Load(),
+		Rejected: s.rejected.Load(),
+	})
+	return nil
+}

@@ -1,0 +1,503 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"sirum"
+)
+
+// testServer starts an httptest server over a fresh daemon.
+func testServer(t *testing.T, conf Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(conf)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// call does one JSON round trip and decodes the response into out (skipped
+// when out is nil), returning the status code.
+func call(t *testing.T, method, url string, in, out any) int {
+	t.Helper()
+	var body *bytes.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = bytes.NewReader(buf)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// sameMineResult compares two responses to the same mining query under the
+// library's equality contract: identical rule lists and counts, aggregates
+// within floating-point summation-order tolerance.
+func sameMineResult(got, want *MineResponse) error {
+	if len(got.Rules) != len(want.Rules) {
+		return fmt.Errorf("rule counts differ: %d vs %d", len(got.Rules), len(want.Rules))
+	}
+	for j := range got.Rules {
+		g, w := got.Rules[j], want.Rules[j]
+		if g.Display != w.Display || g.Count != w.Count {
+			return fmt.Errorf("rule %d: %s (%d) vs %s (%d)", j, g.Display, g.Count, w.Display, w.Count)
+		}
+		if !reflect.DeepEqual(g.Conditions, w.Conditions) {
+			return fmt.Errorf("rule %d conditions differ", j)
+		}
+		if relErr(g.Avg, w.Avg) > 1e-9 || relErr(g.Gain, w.Gain) > 1e-6 {
+			return fmt.Errorf("rule %d aggregates differ: avg %v vs %v, gain %v vs %v", j, g.Avg, w.Avg, g.Gain, w.Gain)
+		}
+	}
+	if relErr(got.KL, want.KL) > 1e-6 || relErr(got.InfoGain, want.InfoGain) > 1e-6 {
+		return fmt.Errorf("kl/info gain differ: %v/%v vs %v/%v", got.KL, got.InfoGain, want.KL, want.InfoGain)
+	}
+	return nil
+}
+
+func relErr(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if b > m {
+		m = b
+	} else if -b > m {
+		m = -b
+	}
+	if m == 0 {
+		return d
+	}
+	return d / m
+}
+
+func createIncome(t *testing.T, baseURL, id string, rows int) SessionInfo {
+	t.Helper()
+	var info SessionInfo
+	status := call(t, "POST", baseURL+"/v1/datasets", CreateRequest{
+		ID:        id,
+		Generator: &GeneratorSpec{Name: "income", Rows: rows, Seed: 3},
+		Prepare:   PrepareSpec{SampleSize: 16, Seed: 2},
+	}, &info)
+	if status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	return info
+}
+
+// TestServerConcurrentMineExplore is the serving-path acceptance test (run
+// under -race in CI): ≥8 concurrent mixed mine/explore queries against one
+// prepared session must all succeed, every mine must match the
+// single-client baseline exactly, and every response must carry its own
+// per-query metrics snapshot.
+func TestServerConcurrentMineExplore(t *testing.T) {
+	_, ts := testServer(t, Config{MaxInFlight: 4})
+	info := createIncome(t, ts.URL, "inc", 1500)
+	if info.Rows != 1500 {
+		t.Fatalf("created session has %d rows", info.Rows)
+	}
+	mineURL := ts.URL + "/v1/datasets/inc/mine"
+	mineReq := MineRequest{K: 3, SampleSize: 16, Seed: 2}
+
+	var baseline MineResponse
+	if status := call(t, "POST", mineURL, mineReq, &baseline); status != http.StatusOK {
+		t.Fatalf("baseline mine: status %d", status)
+	}
+	if len(baseline.Rules) == 0 {
+		t.Fatal("baseline mined no rules")
+	}
+
+	const workers = 12 // > MaxInFlight, so some queries queue
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%3 == 2 {
+				var resp ExploreResponse
+				if status := call(t, "POST", ts.URL+"/v1/datasets/inc/explore",
+					ExploreRequest{K: 2, GroupBys: 1, Seed: 2}, &resp); status != http.StatusOK {
+					errs[g] = fmt.Errorf("explore status %d", status)
+					return
+				}
+				if len(resp.Rules) == 0 {
+					errs[g] = fmt.Errorf("explore returned no rules")
+				}
+				return
+			}
+			var resp MineResponse
+			if status := call(t, "POST", mineURL, mineReq, &resp); status != http.StatusOK {
+				errs[g] = fmt.Errorf("mine status %d", status)
+				return
+			}
+			if err := sameMineResult(&resp, &baseline); err != nil {
+				errs[g] = fmt.Errorf("concurrent mine diverged from baseline: %w", err)
+				return
+			}
+			if len(resp.Metrics.Counters) == 0 || resp.Metrics.Counters["candidates"] == 0 {
+				errs[g] = fmt.Errorf("response missing per-query metrics: %+v", resp.Metrics)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", g, err)
+		}
+	}
+
+	var health HealthResponse
+	if status := call(t, "GET", ts.URL+"/v1/healthz", nil, &health); status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+	if health.Queries < workers+1 {
+		t.Errorf("health reports %d queries, want >= %d", health.Queries, workers+1)
+	}
+	if health.Sessions != 1 {
+		t.Errorf("health reports %d sessions, want 1", health.Sessions)
+	}
+}
+
+// TestServerSessionLifecycle covers create/list/get/delete plus id conflicts.
+func TestServerSessionLifecycle(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	createIncome(t, ts.URL, "a", 1200)
+
+	// Duplicate ids conflict.
+	if status := call(t, "POST", ts.URL+"/v1/datasets", CreateRequest{
+		ID:        "a",
+		Generator: &GeneratorSpec{Name: "income", Rows: 1200},
+	}, nil); status != http.StatusConflict {
+		t.Errorf("duplicate create: status %d, want 409", status)
+	}
+
+	// Auto-assigned ids.
+	var auto SessionInfo
+	if status := call(t, "POST", ts.URL+"/v1/datasets", CreateRequest{
+		Generator: &GeneratorSpec{Name: "flights"},
+	}, &auto); status != http.StatusCreated {
+		t.Fatalf("auto-id create: status %d", status)
+	}
+	if auto.ID == "" || auto.ID == "a" {
+		t.Errorf("auto-assigned id = %q", auto.ID)
+	}
+
+	var list ListResponse
+	if status := call(t, "GET", ts.URL+"/v1/datasets", nil, &list); status != http.StatusOK {
+		t.Fatalf("list: status %d", status)
+	}
+	if len(list.Sessions) != 2 {
+		t.Errorf("list has %d sessions, want 2", len(list.Sessions))
+	}
+
+	// Get includes lifetime stats.
+	var got SessionInfo
+	if status := call(t, "GET", ts.URL+"/v1/datasets/a", nil, &got); status != http.StatusOK {
+		t.Fatalf("get: status %d", status)
+	}
+	if got.Stats == nil || got.Stats.Backend != "native" {
+		t.Errorf("get returned no usable stats: %+v", got.Stats)
+	}
+
+	if status := call(t, "DELETE", ts.URL+"/v1/datasets/a", nil, nil); status != http.StatusNoContent {
+		t.Errorf("delete: status %d, want 204", status)
+	}
+	if status := call(t, "GET", ts.URL+"/v1/datasets/a", nil, nil); status != http.StatusNotFound {
+		t.Errorf("get after delete: status %d, want 404", status)
+	}
+	if status := call(t, "DELETE", ts.URL+"/v1/datasets/a", nil, nil); status != http.StatusNotFound {
+		t.Errorf("double delete: status %d, want 404", status)
+	}
+}
+
+// TestServerErrorMapping pins the JSON error contract: caller mistakes are
+// 4xx with a machine-readable body, never 5xx or panics.
+func TestServerErrorMapping(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	createIncome(t, ts.URL, "d", 1200)
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		want   int
+	}{
+		{"unknown dataset", "POST", "/v1/datasets/nope/mine", MineRequest{K: 2}, http.StatusNotFound},
+		{"bad variant", "POST", "/v1/datasets/d/mine", MineRequest{K: 2, Variant: "nope"}, http.StatusBadRequest},
+		{"foreign backend create", "POST", "/v1/datasets", CreateRequest{
+			Generator: &GeneratorSpec{Name: "flights"}, Prepare: PrepareSpec{Backend: "spark"},
+		}, http.StatusBadRequest},
+		{"unknown generator", "POST", "/v1/datasets", CreateRequest{
+			Generator: &GeneratorSpec{Name: "nope"},
+		}, http.StatusBadRequest},
+		{"csv without measure", "POST", "/v1/datasets", CreateRequest{CSV: "a,m\nx,1\n"}, http.StatusBadRequest},
+		{"empty create", "POST", "/v1/datasets", CreateRequest{}, http.StatusBadRequest},
+		{"append without rows", "POST", "/v1/datasets/d/append", AppendRequest{}, http.StatusBadRequest},
+		{"append ragged row", "POST", "/v1/datasets/d/append", AppendRequest{
+			Rows: []RowJSON{{Dims: []string{"just-one"}, Measure: 1}},
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader(mustJSON(t, tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+			var apiErr ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil || apiErr.Error == "" {
+				t.Errorf("error body missing: decode err %v, body %+v", err, apiErr)
+			}
+		})
+	}
+
+	// Malformed JSON body.
+	resp, err := http.Post(ts.URL+"/v1/datasets/d/mine", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerRejectsOversizedBody pins the request-body cap: a payload over
+// MaxBodyBytes is refused before it is materialized.
+func TestServerRejectsOversizedBody(t *testing.T) {
+	_, ts := testServer(t, Config{MaxBodyBytes: 256})
+	big := `{"id":"x","csv":"` + strings.Repeat("a", 1024) + `","measure":"m"}`
+	resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestServerCSVAndAppend drives a CSV-born session through append: the
+// session grows and later queries see the new rows.
+func TestServerCSVAndAppend(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	var sb strings.Builder
+	sb.WriteString("Day,City,Delay\n")
+	days := []string{"Mon", "Tue"}
+	cities := []string{"NY", "LA", "SF"}
+	for i := 0; i < 24; i++ {
+		fmt.Fprintf(&sb, "%s,%s,%d\n", days[i%2], cities[i%3], 10+i%7)
+	}
+	var info SessionInfo
+	if status := call(t, "POST", ts.URL+"/v1/datasets", CreateRequest{
+		ID:      "csv",
+		CSV:     sb.String(),
+		Measure: "Delay",
+	}, &info); status != http.StatusCreated {
+		t.Fatalf("csv create: status %d", status)
+	}
+	if info.Rows != 24 || len(info.Dims) != 2 {
+		t.Fatalf("csv session: %d rows, dims %v", info.Rows, info.Dims)
+	}
+
+	var app AppendResponse
+	if status := call(t, "POST", ts.URL+"/v1/datasets/csv/append", AppendRequest{
+		Rows: []RowJSON{
+			{Dims: []string{"Wed", "NY"}, Measure: 55},
+			{Dims: []string{"Wed", "LA"}, Measure: 60},
+		},
+		MineRequest: MineRequest{K: 2},
+	}, &app); status != http.StatusOK {
+		t.Fatalf("append: status %d", status)
+	}
+	if app.Rows != 26 {
+		t.Errorf("append rows = %d, want 26", app.Rows)
+	}
+	if !app.Remined {
+		t.Error("first append should have mined the rule list")
+	}
+
+	var after SessionInfo
+	call(t, "GET", ts.URL+"/v1/datasets/csv", nil, &after)
+	if after.Rows != 26 {
+		t.Errorf("session rows after append = %d, want 26", after.Rows)
+	}
+}
+
+// TestServerConcurrentAdmissionQueueing pins the admission semaphore: with
+// one execution slot, a burst of concurrent queries all succeed (they
+// queue), and the health counters account for every one of them.
+func TestServerConcurrentAdmissionQueueing(t *testing.T) {
+	s, ts := testServer(t, Config{MaxInFlight: 1})
+	createIncome(t, ts.URL, "q", 1200)
+	const burst = 6
+	var wg sync.WaitGroup
+	errs := make([]error, burst)
+	for g := 0; g < burst; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var resp MineResponse
+			if status := call(t, "POST", ts.URL+"/v1/datasets/q/mine",
+				MineRequest{K: 2, SampleSize: 16, Seed: 2}, &resp); status != http.StatusOK {
+				errs[g] = fmt.Errorf("status %d", status)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("queued query %d: %v", g, err)
+		}
+	}
+	// The session create is admitted through the same semaphore as the
+	// mines — preparation is heavy work too.
+	if got := s.queries.Load(); got != burst+1 {
+		t.Errorf("admitted %d units of work, want %d", got, burst+1)
+	}
+}
+
+// TestServerCloseRejectsNewWork pins shutdown semantics: after Close every
+// endpoint that would start work answers 503, sessions are gone, and Close
+// is idempotent.
+func TestServerCloseRejectsNewWork(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	createIncome(t, ts.URL, "z", 1200)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if status := call(t, "POST", ts.URL+"/v1/datasets", CreateRequest{
+		Generator: &GeneratorSpec{Name: "flights"},
+	}, nil); status != http.StatusServiceUnavailable {
+		t.Errorf("create after close: status %d, want 503", status)
+	}
+	// The registry was emptied, so the session is simply gone.
+	if status := call(t, "POST", ts.URL+"/v1/datasets/z/mine", MineRequest{K: 2}, nil); status != http.StatusNotFound {
+		t.Errorf("mine after close: status %d, want 404", status)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestRunLoadReportsLatencies runs the load generator end to end against an
+// in-process daemon: it must verify consistency and produce sane
+// percentiles (the sirumd -selftest path).
+func TestRunLoadReportsLatencies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load generation is slow")
+	}
+	_, ts := testServer(t, Config{})
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:     ts.URL,
+		Dataset:     "income",
+		Rows:        1200,
+		Queries:     12,
+		Concurrency: 4,
+		K:           2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run had %d errors: %s", rep.Errors, rep.FirstError)
+	}
+	if rep.Consistency != "verified" {
+		t.Errorf("consistency = %q", rep.Consistency)
+	}
+	if rep.Throughput <= 0 || rep.P50 <= 0 || rep.P95 < rep.P50 {
+		t.Errorf("implausible report: %+v", rep)
+	}
+	if rep.Mines+rep.Explores != rep.Queries {
+		t.Errorf("query mix %d+%d != %d", rep.Mines, rep.Explores, rep.Queries)
+	}
+
+	// The load session deletes itself.
+	var list ListResponse
+	if status := call(t, "GET", ts.URL+"/v1/datasets", nil, &list); status != http.StatusOK {
+		t.Fatalf("list: status %d", status)
+	}
+	if len(list.Sessions) != 0 {
+		t.Errorf("load generator leaked %d sessions", len(list.Sessions))
+	}
+}
+
+// TestMineResponseSerializesMetrics pins the wire format of the per-query
+// metrics snapshot (counters + nanosecond phase maps).
+func TestMineResponseSerializesMetrics(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	createIncome(t, ts.URL, "m", 1200)
+	resp, err := http.Post(ts.URL+"/v1/datasets/m/mine", "application/json",
+		strings.NewReader(`{"k":2,"sample_size":16,"seed":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	var met struct {
+		Counters map[string]int64 `json:"counters"`
+		Phases   map[string]int64 `json:"phases_ns"`
+	}
+	if err := json.Unmarshal(raw["metrics"], &met); err != nil {
+		t.Fatalf("metrics not serializable: %v", err)
+	}
+	if met.Counters["candidates"] == 0 {
+		t.Errorf("metrics counters missing candidates: %+v", met.Counters)
+	}
+	if len(met.Phases) == 0 {
+		t.Error("metrics phases empty")
+	}
+	var _ = sirum.QueryMetrics{} // the wire type round-trips through the public snapshot
+}

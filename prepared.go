@@ -91,6 +91,44 @@ func (p *Prepared) NumRows() int {
 	return p.d.NumRows()
 }
 
+// SessionStats describes a live session for registries and dashboards: the
+// data it currently serves and the substrate-lifetime metrics accumulated
+// across every query answered so far.
+type SessionStats struct {
+	// Rows is the accumulated dataset size (grows with Append).
+	Rows int `json:"rows"`
+	// Backend names the execution substrate ("native", "sim").
+	Backend string `json:"backend"`
+	// PooledDatasets is how many prepared datasets the session's backend
+	// currently retains, out of a limit of PoolLimit (several sessions may
+	// share a backend's pool).
+	PooledDatasets int `json:"pooled_datasets"`
+	PoolLimit      int `json:"pool_limit"`
+	// Lifetime aggregates counters and phase durations across all queries
+	// answered on this session's substrate, unlike Result.Metrics which
+	// isolates one query.
+	Lifetime QueryMetrics `json:"lifetime"`
+}
+
+// Stats snapshots the session. Safe to call concurrently with queries; a
+// closed session still reports its final totals.
+func (p *Prepared) Stats() SessionStats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	snap := p.cl.Reg().Snapshot()
+	return SessionStats{
+		Rows:           p.d.NumRows(),
+		Backend:        p.backendName(),
+		PooledDatasets: p.cl.Pool().Len(),
+		PoolLimit:      p.cl.Pool().Limit(),
+		Lifetime: QueryMetrics{
+			Counters:  snap.Counters,
+			Phases:    snap.Phases,
+			SimPhases: snap.SimPhases,
+		},
+	}
+}
+
 // checkQuery validates that a query does not try to move the session to a
 // different substrate mid-flight.
 func (p *Prepared) checkQuery(backend Backend) error {
@@ -174,8 +212,8 @@ type AppendResult struct {
 func (p *Prepared) Append(batch *Dataset, opt Options) (*AppendResult, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
-		return nil, fmt.Errorf("sirum: session is closed")
+	if err := p.checkQuery(opt.Backend); err != nil {
+		return nil, err
 	}
 	old := p.d
 	merged, err := old.ds.Concat(batch.ds)
@@ -195,12 +233,18 @@ func (p *Prepared) Append(batch *Dataset, opt Options) (*AppendResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	prevOpt := p.inc.Options()
 	p.inc.SetOptions(mopt)
 	p.inc.Seed(grown.ds)
 	p.inc.UsePrep(prep) // a re-mine runs as a query, not a second data load
 	incRes, err := p.inc.Maintain()
 	if err != nil {
-		p.inc.Seed(old.ds) // roll back: the rule list is untouched on error
+		// Roll back every speculative mutation: the rule list, data and
+		// options are exactly as before, so a retried Append cannot
+		// double-count the batch or silently run with the failed call's
+		// options.
+		p.inc.SetOptions(prevOpt)
+		p.inc.Seed(old.ds)
 		p.inc.UsePrep(nil)
 		prep.Drop()
 		return nil, err

@@ -2,6 +2,7 @@ package sirum
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -207,5 +208,147 @@ func TestPreparedRejectsForeignBackend(t *testing.T) {
 	}
 	if _, err := p.Mine(Options{K: 2}); err == nil {
 		t.Error("query on a closed session accepted")
+	}
+}
+
+// TestPreparedAppendRollsBackOptionsOnFailure is the regression test for the
+// failed-Append option leak: a Maintain that errors out mid-Append must
+// restore the incremental maintainer's options (alongside the data and rule
+// list), so no later maintenance pass silently runs with the failed call's
+// options.
+func TestPreparedAppendRollsBackOptionsOnFailure(t *testing.T) {
+	ds, err := Generate("income", 1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A near-zero RemineFactor forces every Append to re-mine, so the bad
+	// options below are guaranteed to reach the mining path and fail there.
+	p, err := ds.Prepare(PrepareOptions{SampleSize: 16, Seed: 2, RemineFactor: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	batch, err := Generate("income", 300, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append(batch, Options{K: 3, SampleSize: 16, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	goodOpt := p.inc.Options()
+	rowsBefore := p.NumRows()
+
+	// SampleFraction on the query but not on the session: the re-mine runs
+	// against prepared state built without a fraction and rejects the
+	// mismatch — after SetOptions already happened.
+	bad, err := Generate("income", 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append(bad, Options{K: 3, SampleSize: 16, Seed: 2, SampleFraction: 0.5}); err == nil {
+		t.Fatal("append with mismatched SampleFraction should fail")
+	}
+	if got := p.inc.Options(); !reflect.DeepEqual(got, goodOpt) {
+		t.Errorf("failed append leaked options into the maintainer:\n got %+v\nwant %+v", got, goodOpt)
+	}
+	if p.NumRows() != rowsBefore {
+		t.Errorf("failed append grew the session: %d rows, want %d", p.NumRows(), rowsBefore)
+	}
+
+	// The session must be fully usable, and a retried Append counts the
+	// batch exactly once.
+	res, err := p.Append(bad, Options{K: 3, SampleSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != rowsBefore+300 {
+		t.Errorf("retried append rows = %d, want %d", res.Rows, rowsBefore+300)
+	}
+}
+
+// TestPreparedAppendRejectsForeignBackend pins that Append validates
+// Options.Backend exactly like Mine and Explore do, instead of silently
+// running the maintenance pass on the session's substrate.
+func TestPreparedAppendRejectsForeignBackend(t *testing.T) {
+	ds, err := Generate("flights", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ds.Prepare(PrepareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	batch, err := Generate("flights", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append(batch, Options{K: 2, Backend: BackendSim}); err == nil {
+		t.Error("append on a foreign backend accepted")
+	}
+	if p.NumRows() != ds.NumRows() {
+		t.Errorf("rejected append still grew the session to %d rows", p.NumRows())
+	}
+	if _, err := p.Append(batch, Options{K: 2, Backend: BackendNative}); err != nil {
+		t.Errorf("append naming the session's own backend rejected: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append(batch, Options{K: 2}); err == nil {
+		t.Error("append on a closed session accepted")
+	}
+}
+
+// TestPreparedQueryMetricsAndStats pins the serving-layer observability
+// hooks: every query result carries its private metrics snapshot, and
+// Stats() reports session-level lifetime totals.
+func TestPreparedQueryMetricsAndStats(t *testing.T) {
+	ds, err := Generate("income", 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ds.Prepare(PrepareOptions{SampleSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	res, err := p.Mine(Options{K: 3, SampleSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics.Counters) == 0 {
+		t.Error("query result has no metric counters")
+	}
+	if res.Metrics.Counters["candidates"] == 0 {
+		t.Error("query metrics missing the candidates counter")
+	}
+	if len(res.Metrics.Phases) == 0 {
+		t.Error("query result has no phase timings")
+	}
+	st := p.Stats()
+	if st.Rows != 1500 {
+		t.Errorf("stats rows = %d, want 1500", st.Rows)
+	}
+	if st.Backend != "native" {
+		t.Errorf("stats backend = %q, want native", st.Backend)
+	}
+	if st.PooledDatasets < 1 {
+		t.Errorf("stats pooled datasets = %d, want >= 1", st.PooledDatasets)
+	}
+	if st.PoolLimit < st.PooledDatasets {
+		t.Errorf("stats pool limit %d below pooled count %d", st.PoolLimit, st.PooledDatasets)
+	}
+	if len(st.Lifetime.Counters) == 0 {
+		t.Error("stats lifetime counters empty after a query")
+	}
+	// Lifetime totals must include the operator-level work of finished
+	// queries (folded in by QueryScope.Finish), not just engine charges.
+	if st.Lifetime.Counters["candidates"] == 0 {
+		t.Errorf("stats lifetime missing mining counters: %v", st.Lifetime.Counters)
+	}
+	if len(st.Lifetime.Phases) == 0 {
+		t.Error("stats lifetime has no phase durations")
 	}
 }

@@ -172,6 +172,11 @@ type Cluster struct {
 	Executors        int   // virtual worker nodes (default 4)
 	CoresPerExecutor int   // task slots per node (default 2)
 	MemoryPerNode    int64 // bytes of cache per node (default: unbounded)
+	// PoolLimit is how many prepared datasets the substrate retains across
+	// sessions before LRU-evicting (default 8). Servers that multiplex many
+	// prepared sessions onto long-lived backends should size this to the
+	// number of datasets they expect to keep hot.
+	PoolLimit int
 }
 
 func (c Cluster) config() engine.Config {
@@ -179,6 +184,7 @@ func (c Cluster) config() engine.Config {
 		Executors:         c.Executors,
 		CoresPerExecutor:  c.CoresPerExecutor,
 		MemoryPerExecutor: c.MemoryPerNode,
+		PoolLimit:         c.PoolLimit,
 	}
 	if conf.Executors <= 0 {
 		conf.Executors = 4
@@ -280,6 +286,20 @@ type Result struct {
 	// (always zero under BackendNative; see DESIGN.md on the execution
 	// model).
 	WallTime, SimTime time.Duration
+	// Metrics snapshots this query's private counters and phase timings —
+	// what exactly this query cost, isolated from any query running
+	// concurrently on the same session.
+	Metrics QueryMetrics
+}
+
+// QueryMetrics is a serializable per-query snapshot of counters (rows
+// scanned, candidates, shuffle traffic, …) and phase durations (candidate
+// pruning, iterative scaling, …), keyed by the repository's well-known
+// metric names. Durations serialize as nanoseconds.
+type QueryMetrics struct {
+	Counters  map[string]int64         `json:"counters,omitempty"`
+	Phases    map[string]time.Duration `json:"phases_ns,omitempty"`
+	SimPhases map[string]time.Duration `json:"sim_phases_ns,omitempty"`
 }
 
 // minerOptions translates public options to the internal miner's, applying
@@ -333,6 +353,11 @@ func (d *Dataset) publicResult(res *miner.Result) *Result {
 		Iterations: res.Iterations,
 		WallTime:   res.WallTime,
 		SimTime:    res.SimTime,
+		Metrics: QueryMetrics{
+			Counters:  res.Counters,
+			Phases:    res.Phases,
+			SimPhases: res.SimPhases,
+		},
 	}
 	for _, mr := range res.Rules {
 		out.Rules = append(out.Rules, d.publicRule(mr))
