@@ -1,11 +1,13 @@
 // Command sirumd serves informative rule mining over HTTP: a registry of
 // named prepared sessions (create from CSV or the built-in synthetic
 // generators), each answering concurrent mine/explore queries and streaming
-// appends, with admission control bounding in-flight work.
+// appends, with admission control bounding in-flight work, an epoch-keyed
+// result cache making repeat queries near-free, and optional snapshot
+// persistence so a restarted daemon comes back serving.
 //
 // Usage:
 //
-//	sirumd [-addr :8080] [-inflight 16]
+//	sirumd [-addr :8080] [-inflight 16] [-cache 256] [-snapshot dir]
 //	sirumd -selftest [-dataset income] [-rows 5000] [-queries 64]
 //	       [-concurrency 8] [-k 3] [-sample 16]
 //
@@ -18,12 +20,15 @@
 //	POST   /v1/datasets/{id}/mine   {"k":5,"sample_size":16}
 //	POST   /v1/datasets/{id}/explore {"k":4,"group_bys":2}
 //	POST   /v1/datasets/{id}/append {"rows":[{"dims":[...],"measure":1.5}]}
+//	GET    /v1/metrics              Prometheus-style text metrics
 //	GET    /v1/healthz
 //
 // -selftest starts the daemon on a loopback port, fires a storm of
-// concurrent mixed mine/explore queries through the full HTTP path, checks
-// every mine against a baseline, and reports throughput with p50/p95
-// latency — the serving path's measurable baseline.
+// concurrent mixed mine/explore queries through the full HTTP path (cold
+// misses and cache hits both, reporting the hit rate alongside p50/p95),
+// then kills the daemon and restarts it from its snapshot directory,
+// verifying the restored sessions answer the pre-restart baselines — the
+// serving path's measurable correctness check.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,7 +59,9 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sirumd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	inflight := fs.Int("inflight", 0, "max concurrently executing queries (0 = 2x cores); excess requests queue")
-	selftest := fs.Bool("selftest", false, "start on a loopback port, run the load generator, and exit")
+	cache := fs.Int("cache", 0, "result cache entries (0 = 256 default, negative disables)")
+	snapshot := fs.String("snapshot", "", "session persistence directory: journal the registry and restore it on boot (empty disables)")
+	selftest := fs.Bool("selftest", false, "start on a loopback port, run the load generator and a restart-from-snapshot pass, and exit")
 	dataset := fs.String("dataset", "income", "selftest: built-in dataset backing the load session")
 	rows := fs.Int("rows", 5000, "selftest: dataset rows")
 	queries := fs.Int("queries", 64, "selftest: total queries to fire")
@@ -64,9 +72,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	srv := server.New(server.Config{MaxInFlight: *inflight})
+	conf := server.Config{MaxInFlight: *inflight, CacheEntries: *cache, SnapshotDir: *snapshot}
 	if *selftest {
-		return runSelftest(out, srv, server.LoadConfig{
+		if conf.SnapshotDir == "" {
+			dir, err := os.MkdirTemp("", "sirumd-selftest-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			conf.SnapshotDir = dir
+		}
+		return runSelftest(out, conf, server.LoadConfig{
 			Dataset:     *dataset,
 			Rows:        *rows,
 			Queries:     *queries,
@@ -74,6 +90,16 @@ func run(args []string, out io.Writer) error {
 			K:           *k,
 			SampleSize:  *sample,
 		})
+	}
+
+	srv := server.New(conf)
+	if conf.SnapshotDir != "" {
+		n, err := srv.Restore()
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("restoring snapshot: %w", err)
+		}
+		fmt.Fprintf(out, "sirumd restored %d sessions from %s\n", n, conf.SnapshotDir)
 	}
 	return serve(out, srv, *addr)
 }
@@ -113,30 +139,147 @@ func serve(out io.Writer, srv *server.Server, addr string) error {
 	return err
 }
 
-// runSelftest serves on an ephemeral loopback port and turns the load
-// generator loose on it.
-func runSelftest(out io.Writer, srv *server.Server, cfg server.LoadConfig) error {
+// loopback serves srv on an ephemeral loopback port, returning the base
+// URL and a teardown that closes the HTTP listener and the app server.
+func loopback(srv *server.Server) (base string, shutdown func(), err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return "", nil, err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
-	defer func() {
+	return "http://" + ln.Addr().String(), func() {
 		httpSrv.Close()
 		srv.Close()
-	}()
+	}, nil
+}
 
-	cfg.BaseURL = "http://" + ln.Addr().String()
+// runSelftest drives the whole serving path in-process: the load storm,
+// then a kill-and-restart pass against the snapshot directory.
+func runSelftest(out io.Writer, conf server.Config, cfg server.LoadConfig) error {
+	srv := server.New(conf)
+	base, shutdown, err := loopback(srv)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	cfg.BaseURL = base
 	fmt.Fprintf(out, "selftest: %d queries x %d workers on %s (%d rows)\n",
 		cfg.Queries, cfg.Concurrency, cfg.Dataset, cfg.Rows)
 	rep, err := server.RunLoad(cfg)
 	if err != nil {
+		shutdown()
 		return err
 	}
 	fmt.Fprintln(out, rep)
 	if rep.Errors > 0 {
+		shutdown()
 		return fmt.Errorf("selftest: %d of %d queries failed: %s", rep.Errors, rep.Queries, rep.FirstError)
 	}
+
+	if err := restartCheck(out, conf, cfg, srv, base, shutdown); err != nil {
+		return fmt.Errorf("snapshot restart: %w", err)
+	}
+	return nil
+}
+
+// restartCheck proves persistence end to end: register a generator session
+// and a CSV session (with one appended batch) on the live daemon, record
+// baseline mines, kill the daemon, restore a fresh one from the snapshot
+// directory, and require the restored registry to serve the same sessions
+// with baseline-identical answers.
+func restartCheck(out io.Writer, conf server.Config, cfg server.LoadConfig, srv *server.Server, base string, shutdown func()) error {
+	// cfg is the raw LoadConfig (RunLoad defaults only its own copy);
+	// never run the check with an unbounded client, or a wedged daemon
+	// hangs the selftest instead of failing it.
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	c := &server.Client{BaseURL: base, HTTP: &http.Client{Timeout: cfg.Timeout}}
+	mineReq := server.MineRequest{K: cfg.K, SampleSize: cfg.SampleSize, Seed: 1}
+
+	rows := cfg.Rows / 4
+	if rows < 200 {
+		rows = 200
+	}
+	if err := c.Do("POST", "/v1/datasets", server.CreateRequest{
+		ID:        "persist-gen",
+		Generator: &server.GeneratorSpec{Name: cfg.Dataset, Rows: rows, Seed: 1},
+		Prepare:   server.PrepareSpec{SampleSize: cfg.SampleSize, Seed: 1},
+	}, nil); err != nil {
+		shutdown()
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("Day,City,Delay\n")
+	for i := 0; i < 24; i++ {
+		fmt.Fprintf(&sb, "%s,%s,%d\n", []string{"Mon", "Tue", "Wed"}[i%3], []string{"NY", "LA"}[i%2], 10+i%7)
+	}
+	if err := c.Do("POST", "/v1/datasets", server.CreateRequest{
+		ID: "persist-csv", CSV: sb.String(), Measure: "Delay",
+	}, nil); err != nil {
+		shutdown()
+		return err
+	}
+	// One appended batch, so the restart also proves journal replay.
+	if err := c.Do("POST", "/v1/datasets/persist-csv/append", server.AppendRequest{
+		Rows: []server.RowJSON{
+			{Dims: []string{"Thu", "NY"}, Measure: 55},
+			{Dims: []string{"Thu", "LA"}, Measure: 60},
+		},
+		MineRequest: server.MineRequest{K: 2},
+	}, nil); err != nil {
+		shutdown()
+		return err
+	}
+	baselines := map[string]server.MineResponse{}
+	for _, id := range []string{"persist-gen", "persist-csv"} {
+		var resp server.MineResponse
+		if err := c.Do("POST", "/v1/datasets/"+id+"/mine", mineReq, &resp); err != nil {
+			shutdown()
+			return err
+		}
+		baselines[id] = resp
+	}
+
+	shutdown() // kill the daemon; the snapshot directory is all that survives
+
+	restored := server.New(conf)
+	n, err := restored.Restore()
+	if err != nil {
+		restored.Close()
+		return err
+	}
+	base2, shutdown2, err := loopback(restored)
+	if err != nil {
+		restored.Close()
+		return err
+	}
+	defer shutdown2()
+	c2 := &server.Client{BaseURL: base2, HTTP: &http.Client{Timeout: cfg.Timeout}}
+
+	var list server.ListResponse
+	if err := c2.Do("GET", "/v1/datasets", nil, &list); err != nil {
+		return err
+	}
+	if len(list.Sessions) != n {
+		return fmt.Errorf("restored %d sessions but list shows %d", n, len(list.Sessions))
+	}
+	for id, want := range baselines {
+		var got server.MineResponse
+		if err := c2.Do("POST", "/v1/datasets/"+id+"/mine", mineReq, &got); err != nil {
+			return err
+		}
+		if len(got.Rules) != len(want.Rules) {
+			return fmt.Errorf("session %q: %d rules after restart, %d before", id, len(got.Rules), len(want.Rules))
+		}
+		for i := range got.Rules {
+			if got.Rules[i].Display != want.Rules[i].Display || got.Rules[i].Count != want.Rules[i].Count {
+				return fmt.Errorf("session %q rule %d: %s (%d) after restart vs %s (%d) before",
+					id, i, got.Rules[i].Display, got.Rules[i].Count, want.Rules[i].Display, want.Rules[i].Count)
+			}
+		}
+	}
+	fmt.Fprintf(out, "snapshot restart: %d sessions restored, %d baselines verified\n", n, len(baselines))
 	return nil
 }

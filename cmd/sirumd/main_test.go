@@ -6,8 +6,10 @@ import (
 )
 
 // TestSelftestSmoke runs the daemon's self-test end to end on a small
-// synthetic dataset: server up, load generator through the real HTTP path,
-// throughput and latency percentiles reported, zero errors.
+// synthetic dataset: server up, load generator through the real HTTP path
+// (cold misses and cache hits), throughput, latency percentiles and cache
+// hit rate reported, zero errors, then a kill-and-restore pass from the
+// snapshot directory with baseline-verified answers.
 func TestSelftestSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("selftest mines real queries")
@@ -20,7 +22,10 @@ func TestSelftestSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("selftest failed: %v\n%s", err, out.String())
 	}
-	for _, want := range []string{"throughput:", "p50:", "p95:", "errors: 0", "consistency: verified"} {
+	for _, want := range []string{
+		"throughput:", "p50:", "p95:", "errors: 0", "consistency: verified",
+		"cache hits:", "snapshot restart: 2 sessions restored",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("selftest output missing %q:\n%s", want, out.String())
 		}

@@ -69,6 +69,17 @@ func main() {
 			res.Metrics.Phases["iterative_scaling"].Round(time.Millisecond))
 	}
 
+	// Repeat traffic is near-free: an identical query is answered from the
+	// epoch-keyed result cache — no admission slot, no backend work — and
+	// says so with "cached": true.
+	repeatStart := time.Now()
+	var repeat server.MineResponse
+	post(base+"/v1/datasets/income/mine",
+		server.MineRequest{K: 2, SampleSize: 32, Seed: 1}, &repeat)
+	fmt.Printf("\nrepeat of the k=2 query: cached=%v in %v (computed in %v)\n",
+		repeat.Cached, time.Since(repeatStart).Round(time.Microsecond),
+		results[0].WallNS.Round(time.Millisecond))
+
 	// The session keeps lifetime totals across all of them.
 	var info server.SessionInfo
 	get(base+"/v1/datasets/income", &info)

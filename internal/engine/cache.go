@@ -27,10 +27,12 @@ type TupleBlock struct {
 // NumRows returns the block's row count.
 func (b *TupleBlock) NumRows() int { return len(b.M) }
 
-// Bytes estimates the block's memory footprint.
+// Bytes estimates the block's memory footprint. Canonical prepare-once
+// blocks carry no estimate column (Mhat is allocated per query by Fork), so
+// only the columns actually present are charged against the cache budget.
 func (b *TupleBlock) Bytes() int64 {
 	rows := int64(b.NumRows())
-	return rows*int64(len(b.Dims))*4 + rows*16 + int64(len(b.BA))*8
+	return rows*int64(len(b.Dims))*4 + int64(len(b.M))*8 + int64(len(b.Mhat))*8 + int64(len(b.BA))*8
 }
 
 // CachedData is a buffer pool over TupleBlocks with a backend-wide byte

@@ -43,6 +43,41 @@ func TestBlockBytes(t *testing.T) {
 	}
 }
 
+// TestBlockBytesNilMhat is the regression test for the canonical-block
+// overcount: prepare-once blocks built by BlocksFromColumns with a nil
+// estimate column used to be charged rows*16 for M+Mhat anyway, inflating
+// the budget by rows*8 and triggering premature spills.
+func TestBlockBytesNilMhat(t *testing.T) {
+	dims := [][]int32{make([]int32, 100), make([]int32, 100), make([]int32, 100)}
+	m := make([]float64, 100)
+	canonical := BlocksFromColumns(dims, m, nil, 1)[0]
+	if canonical.Mhat != nil {
+		t.Fatal("canonical block unexpectedly has an estimate column")
+	}
+	if got, want := canonical.Bytes(), int64(100*3*4+100*8); got != want {
+		t.Errorf("nil-Mhat Bytes = %d, want %d (no estimate column to charge)", got, want)
+	}
+	forked := BlocksFromColumns(dims, m, make([]float64, 100), 1)[0]
+	if got, want := forked.Bytes(), int64(100*3*4+100*16); got != want {
+		t.Errorf("Mhat Bytes = %d, want %d", got, want)
+	}
+
+	// A budget that fits the canonical blocks (but not the rows*16
+	// overcount) must keep them all resident; under the overcount the same
+	// budget spilled. TotalMemory applies a 0.6 storage fraction, so size
+	// MemoryPerExecutor to land the budget between the two totals.
+	budget := 2*canonical.Bytes() + 100 // < overcounted total of 2*(Bytes+rows*8)
+	c := NewSimBackend(Config{Executors: 1, MemoryPerExecutor: int64(float64(budget)/0.6) + 1})
+	defer c.Close()
+	cd, err := CacheTuples(c, []*TupleBlock{{Start: 0, Dims: canonical.Dims, M: canonical.M}, {Start: 100, Dims: canonical.Dims, M: canonical.M}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cd.allResident {
+		t.Error("canonical blocks spilled under a budget that fits them: Bytes still overcounts")
+	}
+}
+
 func TestCacheAllResident(t *testing.T) {
 	c := NewSimBackend(Config{Executors: 2, MemoryPerExecutor: 1 << 30})
 	defer c.Close()

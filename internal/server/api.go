@@ -1,6 +1,11 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"time"
 
 	"sirum"
@@ -25,6 +30,19 @@ type PrepareSpec struct {
 	PoolLimit      int     `json:"pool_limit,omitempty"`
 	Backend        string  `json:"backend,omitempty"` // native|sim
 	RemineFactor   float64 `json:"remine_factor,omitempty"`
+}
+
+// options translates the wire spec into the library's prepare options
+// (also used to re-prepare journaled sessions on Restore).
+func (p PrepareSpec) options() sirum.PrepareOptions {
+	return sirum.PrepareOptions{
+		SampleSize:     p.SampleSize,
+		Seed:           p.Seed,
+		SampleFraction: p.SampleFraction,
+		Cluster:        sirum.Cluster{Executors: p.Executors, PoolLimit: p.PoolLimit},
+		Backend:        sirum.Backend(p.Backend),
+		RemineFactor:   p.RemineFactor,
+	}
 }
 
 // CreateRequest registers a named prepared session from either a built-in
@@ -95,6 +113,9 @@ type MineResponse struct {
 	Iterations int                `json:"iterations"`
 	WallNS     time.Duration      `json:"wall_ns"`
 	Metrics    sirum.QueryMetrics `json:"metrics"`
+	// Cached marks a response served from the result cache: no backend
+	// work ran, and WallNS/Metrics describe the original computation.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // ExploreRequest carries data-cube exploration options.
@@ -138,11 +159,63 @@ type ErrorResponse struct {
 
 // HealthResponse reports daemon liveness and load.
 type HealthResponse struct {
-	Status   string `json:"status"`
-	Sessions int    `json:"sessions"`
-	InFlight int    `json:"in_flight"`
-	Queries  int64  `json:"queries"`
-	Rejected int64  `json:"rejected"`
+	Status      string `json:"status"`
+	Sessions    int    `json:"sessions"`
+	InFlight    int    `json:"in_flight"`
+	Queued      int64  `json:"queued"`
+	Queries     int64  `json:"queries"`
+	Rejected    int64  `json:"rejected"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+}
+
+// Client is a minimal JSON client for the sirumd API, shared by the load
+// generator, the selftest harness and examples. The zero HTTP client uses
+// http.DefaultClient semantics with no timeout; set one for load runs.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// Do performs one JSON round trip: in (when non-nil) is the request body,
+// out (when non-nil) receives the decoded response. Error responses decode
+// the uniform ErrorResponse body into the returned error.
+func (c *Client) Do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s %s: %s (%d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
 }
 
 func publicRules(rules []sirum.Rule) []RuleJSON {

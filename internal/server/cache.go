@@ -1,0 +1,93 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey addresses one cached query result: the session identity (the
+// dataset source fingerprint combined with the prep fingerprint — sessions
+// prepared identically over identical sources share entries), the content
+// chain of the epoch the result was computed at, and the canonical query
+// fingerprint. Append bumps the epoch by extending the chain with the
+// batch's content hash, so stale entries are never addressed again and age
+// out of the LRU with no explicit invalidation. Keying on the chain rather
+// than the bare epoch counter is what makes sharing safe: two sessions
+// over the same source that appended *different* rows reach the same
+// epoch with different chains, so they can never serve each other's
+// results.
+type cacheKey struct {
+	session [32]byte
+	chain   string // hex content chain from spec.DatasetSpec.Chain
+	query   [32]byte
+}
+
+// resultCache is the size-bounded LRU of recent query responses. It is
+// consulted before admission control, so repeat traffic never takes an
+// execution slot, touches a session lock, or does any backend work.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[cacheKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val any // MineResponse or ExploreResponse, stored by value
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[cacheKey]*list.Element, max),
+	}
+}
+
+// get returns the cached response for k, promoting it to most recent.
+func (c *resultCache) get(k cacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put inserts (or refreshes) k's response, evicting the least recently
+// used entry when the cache is full.
+func (c *resultCache) put(k cacheKey, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, val: v})
+}
+
+// cacheStats snapshots the counters for health and metrics reporting.
+type cacheStats struct {
+	hits, misses, evictions int64
+	entries                 int
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{hits: c.hits, misses: c.misses, evictions: c.evictions, entries: c.order.Len()}
+}

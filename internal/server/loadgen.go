@@ -1,10 +1,7 @@
 package server
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -30,6 +27,13 @@ type LoadConfig struct {
 	ExploreEvery int
 	// SampleSize for the prepared session and every query (default 16).
 	SampleSize int
+	// DistinctSeeds spreads the mine queries over this many distinct query
+	// seeds (default 4): the first query per seed is a cold cache miss
+	// computed concurrently with the rest of the storm, repeats are served
+	// from the result cache, so the run exercises both paths and the
+	// report's cache hit rate is meaningful. 1 sends identical queries
+	// only.
+	DistinctSeeds int
 	// Timeout per request (default 2 minutes).
 	Timeout time.Duration
 }
@@ -56,6 +60,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.SampleSize <= 0 {
 		c.SampleSize = 16
 	}
+	if c.DistinctSeeds <= 0 {
+		c.DistinctSeeds = 4
+	}
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Minute
 	}
@@ -68,6 +75,8 @@ type LoadReport struct {
 	Mines       int           `json:"mines"`
 	Explores    int           `json:"explores"`
 	Errors      int           `json:"errors"`
+	CacheHits   int           `json:"cache_hits"`
+	CacheRate   float64       `json:"cache_hit_rate"`
 	Wall        time.Duration `json:"wall_ns"`
 	Throughput  float64       `json:"queries_per_sec"`
 	P50         time.Duration `json:"p50_ns"`
@@ -76,71 +85,34 @@ type LoadReport struct {
 	FirstError  string        `json:"first_error,omitempty"`
 	InfoGain    float64       `json:"info_gain"`   // from the baseline mine
 	RuleCount   int           `json:"rule_count"`  // rules in the baseline mine
-	Consistency string        `json:"consistency"` // "verified": concurrent mines matched the baseline
+	Consistency string        `json:"consistency"` // "verified": same-spec responses all matched
 }
 
 // String renders the report for terminals.
 func (r *LoadReport) String() string {
 	return fmt.Sprintf(
-		"queries: %d (%d mine, %d explore)   errors: %d\nwall: %v   throughput: %.1f q/s\nlatency p50: %v   p95: %v   max: %v\nbaseline: %d rules, info gain %.4f   consistency: %s",
+		"queries: %d (%d mine, %d explore)   errors: %d\nwall: %v   throughput: %.1f q/s   cache hits: %d/%d (%.0f%%)\nlatency p50: %v   p95: %v   max: %v\nbaseline: %d rules, info gain %.4f   consistency: %s",
 		r.Queries, r.Mines, r.Explores, r.Errors,
 		r.Wall.Round(time.Millisecond), r.Throughput,
+		r.CacheHits, r.Queries, 100*r.CacheRate,
 		r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond), r.Max.Round(time.Millisecond),
 		r.RuleCount, r.InfoGain, r.Consistency)
 }
 
-// loadClient wraps the JSON round trips.
-type loadClient struct {
-	base string
-	hc   *http.Client
-}
-
-func (c *loadClient) do(method, path string, in, out any) error {
-	var body io.Reader
-	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		body = bytes.NewReader(buf)
-	}
-	req, err := http.NewRequest(method, c.base+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		var apiErr ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("%s %s: %s (%d)", method, path, apiErr.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
-	}
-	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
-	}
-	return nil
-}
-
 // RunLoad fires cfg.Queries mixed mine/explore queries at cfg.Concurrency
-// against one prepared session and reports throughput and latency
-// percentiles. Every mine uses the same options, so the responses must all
-// equal a baseline mined before the storm — the report records whether that
-// held ("consistency: verified"), making the run a serving-path correctness
-// check, not just a stopwatch.
+// against one prepared session and reports throughput, latency percentiles
+// and the result-cache hit rate. Mine queries rotate over DistinctSeeds
+// canonical specs; every response is checked against the first response
+// seen for the same spec (deterministic mining makes same-spec answers
+// byte-comparable), so the run is a serving-path correctness check, not
+// just a stopwatch. The baseline mine before the storm additionally primes
+// the cache for the first seed, proving the hit path end to end.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
-	c := &loadClient{base: cfg.BaseURL, hc: &http.Client{Timeout: cfg.Timeout}}
+	c := &Client{BaseURL: cfg.BaseURL, HTTP: &http.Client{Timeout: cfg.Timeout}}
 
 	var created SessionInfo
-	err := c.do("POST", "/v1/datasets", CreateRequest{
+	err := c.Do("POST", "/v1/datasets", CreateRequest{
 		Generator: &GeneratorSpec{Name: cfg.Dataset, Rows: cfg.Rows, Seed: 1},
 		Prepare:   PrepareSpec{SampleSize: cfg.SampleSize, Seed: 1},
 	}, &created)
@@ -148,19 +120,28 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		return nil, fmt.Errorf("creating load session: %w", err)
 	}
 	sessionPath := "/v1/datasets/" + created.ID
-	defer c.do("DELETE", sessionPath, nil, nil)
+	defer c.Do("DELETE", sessionPath, nil, nil)
 
-	mineReq := MineRequest{K: cfg.K, SampleSize: cfg.SampleSize, Seed: 1}
+	mineReq := func(seed int64) MineRequest {
+		return MineRequest{K: cfg.K, SampleSize: cfg.SampleSize, Seed: seed}
+	}
 	var baseline MineResponse
-	if err := c.do("POST", sessionPath+"/mine", mineReq, &baseline); err != nil {
+	if err := c.Do("POST", sessionPath+"/mine", mineReq(1), &baseline); err != nil {
 		return nil, fmt.Errorf("baseline mine: %w", err)
 	}
 
 	latencies := make([]time.Duration, cfg.Queries)
 	outcomes := make([]error, cfg.Queries)
 	isExplore := make([]bool, cfg.Queries)
+	var cacheHits atomic.Int64
 	var mismatches atomic.Int64
 	var next atomic.Int64
+
+	// First response per mine seed (the explore storm shares one spec);
+	// later same-spec responses must match it exactly.
+	var refMu sync.Mutex
+	mineRefs := make(map[int64]*MineResponse)
+	var exploreRef *ExploreResponse
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -178,16 +159,40 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				qStart := time.Now()
 				if explore {
 					var resp ExploreResponse
-					outcomes[i] = c.do("POST", sessionPath+"/explore", ExploreRequest{K: cfg.K, GroupBys: 1, Seed: 1}, &resp)
-					if outcomes[i] == nil && len(resp.Rules) == 0 {
-						outcomes[i] = fmt.Errorf("explore %d returned no rules", i)
+					outcomes[i] = c.Do("POST", sessionPath+"/explore", ExploreRequest{K: cfg.K, GroupBys: 1, Seed: 1}, &resp)
+					if outcomes[i] == nil {
+						if resp.Cached {
+							cacheHits.Add(1)
+						}
+						if len(resp.Rules) == 0 {
+							outcomes[i] = fmt.Errorf("explore %d returned no rules", i)
+						} else {
+							refMu.Lock()
+							if exploreRef == nil {
+								exploreRef = &resp
+							} else if !sameRules(resp.Rules, exploreRef.Rules) {
+								mismatches.Add(1)
+								outcomes[i] = fmt.Errorf("explore %d diverged from its first same-spec answer", i)
+							}
+							refMu.Unlock()
+						}
 					}
 				} else {
+					seed := int64(1 + i%cfg.DistinctSeeds)
 					var resp MineResponse
-					outcomes[i] = c.do("POST", sessionPath+"/mine", mineReq, &resp)
-					if outcomes[i] == nil && !sameRules(resp.Rules, baseline.Rules) {
-						mismatches.Add(1)
-						outcomes[i] = fmt.Errorf("mine %d diverged from the baseline rule list", i)
+					outcomes[i] = c.Do("POST", sessionPath+"/mine", mineReq(seed), &resp)
+					if outcomes[i] == nil {
+						if resp.Cached {
+							cacheHits.Add(1)
+						}
+						refMu.Lock()
+						if ref, ok := mineRefs[seed]; !ok {
+							mineRefs[seed] = &resp
+						} else if !sameRules(resp.Rules, ref.Rules) {
+							mismatches.Add(1)
+							outcomes[i] = fmt.Errorf("mine %d (seed %d) diverged from its first same-spec answer", i, seed)
+						}
+						refMu.Unlock()
 					}
 				}
 				latencies[i] = time.Since(qStart)
@@ -197,11 +202,21 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	wg.Wait()
 	wall := time.Since(start)
 
+	// Seed 1 was primed by the baseline, so its storm responses must also
+	// equal the baseline itself.
+	if ref, ok := mineRefs[1]; ok && !sameRules(ref.Rules, baseline.Rules) {
+		mismatches.Add(1)
+	}
+
 	rep := &LoadReport{
 		Queries:   cfg.Queries,
+		CacheHits: int(cacheHits.Load()),
 		Wall:      wall,
 		InfoGain:  baseline.InfoGain,
 		RuleCount: len(baseline.Rules),
+	}
+	if cfg.Queries > 0 {
+		rep.CacheRate = float64(rep.CacheHits) / float64(cfg.Queries)
 	}
 	for i := range outcomes {
 		if isExplore[i] {

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handleMetrics serves GET /v1/metrics as Prometheus-style text: admission
+// counters (in-flight, queued, admitted, rejected), result-cache
+// hits/misses/evictions, and per-session gauges plus the lifetime
+// SessionStats counters and phase durations each session's substrate has
+// accumulated. Session ids are validated to a label-safe alphabet at
+// create time; metric and phase names are internal identifiers.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	var b strings.Builder
+	gauge := func(name, help string, v any, labels string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s%s %v\n", name, help, name, name, labels, v)
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+
+	s.mu.Lock()
+	numSessions := len(s.sessions)
+	s.mu.Unlock()
+	gauge("sirumd_sessions", "Registered prepared sessions.", numSessions, "")
+	gauge("sirumd_in_flight", "Queries holding an execution slot right now.", len(s.sem), "")
+	gauge("sirumd_queued", "Queries waiting for an admission slot right now.", s.queued.Load(), "")
+	counter("sirumd_queries_total", "Units of work admitted to execute (queries and session preparations).")
+	fmt.Fprintf(&b, "sirumd_queries_total %d\n", s.queries.Load())
+	counter("sirumd_rejected_total", "Requests turned away at admission.")
+	fmt.Fprintf(&b, "sirumd_rejected_total %d\n", s.rejected.Load())
+
+	if s.cache != nil {
+		cs := s.cache.stats()
+		counter("sirumd_result_cache_hits_total", "Queries answered from the result cache (no admission, no backend work).")
+		fmt.Fprintf(&b, "sirumd_result_cache_hits_total %d\n", cs.hits)
+		counter("sirumd_result_cache_misses_total", "Cache lookups that fell through to execution.")
+		fmt.Fprintf(&b, "sirumd_result_cache_misses_total %d\n", cs.misses)
+		counter("sirumd_result_cache_evictions_total", "Entries evicted by the LRU bound.")
+		fmt.Fprintf(&b, "sirumd_result_cache_evictions_total %d\n", cs.evictions)
+		gauge("sirumd_result_cache_entries", "Entries currently cached.", cs.entries, "")
+	}
+
+	sessions := s.snapshotSessions()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	if len(sessions) > 0 {
+		counter("sirumd_session_queries_total", "Queries answered per session (including cached).")
+		for _, sess := range sessions {
+			fmt.Fprintf(&b, "sirumd_session_queries_total{session=%q} %d\n", sess.id, sess.queries.Load())
+		}
+		fmt.Fprintf(&b, "# HELP sirumd_session_rows Accumulated rows per session.\n# TYPE sirumd_session_rows gauge\n")
+		for _, sess := range sessions {
+			fmt.Fprintf(&b, "sirumd_session_rows{session=%q} %d\n", sess.id, sess.rows.Load())
+		}
+		fmt.Fprintf(&b, "# HELP sirumd_session_epoch Appends absorbed per session (the cache-invalidation counter).\n# TYPE sirumd_session_epoch gauge\n")
+		for _, sess := range sessions {
+			fmt.Fprintf(&b, "sirumd_session_epoch{session=%q} %d\n", sess.id, sess.p.Epoch())
+		}
+		// All samples of a family must stay contiguous under its TYPE
+		// line, so snapshot once and emit the two families separately.
+		snaps := make(map[string]struct {
+			counters map[string]int64
+			phases   map[string]float64
+		}, len(sessions))
+		for _, sess := range sessions {
+			st := sess.p.Stats()
+			phases := make(map[string]float64, len(st.Lifetime.Phases))
+			for name, d := range st.Lifetime.Phases {
+				phases[name] = d.Seconds()
+			}
+			snaps[sess.id] = struct {
+				counters map[string]int64
+				phases   map[string]float64
+			}{st.Lifetime.Counters, phases}
+		}
+		counter("sirumd_session_lifetime_total", "Lifetime substrate counters per session, by counter name.")
+		for _, sess := range sessions {
+			snap := snaps[sess.id]
+			for _, name := range sortedKeys(snap.counters) {
+				fmt.Fprintf(&b, "sirumd_session_lifetime_total{session=%q,counter=%q} %d\n", sess.id, name, snap.counters[name])
+			}
+		}
+		counter("sirumd_session_phase_seconds_total", "Lifetime phase durations per session, in seconds.")
+		for _, sess := range sessions {
+			snap := snaps[sess.id]
+			for _, name := range sortedKeys(snap.phases) {
+				fmt.Fprintf(&b, "sirumd_session_phase_seconds_total{session=%q,phase=%q} %g\n", sess.id, name, snap.phases[name])
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, err := w.Write([]byte(b.String()))
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -5,7 +5,7 @@
 // prepared once (loaded, partitioned, sampled, indexed) and answers many
 // cheap per-query passes against it, concurrently.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	POST   /v1/datasets            create a prepared session (generator or CSV)
 //	GET    /v1/datasets            list sessions
@@ -14,7 +14,17 @@
 //	POST   /v1/datasets/{id}/mine     one mining query
 //	POST   /v1/datasets/{id}/explore  one data-cube exploration query
 //	POST   /v1/datasets/{id}/append   fold new rows in, refit/re-mine
+//	GET    /v1/metrics             Prometheus-style text metrics
 //	GET    /v1/healthz             liveness and load counters
+//
+// Every session and query has a canonical identity (internal/spec): the
+// dataset's source fingerprint plus an epoch bumped by each Append, the
+// prep fingerprint, and the normalized query fingerprint. Identical repeat
+// queries are answered from a size-bounded LRU keyed by that triple —
+// consulted before admission, so hits skip the semaphore and do no backend
+// work — and Append invalidates for free by bumping the epoch. With
+// Config.SnapshotDir set, the registry is journaled (spec-encoded) on
+// create/append/delete and Restore re-prepares it on boot.
 //
 // An admission-control semaphore bounds the queries executing at once;
 // excess requests queue until a slot frees or their context is cancelled.
@@ -27,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"regexp"
 	"runtime"
 	"strings"
 	"sync"
@@ -34,6 +45,7 @@ import (
 	"time"
 
 	"sirum"
+	"sirum/internal/spec"
 )
 
 // Config sizes the daemon.
@@ -46,6 +58,14 @@ type Config struct {
 	// MaxBodyBytes caps a request body (default 64 MiB) so one oversized
 	// CSV or row batch cannot exhaust memory before validation.
 	MaxBodyBytes int64
+	// CacheEntries bounds the result cache: how many recent query
+	// responses are retained for exact-repeat traffic (default 256;
+	// negative disables caching).
+	CacheEntries int
+	// SnapshotDir enables session persistence: the registry is journaled
+	// here on create/append/delete, and Restore re-prepares it on boot.
+	// Empty disables persistence.
+	SnapshotDir string
 	// Now stamps session creation times (defaults to time.Now; tests pin it).
 	Now func() time.Time
 }
@@ -57,18 +77,29 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
 	return c
 }
 
-// Server is the daemon state: the session registry plus admission control.
-// Create with New, serve via Handler, tear down with Close.
+// validSessionID bounds ids to a path- and label-safe alphabet: they name
+// snapshot files and metric labels, not just map keys.
+var validSessionID = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`).MatchString
+
+// Server is the daemon state: the session registry, the result cache and
+// admission control. Create with New, optionally Restore from a snapshot
+// directory, serve via Handler, tear down with Close.
 type Server struct {
-	conf Config
-	mux  *http.ServeMux
-	sem  chan struct{} // admission: one slot per executing query
+	conf    Config
+	mux     *http.ServeMux
+	sem     chan struct{} // admission: one slot per executing query
+	cache   *resultCache  // nil when caching is disabled
+	snap    *snapshotter  // nil when persistence is disabled or broken
+	snapErr error         // why snap is nil despite SnapshotDir being set
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -76,8 +107,9 @@ type Server struct {
 	closed   bool
 
 	inflight sync.WaitGroup // queries admitted but not yet finished
-	queries  atomic.Int64   // queries answered (including failed ones)
+	queries  atomic.Int64   // queries admitted to execute (including failed ones)
 	rejected atomic.Int64   // queries turned away at admission
+	queued   atomic.Int64   // queries waiting for an admission slot right now
 }
 
 // storeMax raises v to n monotonically: appends only grow a session, and
@@ -96,12 +128,21 @@ type session struct {
 	id      string
 	ds      *sirum.Dataset // creation-time dataset; the schema never changes
 	p       *sirum.Prepared
+	key     [32]byte // session cache identity: H(dataset source fp ‖ prep fp)
 	created time.Time
 	queries atomic.Int64
 	rows    atomic.Int64 // cached row count, so listings never wait behind a long Append holding the session lock
+	// journalMu orders append-journal records with their application, so
+	// the on-disk replay sequence matches the in-memory one; dropped
+	// (guarded by it) stops an in-flight append from resurrecting the
+	// journal of a session deleted under it.
+	journalMu sync.Mutex
+	dropped   bool
 }
 
-// New builds a server with an empty session registry.
+// New builds a server with an empty session registry. When
+// Config.SnapshotDir is set, call Restore before serving to bring
+// journaled sessions back.
 func New(conf Config) *Server {
 	conf = conf.withDefaults()
 	s := &Server{
@@ -110,6 +151,15 @@ func New(conf Config) *Server {
 		sem:      make(chan struct{}, conf.MaxInFlight),
 		sessions: make(map[string]*session),
 	}
+	if conf.CacheEntries > 0 {
+		s.cache = newResultCache(conf.CacheEntries)
+	}
+	if conf.SnapshotDir != "" {
+		// A broken directory must not silently disable persistence: the
+		// error is kept and returned by Restore and by every handler that
+		// would have journaled (see persistence()).
+		s.snap, s.snapErr = newSnapshotter(conf.SnapshotDir)
+	}
 	s.mux.HandleFunc("POST /v1/datasets", s.wrap(s.handleCreate))
 	s.mux.HandleFunc("GET /v1/datasets", s.wrap(s.handleList))
 	s.mux.HandleFunc("GET /v1/datasets/{id}", s.wrap(s.handleGet))
@@ -117,6 +167,7 @@ func New(conf Config) *Server {
 	s.mux.HandleFunc("POST /v1/datasets/{id}/mine", s.wrap(s.handleMine))
 	s.mux.HandleFunc("POST /v1/datasets/{id}/explore", s.wrap(s.handleExplore))
 	s.mux.HandleFunc("POST /v1/datasets/{id}/append", s.wrap(s.handleAppend))
+	s.mux.HandleFunc("GET /v1/metrics", s.wrap(s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/healthz", s.wrap(s.handleHealth))
 	return s
 }
@@ -124,8 +175,66 @@ func New(conf Config) *Server {
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Restore re-prepares every session journaled in Config.SnapshotDir:
+// generator sources are regenerated from their spec, CSV sources re-read
+// from their spill, and appended batches replayed in order, so the
+// restored session reaches the same rows and epoch it had when the journal
+// was written. Returns how many sessions came back. A nil error with 0
+// sessions is a cold start.
+func (s *Server) Restore() (int, error) {
+	if s.conf.SnapshotDir == "" {
+		return 0, nil
+	}
+	if s.snap == nil {
+		return 0, fmt.Errorf("snapshot directory %q is unusable: %v", s.conf.SnapshotDir, s.snapErr)
+	}
+	entries, err := s.snap.load()
+	if err != nil {
+		return 0, err
+	}
+	for i, e := range entries {
+		if err := s.restoreSession(e); err != nil {
+			return i, fmt.Errorf("restoring session %q: %w", e.m.ID, err)
+		}
+	}
+	return len(entries), nil
+}
+
+func (s *Server) restoreSession(e snapshotEntry) error {
+	ds, err := buildDataset(CreateRequest{
+		Generator: e.m.Generator,
+		CSV:       e.csv,
+		Measure:   e.m.Measure,
+		Ignore:    e.m.Ignore,
+	})
+	if err != nil {
+		return err
+	}
+	p, err := ds.Prepare(e.m.Prepare.options())
+	if err != nil {
+		return err
+	}
+	for i, rec := range e.appends {
+		batch, err := buildBatch(ds, rec.Rows)
+		if err != nil {
+			p.Close()
+			return fmt.Errorf("replaying append %d: %w", i, err)
+		}
+		if _, err := p.Append(batch, rec.Mine.options()); err != nil {
+			p.Close()
+			return fmt.Errorf("replaying append %d: %w", i, err)
+		}
+	}
+	if _, err := s.addSession(e.m.ID, ds, p, e.m.CreatedAt); err != nil {
+		p.Close()
+		return err
+	}
+	return nil
+}
+
 // Close drains in-flight queries, then closes and unregisters every session.
-// New work is rejected from the moment Close is called. Idempotent.
+// New work is rejected from the moment Close is called. Snapshot journals
+// are left in place — surviving restarts is their whole point. Idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -227,6 +336,8 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	}
 	s.inflight.Add(1)
 	s.mu.Unlock()
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
 		s.queries.Add(1)
@@ -252,23 +363,46 @@ func (s *Server) lookup(id string) (*session, error) {
 	return sess, nil
 }
 
-func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) error {
-	var req CreateRequest
-	if err := s.decodeJSON(w, r, &req); err != nil {
-		return err
+// persistence returns the snapshotter when journaling is enabled, nil
+// when it never was, and an error when SnapshotDir is set but the
+// directory is unusable — silently serving non-durable sessions would be
+// worse than failing the request.
+func (s *Server) persistence() (*snapshotter, error) {
+	if s.conf.SnapshotDir == "" {
+		return nil, nil
 	}
-	// Preparation is the heaviest work the daemon does (load, partition,
-	// sample, index); it takes an admission slot like any query so a burst
-	// of creates cannot starve admitted traffic.
-	release, err := s.admit(r.Context())
-	if err != nil {
-		return err
+	if s.snap == nil {
+		return nil, errf(http.StatusInternalServerError, "session persistence unavailable: %v", s.snapErr)
 	}
-	defer release()
-	var ds *sirum.Dataset
+	return s.snap, nil
+}
+
+// cacheGet consults the result cache; the caller computed key from the
+// session's canonical specs. Misses and hits are counted inside the cache.
+func (s *Server) cacheGet(key cacheKey) (any, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	return s.cache.get(key)
+}
+
+// cachePut inserts a computed response unless an Append raced the query:
+// a result is only cacheable when the content chain it was keyed at still
+// stands after execution, otherwise it belongs to no single dataset state.
+func (s *Server) cachePut(sess *session, key cacheKey, v any) {
+	if s.cache == nil || sess.p.DatasetSpec().Chain != key.chain {
+		return
+	}
+	s.cache.put(key, v)
+}
+
+// buildDataset materializes the data source of a create request (also used
+// verbatim to rebuild journaled sessions on Restore, which is what keeps
+// restored fingerprints identical to the originals).
+func buildDataset(req CreateRequest) (*sirum.Dataset, error) {
 	switch {
 	case req.Generator != nil && req.CSV != "":
-		return errf(http.StatusBadRequest, "use either generator or csv, not both")
+		return nil, errf(http.StatusBadRequest, "use either generator or csv, not both")
 	case req.Generator != nil:
 		rows := req.Generator.Rows
 		if rows <= 0 {
@@ -278,52 +412,140 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) error {
 		if seed == 0 {
 			seed = 1
 		}
-		ds, err = sirum.Generate(req.Generator.Name, rows, seed)
+		return sirum.Generate(req.Generator.Name, rows, seed)
 	case req.CSV != "":
 		if req.Measure == "" {
-			return errf(http.StatusBadRequest, "measure is required with csv")
+			return nil, errf(http.StatusBadRequest, "measure is required with csv")
 		}
-		ds, err = sirum.ReadCSV(strings.NewReader(req.CSV), req.Measure, req.Ignore...)
+		return sirum.ReadCSV(strings.NewReader(req.CSV), req.Measure, req.Ignore...)
 	default:
-		return errf(http.StatusBadRequest, "one of generator or csv is required")
+		return nil, errf(http.StatusBadRequest, "one of generator or csv is required")
 	}
-	if err != nil {
-		return err
-	}
+}
 
-	p, err := ds.Prepare(sirum.PrepareOptions{
-		SampleSize:     req.Prepare.SampleSize,
-		Seed:           req.Prepare.Seed,
-		SampleFraction: req.Prepare.SampleFraction,
-		Cluster:        sirum.Cluster{Executors: req.Prepare.Executors, PoolLimit: req.Prepare.PoolLimit},
-		Backend:        sirum.Backend(req.Prepare.Backend),
-		RemineFactor:   req.Prepare.RemineFactor,
-	})
-	if err != nil {
-		return err
+// buildBatch assembles an append batch against a session's schema.
+func buildBatch(ds *sirum.Dataset, rows []RowJSON) (*sirum.Dataset, error) {
+	if len(rows) == 0 {
+		return nil, errf(http.StatusBadRequest, "rows is required")
 	}
+	b := sirum.NewBuilder(ds.DimNames(), ds.MeasureName())
+	for i, row := range rows {
+		if err := b.Add(row.Dims, row.Measure); err != nil {
+			return nil, errf(http.StatusBadRequest, "row %d: %v", i, err)
+		}
+	}
+	batch, err := b.Build()
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "building batch: %v", err)
+	}
+	return batch, nil
+}
 
+// addSession installs a prepared session in the registry under id (one is
+// assigned when empty), deriving its cache identity from the canonical
+// specs. The caller owns p until addSession succeeds.
+func (s *Server) addSession(id string, ds *sirum.Dataset, p *sirum.Prepared, created time.Time) (*session, error) {
+	key := spec.SessionKey(p.DatasetSpec(), p.PrepSpec())
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		p.Close()
-		return errf(http.StatusServiceUnavailable, "server is shutting down")
+		return nil, errf(http.StatusServiceUnavailable, "server is shutting down")
 	}
-	id := req.ID
 	if id == "" {
-		s.nextID++
-		id = fmt.Sprintf("d%d", s.nextID)
+		for {
+			s.nextID++
+			id = fmt.Sprintf("d%d", s.nextID)
+			if _, exists := s.sessions[id]; !exists {
+				break
+			}
+		}
+	} else if _, exists := s.sessions[id]; exists {
+		return nil, errf(http.StatusConflict, "dataset %q already exists", id)
 	}
-	if _, exists := s.sessions[id]; exists {
-		s.mu.Unlock()
-		p.Close()
-		return errf(http.StatusConflict, "dataset %q already exists", id)
-	}
-	sess := &session{id: id, ds: ds, p: p, created: s.conf.Now()}
-	sess.rows.Store(int64(ds.NumRows()))
+	sess := &session{id: id, ds: ds, p: p, key: key, created: created}
+	sess.rows.Store(int64(p.NumRows()))
 	s.sessions[id] = sess
-	s.mu.Unlock()
+	return sess, nil
+}
 
+// dropSession removes id from the registry and closes it, deleting its
+// snapshot journal. Used by DELETE and by create rollback.
+func (s *Server) dropSession(id string) (bool, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	// Mark the session dropped before removing its journal files: an
+	// append already past lookup waits on journalMu, sees the flag, and
+	// refuses — so no journal write can land after the files are deleted
+	// and attach a dead session's rows to a future same-id session.
+	sess.journalMu.Lock()
+	sess.dropped = true
+	sess.journalMu.Unlock()
+	if s.snap != nil {
+		s.snap.delete(id)
+	}
+	// Prepared.Close blocks until queries already holding the session's
+	// read-lock finish, so deletion drains naturally.
+	return true, sess.p.Close()
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) error {
+	var req CreateRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return err
+	}
+	if req.ID != "" && !validSessionID(req.ID) {
+		return errf(http.StatusBadRequest, "session id %q: want 1-64 chars of [A-Za-z0-9._-], starting alphanumeric", req.ID)
+	}
+	// Preparation is the heaviest work the daemon does (load, partition,
+	// sample, index); it takes an admission slot like any query so a burst
+	// of creates cannot starve admitted traffic.
+	release, err := s.admit(r.Context())
+	if err != nil {
+		return err
+	}
+	defer release()
+	ds, err := buildDataset(req)
+	if err != nil {
+		return err
+	}
+	p, err := ds.Prepare(req.Prepare.options())
+	if err != nil {
+		return err
+	}
+	snap, err := s.persistence()
+	if err != nil {
+		p.Close()
+		return err
+	}
+	sess, err := s.addSession(req.ID, ds, p, s.conf.Now())
+	if err != nil {
+		p.Close()
+		return err
+	}
+	if snap != nil {
+		m := manifest{
+			ID:        sess.id,
+			CreatedAt: sess.created,
+			Generator: req.Generator,
+			Measure:   req.Measure,
+			Ignore:    req.Ignore,
+			Prepare:   req.Prepare,
+		}
+		if req.CSV != "" {
+			m.CSVFile = sess.id + ".csv"
+		}
+		if err := snap.save(m, req.CSV); err != nil {
+			s.dropSession(sess.id)
+			return errf(http.StatusInternalServerError, "journaling session: %v", err)
+		}
+	}
 	writeJSON(w, http.StatusCreated, s.info(sess, false))
 	return nil
 }
@@ -345,18 +567,24 @@ func (s *Server) info(sess *session, withStats bool) SessionInfo {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) error {
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
-	}
-	s.mu.Unlock()
+	sessions := s.snapshotSessions()
 	resp := ListResponse{Sessions: make([]SessionInfo, 0, len(sessions))}
 	for _, sess := range sessions {
 		resp.Sessions = append(resp.Sessions, s.info(sess, false))
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return nil
+}
+
+// snapshotSessions copies the registry out from under the lock.
+func (s *Server) snapshotSessions() []*session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	return sessions
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) error {
@@ -370,18 +598,11 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	sess, ok := s.sessions[id]
-	if ok {
-		delete(s.sessions, id)
-	}
-	s.mu.Unlock()
+	ok, err := s.dropSession(id)
 	if !ok {
 		return errf(http.StatusNotFound, "unknown dataset %q", id)
 	}
-	// Prepared.Close blocks until queries already holding the session's
-	// read-lock finish, so deletion drains naturally.
-	if err := sess.p.Close(); err != nil {
+	if err != nil {
 		return err
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -408,17 +629,32 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) error {
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		return err
 	}
+	opts := req.options()
+	dsSpec, qSpec, err := sess.p.MineSpec(opts)
+	if err != nil {
+		return err
+	}
+	key := cacheKey{session: sess.key, chain: dsSpec.Chain, query: qSpec.Fingerprint()}
+	if v, ok := s.cacheGet(key); ok {
+		resp := v.(MineResponse)
+		resp.Cached = true
+		sess.queries.Add(1)
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
 	release, err := s.admit(r.Context())
 	if err != nil {
 		return err
 	}
 	defer release()
 	sess.queries.Add(1)
-	res, err := sess.p.Mine(req.options())
+	res, err := sess.p.Mine(opts)
 	if err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, mineResponse(res))
+	resp := mineResponse(res)
+	s.cachePut(sess, key, resp)
+	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
@@ -431,20 +667,32 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) error {
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		return err
 	}
+	opts := sirum.ExploreOptions{K: req.K, GroupBys: req.GroupBys, Seed: req.Seed}
+	dsSpec, qSpec := sess.p.ExploreSpec(opts)
+	key := cacheKey{session: sess.key, chain: dsSpec.Chain, query: qSpec.Fingerprint()}
+	if v, ok := s.cacheGet(key); ok {
+		resp := v.(ExploreResponse)
+		resp.Cached = true
+		sess.queries.Add(1)
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
 	release, err := s.admit(r.Context())
 	if err != nil {
 		return err
 	}
 	defer release()
 	sess.queries.Add(1)
-	res, err := sess.p.Explore(sirum.ExploreOptions{K: req.K, GroupBys: req.GroupBys, Seed: req.Seed})
+	res, err := sess.p.Explore(opts)
 	if err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, ExploreResponse{
+	resp := ExploreResponse{
 		Prior:        publicRules(res.Prior),
 		MineResponse: mineResponse(res.Result),
-	})
+	}
+	s.cachePut(sess, key, resp)
+	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
@@ -457,18 +705,13 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) error {
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		return err
 	}
-	if len(req.Rows) == 0 {
-		return errf(http.StatusBadRequest, "rows is required")
-	}
-	b := sirum.NewBuilder(sess.ds.DimNames(), sess.ds.MeasureName())
-	for i, row := range req.Rows {
-		if err := b.Add(row.Dims, row.Measure); err != nil {
-			return errf(http.StatusBadRequest, "row %d: %v", i, err)
-		}
-	}
-	batch, err := b.Build()
+	batch, err := buildBatch(sess.ds, req.Rows)
 	if err != nil {
-		return errf(http.StatusBadRequest, "building batch: %v", err)
+		return err
+	}
+	snap, err := s.persistence()
+	if err != nil {
+		return err
 	}
 	release, err := s.admit(r.Context())
 	if err != nil {
@@ -476,7 +719,22 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) error {
 	}
 	defer release()
 	sess.queries.Add(1)
+	// journalMu spans the append and its journal record so the on-disk
+	// order always matches the applied order.
+	sess.journalMu.Lock()
+	if sess.dropped {
+		sess.journalMu.Unlock()
+		return errf(http.StatusConflict, "dataset %q was deleted", sess.id)
+	}
 	res, err := sess.p.Append(batch, req.options())
+	if err == nil && snap != nil {
+		if jerr := snap.appendBatch(sess.id, appendRecord{Rows: req.Rows, Mine: req.MineRequest}); jerr != nil {
+			// The append is applied in memory but not durable; tell the
+			// client rather than silently diverging from the journal.
+			err = errf(http.StatusInternalServerError, "append applied but not journaled: %v", jerr)
+		}
+	}
+	sess.journalMu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -494,12 +752,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
 	s.mu.Lock()
 	n := len(s.sessions)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:   "ok",
 		Sessions: n,
 		InFlight: len(s.sem),
+		Queued:   s.queued.Load(),
 		Queries:  s.queries.Load(),
 		Rejected: s.rejected.Load(),
-	})
+	}
+	if s.cache != nil {
+		cs := s.cache.stats()
+		resp.CacheHits = cs.hits
+		resp.CacheMisses = cs.misses
+	}
+	writeJSON(w, http.StatusOK, resp)
 	return nil
 }

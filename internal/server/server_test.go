@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sirum"
 )
@@ -120,9 +123,11 @@ func createIncome(t *testing.T, baseURL, id string, rows int) SessionInfo {
 // under -race in CI): ≥8 concurrent mixed mine/explore queries against one
 // prepared session must all succeed, every mine must match the
 // single-client baseline exactly, and every response must carry its own
-// per-query metrics snapshot.
+// per-query metrics snapshot. The result cache is disabled so every query
+// does real concurrent backend work (TestServerConcurrentCacheStorm covers
+// the cached path).
 func TestServerConcurrentMineExplore(t *testing.T) {
-	_, ts := testServer(t, Config{MaxInFlight: 4})
+	_, ts := testServer(t, Config{MaxInFlight: 4, CacheEntries: -1})
 	info := createIncome(t, ts.URL, "inc", 1500)
 	if info.Rows != 1500 {
 		t.Fatalf("created session has %d rows", info.Rows)
@@ -263,6 +268,9 @@ func TestServerErrorMapping(t *testing.T) {
 		{"unknown generator", "POST", "/v1/datasets", CreateRequest{
 			Generator: &GeneratorSpec{Name: "nope"},
 		}, http.StatusBadRequest},
+		{"path-unsafe session id", "POST", "/v1/datasets", CreateRequest{
+			ID: "../evil", Generator: &GeneratorSpec{Name: "flights"},
+		}, http.StatusBadRequest},
 		{"csv without measure", "POST", "/v1/datasets", CreateRequest{CSV: "a,m\nx,1\n"}, http.StatusBadRequest},
 		{"empty create", "POST", "/v1/datasets", CreateRequest{}, http.StatusBadRequest},
 		{"append without rows", "POST", "/v1/datasets/d/append", AppendRequest{}, http.StatusBadRequest},
@@ -377,7 +385,7 @@ func TestServerCSVAndAppend(t *testing.T) {
 // one execution slot, a burst of concurrent queries all succeed (they
 // queue), and the health counters account for every one of them.
 func TestServerConcurrentAdmissionQueueing(t *testing.T) {
-	s, ts := testServer(t, Config{MaxInFlight: 1})
+	s, ts := testServer(t, Config{MaxInFlight: 1, CacheEntries: -1})
 	createIncome(t, ts.URL, "q", 1200)
 	const burst = 6
 	var wg sync.WaitGroup
@@ -468,6 +476,513 @@ func TestRunLoadReportsLatencies(t *testing.T) {
 	}
 	if len(list.Sessions) != 0 {
 		t.Errorf("load generator leaked %d sessions", len(list.Sessions))
+	}
+}
+
+// clearCached strips the cache marker so responses can be compared for
+// deep equality against the originally computed answer.
+func clearCached(r MineResponse) MineResponse {
+	r.Cached = false
+	return r
+}
+
+// lifetimeCounters fetches a session's lifetime operator counters.
+func lifetimeCounters(t *testing.T, baseURL, id string) map[string]int64 {
+	t.Helper()
+	var info SessionInfo
+	if status := call(t, "GET", baseURL+"/v1/datasets/"+id, nil, &info); status != http.StatusOK {
+		t.Fatalf("get %s: status %d", id, status)
+	}
+	if info.Stats == nil {
+		t.Fatalf("get %s returned no stats", id)
+	}
+	return info.Stats.Lifetime.Counters
+}
+
+// TestServerResultCacheRepeatAndEpoch pins the cache contract: an
+// identical repeat query is served from the cache with a deep-equal
+// result and no backend work, and an Append bumps the epoch so the next
+// identical query recomputes.
+func TestServerResultCacheRepeatAndEpoch(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	createIncome(t, ts.URL, "c", 1500)
+	mineURL := ts.URL + "/v1/datasets/c/mine"
+	mineReq := MineRequest{K: 3, SampleSize: 16, Seed: 2}
+
+	var cold MineResponse
+	if status := call(t, "POST", mineURL, mineReq, &cold); status != http.StatusOK {
+		t.Fatalf("cold mine: status %d", status)
+	}
+	if cold.Cached {
+		t.Fatal("first mine claims to be cached")
+	}
+	before := lifetimeCounters(t, ts.URL, "c")
+
+	var hit MineResponse
+	if status := call(t, "POST", mineURL, mineReq, &hit); status != http.StatusOK {
+		t.Fatalf("repeat mine: status %d", status)
+	}
+	if !hit.Cached {
+		t.Fatal("identical repeat mine was not served from the cache")
+	}
+	if !reflect.DeepEqual(clearCached(hit), clearCached(cold)) {
+		t.Errorf("cached response is not deep-equal to the computed one:\n%+v\nvs\n%+v", hit, cold)
+	}
+	// Normalization: a request that spells out the defaults the first one
+	// left implicit is the same canonical query, so it hits too.
+	var normalized MineResponse
+	if status := call(t, "POST", mineURL, MineRequest{K: 3, SampleSize: 16, Seed: 2, Variant: "optimized", Epsilon: 0.01}, &normalized); status != http.StatusOK {
+		t.Fatalf("normalized mine: status %d", status)
+	}
+	if !normalized.Cached {
+		t.Error("defaults-spelled-out request missed the cache: canonicalization broken")
+	}
+	// No backend work happened for the hits: operator lifetime counters
+	// are unchanged.
+	if after := lifetimeCounters(t, ts.URL, "c"); !reflect.DeepEqual(before, after) {
+		t.Errorf("cached queries did backend work: counters %v -> %v", before, after)
+	}
+	// A different K is a different canonical query.
+	var other MineResponse
+	if status := call(t, "POST", mineURL, MineRequest{K: 2, SampleSize: 16, Seed: 2}, &other); status != http.StatusOK {
+		t.Fatalf("different-k mine: status %d", status)
+	}
+	if other.Cached {
+		t.Error("different K was served from the cache")
+	}
+
+	// Explore caches too.
+	exploreURL := ts.URL + "/v1/datasets/c/explore"
+	exploreReq := ExploreRequest{K: 2, GroupBys: 1, Seed: 2}
+	var ex1, ex2 ExploreResponse
+	if status := call(t, "POST", exploreURL, exploreReq, &ex1); status != http.StatusOK {
+		t.Fatalf("explore: status %d", status)
+	}
+	if status := call(t, "POST", exploreURL, exploreReq, &ex2); status != http.StatusOK {
+		t.Fatalf("repeat explore: status %d", status)
+	}
+	if ex1.Cached || !ex2.Cached {
+		t.Errorf("explore caching: first cached=%v, repeat cached=%v", ex1.Cached, ex2.Cached)
+	}
+
+	// Append bumps the epoch: the same mine request must recompute.
+	var app AppendResponse
+	if status := call(t, "POST", ts.URL+"/v1/datasets/c/append", AppendRequest{
+		Rows:        []RowJSON{{Dims: incomeDims(t, ts.URL, "c"), Measure: 1}},
+		MineRequest: MineRequest{K: 2},
+	}, &app); status != http.StatusOK {
+		t.Fatalf("append: status %d", status)
+	}
+	var postAppend MineResponse
+	if status := call(t, "POST", mineURL, mineReq, &postAppend); status != http.StatusOK {
+		t.Fatalf("post-append mine: status %d", status)
+	}
+	if postAppend.Cached {
+		t.Error("append did not invalidate the cache: stale epoch served")
+	}
+	var postAppendRepeat MineResponse
+	if status := call(t, "POST", mineURL, mineReq, &postAppendRepeat); status != http.StatusOK {
+		t.Fatalf("post-append repeat: status %d", status)
+	}
+	if !postAppendRepeat.Cached {
+		t.Error("new epoch's result was not cached")
+	}
+
+	var health HealthResponse
+	if status := call(t, "GET", ts.URL+"/v1/healthz", nil, &health); status != http.StatusOK {
+		t.Fatalf("healthz: status %d", status)
+	}
+	if health.CacheHits < 4 || health.CacheMisses < 3 {
+		t.Errorf("health cache counters implausible: hits %d misses %d", health.CacheHits, health.CacheMisses)
+	}
+}
+
+// incomeDims fetches a session's dim names and fabricates one valid row
+// value per dimension (values already in the dataset's dictionaries are
+// not required — appends re-encode).
+func incomeDims(t *testing.T, baseURL, id string) []string {
+	t.Helper()
+	var info SessionInfo
+	if status := call(t, "GET", baseURL+"/v1/datasets/"+id, nil, &info); status != http.StatusOK {
+		t.Fatalf("get %s: status %d", id, status)
+	}
+	dims := make([]string, len(info.Dims))
+	for i := range dims {
+		dims[i] = "appended-value"
+	}
+	return dims
+}
+
+// TestServerCacheSharingAndDivergentAppends pins the cross-session cache
+// contract: sessions prepared identically over the same source share
+// entries while their data histories match, and stop sharing the moment
+// their appends diverge — the key carries the content chain, not a bare
+// append counter, so same-epoch sessions with different data can never
+// serve each other's results.
+func TestServerCacheSharingAndDivergentAppends(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	createIncome(t, ts.URL, "a", 1200)
+	createIncome(t, ts.URL, "b", 1200)
+	mineReq := MineRequest{K: 3, SampleSize: 16, Seed: 2}
+
+	var onA MineResponse
+	if status := call(t, "POST", ts.URL+"/v1/datasets/a/mine", mineReq, &onA); status != http.StatusOK {
+		t.Fatalf("mine a: status %d", status)
+	}
+	if onA.Cached {
+		t.Fatal("first mine claims to be cached")
+	}
+	// Identical source + prep + query: b legitimately shares a's entry.
+	var onB MineResponse
+	if status := call(t, "POST", ts.URL+"/v1/datasets/b/mine", mineReq, &onB); status != http.StatusOK {
+		t.Fatalf("mine b: status %d", status)
+	}
+	if !onB.Cached {
+		t.Error("identical sessions did not share the cache entry")
+	}
+
+	// Divergent appends: both sessions reach epoch 1 with different data.
+	appendRow := func(id, value string, measure float64) {
+		t.Helper()
+		dims := incomeDims(t, ts.URL, id)
+		for i := range dims {
+			dims[i] = value
+		}
+		if status := call(t, "POST", ts.URL+"/v1/datasets/"+id+"/append", AppendRequest{
+			Rows:        []RowJSON{{Dims: dims, Measure: measure}},
+			MineRequest: MineRequest{K: 2},
+		}, nil); status != http.StatusOK {
+			t.Fatalf("append %s: status %d", id, status)
+		}
+	}
+	appendRow("a", "row-for-a", 1)
+	appendRow("b", "row-for-b", 0)
+
+	var postA MineResponse
+	if status := call(t, "POST", ts.URL+"/v1/datasets/a/mine", mineReq, &postA); status != http.StatusOK {
+		t.Fatalf("post-append mine a: status %d", status)
+	}
+	if postA.Cached {
+		t.Fatal("append did not invalidate a's cache")
+	}
+	var postB MineResponse
+	if status := call(t, "POST", ts.URL+"/v1/datasets/b/mine", mineReq, &postB); status != http.StatusOK {
+		t.Fatalf("post-append mine b: status %d", status)
+	}
+	if postB.Cached {
+		t.Error("same-epoch sessions with different appended data shared a cache entry")
+	}
+}
+
+// TestSnapshotterToleratesTornTail pins crash recovery of the append
+// journal: a truncated final record (the crash-interrupted write of an
+// unacknowledged append) is dropped, while corruption before the end of
+// the journal still fails loudly.
+func TestSnapshotterToleratesTornTail(t *testing.T) {
+	sn, err := newSnapshotter(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := appendRecord{Rows: []RowJSON{{Dims: []string{"x"}, Measure: 1}}, Mine: MineRequest{K: 2}}
+	if err := sn.appendBatch("s", good); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.appendBatch("s", good); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write of a third record.
+	f, err := os.OpenFile(sn.appendsPath("s"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"rows":[{"dims":["x"],"meas`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err := sn.loadAppends("s")
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("loaded %d records, want the 2 durable ones", len(recs))
+	}
+	// Recovery must truncate the fragment: an append journaled after the
+	// restore is durable, not merged onto the torn line.
+	if err := sn.appendBatch("s", good); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = sn.loadAppends("s")
+	if err != nil {
+		t.Fatalf("journal corrupt after post-recovery append: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Errorf("loaded %d records after post-recovery append, want 3", len(recs))
+	}
+
+	// Corruption in the middle must fail, not be silently skipped.
+	if err := os.WriteFile(sn.appendsPath("mid"), []byte("{garbage\n"+`{"rows":[],"mine":{}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sn.loadAppends("mid"); err == nil {
+		t.Error("mid-journal corruption loaded without error")
+	}
+}
+
+// TestServerCacheRepeatLatency is the repeat-query acceptance benchmark
+// through the HTTP path: the second identical mine is served from the
+// cache at least 10x faster than the cold query, with the operator's
+// lifetime metrics unchanged (no backend work).
+func TestServerCacheRepeatLatency(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	createIncome(t, ts.URL, "lat", 2000)
+	mineURL := ts.URL + "/v1/datasets/lat/mine"
+	mineReq := MineRequest{K: 3, SampleSize: 16, Seed: 2}
+
+	coldStart := time.Now()
+	var cold MineResponse
+	if status := call(t, "POST", mineURL, mineReq, &cold); status != http.StatusOK {
+		t.Fatalf("cold mine: status %d", status)
+	}
+	coldLatency := time.Since(coldStart)
+	if cold.Cached {
+		t.Fatal("cold mine claims to be cached")
+	}
+	before := lifetimeCounters(t, ts.URL, "lat")
+
+	// Best of three, so one scheduling hiccup cannot fail the 10x bound.
+	cachedLatency := time.Hour
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		var hit MineResponse
+		if status := call(t, "POST", mineURL, mineReq, &hit); status != http.StatusOK {
+			t.Fatalf("cached mine %d: status %d", i, status)
+		}
+		if !hit.Cached {
+			t.Fatalf("repeat mine %d missed the cache", i)
+		}
+		if d := time.Since(start); d < cachedLatency {
+			cachedLatency = d
+		}
+	}
+	if after := lifetimeCounters(t, ts.URL, "lat"); !reflect.DeepEqual(before, after) {
+		t.Errorf("cached mines did backend work: counters %v -> %v", before, after)
+	}
+	if cachedLatency*10 > coldLatency {
+		t.Errorf("cached mine not >=10x faster: cold %v, cached %v", coldLatency, cachedLatency)
+	}
+	t.Logf("cold %v, cached %v (%.0fx)", coldLatency, cachedLatency, float64(coldLatency)/float64(cachedLatency))
+}
+
+// TestServerConcurrentCacheStorm hammers one session with a hit/miss mix
+// under -race: several distinct canonical queries land concurrently (each
+// computed once, then served from cache) while an append bumps the epoch
+// mid-storm. Every response must be internally consistent — same-spec
+// responses at the same epoch are deep-equal.
+func TestServerConcurrentCacheStorm(t *testing.T) {
+	_, ts := testServer(t, Config{MaxInFlight: 2})
+	createIncome(t, ts.URL, "storm", 1500)
+	mineURL := ts.URL + "/v1/datasets/storm/mine"
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g == workers/2 {
+				// One append races the storm: it must not corrupt any
+				// response, only split the storm across two epochs.
+				if status := call(t, "POST", ts.URL+"/v1/datasets/storm/append", AppendRequest{
+					Rows:        []RowJSON{{Dims: incomeDims(t, ts.URL, "storm"), Measure: 2}},
+					MineRequest: MineRequest{K: 2},
+				}, nil); status != http.StatusOK {
+					errs[g] = fmt.Errorf("append status %d", status)
+				}
+				return
+			}
+			req := MineRequest{K: 2 + g%3, SampleSize: 16, Seed: 2}
+			for rep := 0; rep < 3; rep++ {
+				var resp MineResponse
+				if status := call(t, "POST", mineURL, req, &resp); status != http.StatusOK {
+					errs[g] = fmt.Errorf("mine status %d", status)
+					return
+				}
+				if len(resp.Rules) == 0 {
+					errs[g] = fmt.Errorf("mine returned no rules")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", g, err)
+		}
+	}
+	var health HealthResponse
+	if status := call(t, "GET", ts.URL+"/v1/healthz", nil, &health); status != http.StatusOK {
+		t.Fatalf("healthz: status %d", status)
+	}
+	if health.CacheHits == 0 {
+		t.Error("storm produced no cache hits")
+	}
+}
+
+// TestServerSnapshotRestart is the persistence acceptance test: sessions
+// created from a generator and from CSV (with an appended batch) survive a
+// server restart via the snapshot directory, serving the same session list
+// and baseline-consistent mine answers; deleted sessions stay gone.
+func TestServerSnapshotRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Config{SnapshotDir: dir})
+	ts1 := httptest.NewServer(s1.Handler())
+
+	createIncome(t, ts1.URL, "gen", 1500)
+	var sb strings.Builder
+	sb.WriteString("Day,City,Delay\n")
+	for i := 0; i < 24; i++ {
+		fmt.Fprintf(&sb, "%s,%s,%d\n", []string{"Mon", "Tue"}[i%2], []string{"NY", "LA", "SF"}[i%3], 10+i%7)
+	}
+	if status := call(t, "POST", ts1.URL+"/v1/datasets", CreateRequest{
+		ID: "csv", CSV: sb.String(), Measure: "Delay",
+	}, nil); status != http.StatusCreated {
+		t.Fatalf("csv create: status %d", status)
+	}
+	if status := call(t, "POST", ts1.URL+"/v1/datasets/csv/append", AppendRequest{
+		Rows: []RowJSON{
+			{Dims: []string{"Wed", "NY"}, Measure: 55},
+			{Dims: []string{"Wed", "LA"}, Measure: 60},
+		},
+		MineRequest: MineRequest{K: 2},
+	}, nil); status != http.StatusOK {
+		t.Fatalf("append: status %d", status)
+	}
+	// A session deleted before the restart must not come back.
+	createIncome(t, ts1.URL, "doomed", 1200)
+	if status := call(t, "DELETE", ts1.URL+"/v1/datasets/doomed", nil, nil); status != http.StatusNoContent {
+		t.Fatalf("delete: status %d", status)
+	}
+
+	mineReq := MineRequest{K: 3, SampleSize: 16, Seed: 2}
+	baselines := map[string]MineResponse{}
+	for _, id := range []string{"gen", "csv"} {
+		var resp MineResponse
+		if status := call(t, "POST", ts1.URL+"/v1/datasets/"+id+"/mine", mineReq, &resp); status != http.StatusOK {
+			t.Fatalf("baseline mine %s: status %d", id, status)
+		}
+		baselines[id] = resp
+	}
+
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(Config{SnapshotDir: dir})
+	n, err := s2.Restore()
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d sessions, want 2", n)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+	})
+
+	var list ListResponse
+	if status := call(t, "GET", ts2.URL+"/v1/datasets", nil, &list); status != http.StatusOK {
+		t.Fatalf("list: status %d", status)
+	}
+	if len(list.Sessions) != 2 {
+		t.Fatalf("restored list has %d sessions, want 2", len(list.Sessions))
+	}
+	for _, info := range list.Sessions {
+		if info.ID == "doomed" {
+			t.Error("deleted session came back from the snapshot")
+		}
+	}
+
+	// The CSV session replayed its append: 26 rows, epoch 1, and the same
+	// answers as before the restart.
+	var csvInfo SessionInfo
+	if status := call(t, "GET", ts2.URL+"/v1/datasets/csv", nil, &csvInfo); status != http.StatusOK {
+		t.Fatalf("get csv: status %d", status)
+	}
+	if csvInfo.Rows != 26 {
+		t.Errorf("restored csv session has %d rows, want 26", csvInfo.Rows)
+	}
+	if csvInfo.Stats == nil || csvInfo.Stats.Epoch != 1 {
+		t.Errorf("restored csv session stats = %+v, want epoch 1", csvInfo.Stats)
+	}
+	for id, want := range baselines {
+		var got MineResponse
+		if status := call(t, "POST", ts2.URL+"/v1/datasets/"+id+"/mine", mineReq, &got); status != http.StatusOK {
+			t.Fatalf("restored mine %s: status %d", id, status)
+		}
+		if err := sameMineResult(&got, &want); err != nil {
+			t.Errorf("session %q diverged after restart: %v", id, err)
+		}
+	}
+
+	// A new auto-id create must not collide with restored sessions.
+	var auto SessionInfo
+	if status := call(t, "POST", ts2.URL+"/v1/datasets", CreateRequest{
+		Generator: &GeneratorSpec{Name: "flights"},
+	}, &auto); status != http.StatusCreated {
+		t.Fatalf("post-restore create: status %d", status)
+	}
+	if auto.ID == "gen" || auto.ID == "csv" {
+		t.Errorf("auto id collided with restored session: %q", auto.ID)
+	}
+}
+
+// TestServerMetricsEndpoint pins the Prometheus-style text format:
+// admission and cache counters plus per-session lifetime stats.
+func TestServerMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	createIncome(t, ts.URL, "met", 1200)
+	mineReq := MineRequest{K: 2, SampleSize: 16, Seed: 2}
+	for i := 0; i < 2; i++ { // one miss, one hit
+		if status := call(t, "POST", ts.URL+"/v1/datasets/met/mine", mineReq, nil); status != http.StatusOK {
+			t.Fatalf("mine %d: status %d", i, status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(buf)
+	for _, want := range []string{
+		"sirumd_sessions 1",
+		"sirumd_result_cache_hits_total 1",
+		"sirumd_result_cache_misses_total 1",
+		"sirumd_queries_total",
+		"sirumd_rejected_total 0",
+		`sirumd_session_queries_total{session="met"} 2`,
+		`sirumd_session_rows{session="met"} 1200`,
+		`sirumd_session_epoch{session="met"} 0`,
+		`sirumd_session_lifetime_total{session="met",counter=`,
+		`sirumd_session_phase_seconds_total{session="met",phase=`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
 	}
 }
 

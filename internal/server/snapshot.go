@@ -1,0 +1,233 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// snapshotter journals the session registry to a directory so a restarted
+// daemon comes back serving. Everything is spec-encoded rather than raw
+// data: generator-born sessions persist only their generator parameters
+// and are regenerated on boot; CSV-born sessions spill the original CSV
+// document alongside the manifest (a content hash is not invertible).
+// Appended batches are journaled per session in arrival order and replayed
+// on restore, which reconstructs both the grown dataset and the epoch.
+//
+// Files, one trio per session id (ids are validated to a path-safe
+// alphabet at create time):
+//
+//	<id>.session.json   manifest: source + prepare options + creation time
+//	<id>.csv            the raw CSV document (CSV sources only)
+//	<id>.appends.jsonl  one JSON record per Append, in applied order
+type snapshotter struct {
+	dir string
+}
+
+func newSnapshotter(dir string) (*snapshotter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot dir: %w", err)
+	}
+	return &snapshotter{dir: dir}, nil
+}
+
+// manifest is the durable identity of one session: enough to rebuild it
+// from scratch, nothing more.
+type manifest struct {
+	ID        string         `json:"id"`
+	CreatedAt time.Time      `json:"created_at"`
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+	CSVFile   string         `json:"csv_file,omitempty"`
+	Measure   string         `json:"measure,omitempty"`
+	Ignore    []string       `json:"ignore,omitempty"`
+	Prepare   PrepareSpec    `json:"prepare"`
+}
+
+// appendRecord journals one Append: the rows plus the mining options that
+// governed the maintenance pass.
+type appendRecord struct {
+	Rows []RowJSON   `json:"rows"`
+	Mine MineRequest `json:"mine"`
+}
+
+func (sn *snapshotter) manifestPath(id string) string {
+	return filepath.Join(sn.dir, id+".session.json")
+}
+func (sn *snapshotter) csvPath(id string) string { return filepath.Join(sn.dir, id+".csv") }
+func (sn *snapshotter) appendsPath(id string) string {
+	return filepath.Join(sn.dir, id+".appends.jsonl")
+}
+
+// writeFileAtomic writes via a temp file and rename so a crash mid-write
+// never leaves a torn manifest for the next boot to choke on.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// save journals a newly created session. Any append journal left behind
+// under the same id (a delete racing an in-flight append can recreate the
+// file after snapshotter.delete removed it) is cleared first — a fresh
+// session starts at epoch 0 and must not inherit a dead session's appends
+// on restore. The CSV document (if any) is spilled before the manifest so
+// the manifest never references a file that does not exist yet.
+func (sn *snapshotter) save(m manifest, csv string) error {
+	os.Remove(sn.appendsPath(m.ID))
+	if m.CSVFile != "" {
+		if err := writeFileAtomic(sn.csvPath(m.ID), []byte(csv)); err != nil {
+			return fmt.Errorf("spilling csv for %q: %w", m.ID, err)
+		}
+	}
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(sn.manifestPath(m.ID), buf); err != nil {
+		return fmt.Errorf("writing manifest for %q: %w", m.ID, err)
+	}
+	return nil
+}
+
+// appendBatch journals one applied Append for id.
+func (sn *snapshotter) appendBatch(id string, rec appendRecord) error {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(sn.appendsPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journaling append for %q: %w", id, err)
+	}
+	if _, err := f.Write(append(buf, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("journaling append for %q: %w", id, err)
+	}
+	return f.Close()
+}
+
+// delete removes a session's journal files (deleted sessions must not come
+// back on the next boot).
+func (sn *snapshotter) delete(id string) {
+	for _, p := range []string{sn.manifestPath(id), sn.csvPath(id), sn.appendsPath(id)} {
+		os.Remove(p)
+	}
+}
+
+// snapshotEntry is one journaled session read back off disk.
+type snapshotEntry struct {
+	m       manifest
+	csv     string
+	appends []appendRecord
+}
+
+// load reads every journaled session, in creation order (ties broken by
+// id) so restored registries list deterministically.
+func (sn *snapshotter) load() ([]snapshotEntry, error) {
+	paths, err := filepath.Glob(filepath.Join(sn.dir, "*.session.json"))
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]snapshotEntry, 0, len(paths))
+	for _, p := range paths {
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", p, err)
+		}
+		var m manifest
+		if err := json.Unmarshal(buf, &m); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", p, err)
+		}
+		if m.ID == "" || !validSessionID(m.ID) {
+			return nil, fmt.Errorf("manifest %s has invalid session id %q", p, m.ID)
+		}
+		e := snapshotEntry{m: m}
+		if m.CSVFile != "" {
+			csv, err := os.ReadFile(sn.csvPath(m.ID))
+			if err != nil {
+				return nil, fmt.Errorf("reading csv spill for %q: %w", m.ID, err)
+			}
+			e.csv = string(csv)
+		}
+		if e.appends, err = sn.loadAppends(m.ID); err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].m.CreatedAt.Equal(entries[j].m.CreatedAt) {
+			return entries[i].m.CreatedAt.Before(entries[j].m.CreatedAt)
+		}
+		return entries[i].m.ID < entries[j].m.ID
+	})
+	return entries, nil
+}
+
+func (sn *snapshotter) loadAppends(id string) ([]appendRecord, error) {
+	buf, err := os.ReadFile(sn.appendsPath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading append journal for %q: %w", id, err)
+	}
+	var out []appendRecord
+	goodPrefix := 0 // bytes up to and including the last durable record
+	for off := 0; off < len(buf); {
+		nl := bytes.IndexByte(buf[off:], '\n')
+		end := len(buf)
+		if nl >= 0 {
+			end = off + nl
+		}
+		line := buf[off:end]
+		if len(line) > 0 {
+			var rec appendRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				// A crash mid-write leaves a torn last line; that append
+				// was never acknowledged as durable, so dropping it is the
+				// correct recovery. Anything unparsable *before* the end
+				// is real corruption and must fail loudly.
+				if end != len(buf) {
+					return nil, fmt.Errorf("append journal for %q, record %d: %w", id, len(out), err)
+				}
+				// Truncate the torn tail so a later appendBatch cannot
+				// O_APPEND an acknowledged record onto the fragment and
+				// corrupt the journal permanently.
+				if err := os.Truncate(sn.appendsPath(id), int64(goodPrefix)); err != nil {
+					return nil, fmt.Errorf("truncating torn journal tail for %q: %w", id, err)
+				}
+				return out, nil
+			}
+			out = append(out, rec)
+			if nl < 0 {
+				// A parseable final record missing its newline (crash
+				// after the JSON bytes, before the terminator): repair
+				// the newline so the next appendBatch cannot merge onto
+				// this line.
+				f, err := os.OpenFile(sn.appendsPath(id), os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return nil, fmt.Errorf("repairing journal for %q: %w", id, err)
+				}
+				if _, err := f.WriteString("\n"); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("repairing journal for %q: %w", id, err)
+				}
+				if err := f.Close(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if nl < 0 {
+			break
+		}
+		off = end + 1
+		goodPrefix = off
+	}
+	return out, nil
+}

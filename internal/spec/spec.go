@@ -1,0 +1,212 @@
+// Package spec defines the canonical, versioned, content-addressed
+// identities of the three things a mining deployment needs to name: a
+// dataset (where the rows came from), a preparation (how a session was
+// built over them), and a query (what was asked). Every spec is fully
+// normalized — defaults applied, backend names spelled out — so two
+// requests that mean the same thing produce byte-identical encodings and
+// therefore equal fingerprints, no matter which zero values the caller
+// left unset.
+//
+// Fingerprints are what make repeat traffic cheap and restarts survivable:
+// the server's result cache is keyed by (session fingerprint, epoch, query
+// fingerprint), and its snapshot journal stores specs rather than ad-hoc
+// request structs. The epoch is the one mutable part of a dataset's
+// identity — every Append bumps it — which invalidates cached results
+// without any explicit bookkeeping: the old epoch's keys simply stop being
+// asked for.
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sirum/internal/dataset"
+)
+
+// Version is the encoding version baked into every fingerprint. Bump it
+// when a spec's canonical encoding changes meaning, so stale cache entries
+// and snapshots from older builds can never alias new ones.
+const Version = 1
+
+// GeneratorSource identifies a built-in synthetic dataset by the three
+// inputs that fully determine its rows.
+type GeneratorSource struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	Seed int64  `json:"seed"`
+}
+
+// CSVSource identifies an ingested CSV document by the content hash of the
+// raw bytes plus the parse parameters that shape the relation.
+type CSVSource struct {
+	SHA256  string   `json:"sha256"` // hex digest of the raw CSV bytes
+	Measure string   `json:"measure"`
+	Ignore  []string `json:"ignore,omitempty"`
+}
+
+// ContentSource identifies a dataset by a hash of its materialized content
+// (schema, dictionaries, columns) — the fallback for datasets assembled row
+// by row, where no external source exists to fingerprint.
+type ContentSource struct {
+	SHA256 string `json:"sha256"`
+}
+
+// DatasetSpec is the canonical identity of the data a session serves:
+// exactly one source fingerprint plus the epoch counter. Epoch starts at 0
+// and is bumped by every Append; it is deliberately excluded from
+// Fingerprint so that the source identity is stable across a session's
+// lifetime and the epoch can key caches separately.
+type DatasetSpec struct {
+	Version   int              `json:"v"`
+	Generator *GeneratorSource `json:"generator,omitempty"`
+	CSV       *CSVSource       `json:"csv,omitempty"`
+	Content   *ContentSource   `json:"content,omitempty"`
+	Epoch     int64            `json:"epoch"`
+	// Chain is the running content chain over the session's append
+	// history: the source fingerprint at epoch 0, then
+	// H(previous chain ‖ batch content hash) per append (hex). Unlike the
+	// bare epoch — which only counts appends — the chain reflects *what*
+	// was appended, so two sessions share a chain value only when their
+	// entire data histories match. Caches must key on it, not the epoch:
+	// sessions over the same source that appended different rows reach
+	// the same epoch with different data.
+	Chain string `json:"chain,omitempty"`
+}
+
+// Fingerprint hashes the source identity (not the epoch or chain).
+func (s DatasetSpec) Fingerprint() [32]byte {
+	s.Epoch = 0
+	s.Chain = ""
+	return fingerprint("dataset", s)
+}
+
+// ExtendChain folds one appended batch's content hash into a running
+// chain fingerprint.
+func ExtendChain(chain [32]byte, batchContentHash string) [32]byte {
+	h := sha256.New()
+	h.Write(chain[:])
+	io.WriteString(h, batchContentHash)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// PrepSpec is the canonical identity of a session's prepare-once phase:
+// the knobs that shape what every query over the session sees (the pruning
+// sample, the Bernoulli data sample, the substrate kind, the append
+// staleness trigger), with defaults applied.
+type PrepSpec struct {
+	Version        int     `json:"v"`
+	SampleSize     int     `json:"sample_size"`
+	Seed           int64   `json:"seed"`
+	SampleFraction float64 `json:"sample_fraction,omitempty"`
+	Backend        string  `json:"backend"`
+	RemineFactor   float64 `json:"remine_factor"`
+}
+
+// Fingerprint hashes the canonical encoding.
+func (s PrepSpec) Fingerprint() [32]byte { return fingerprint("prep", s) }
+
+// Query kinds.
+const (
+	KindMine    = "mine"
+	KindExplore = "explore"
+)
+
+// QuerySpec is the canonical identity of one query: kind plus every option
+// that can change its answer, with defaults applied. Substrate sizing is
+// deliberately absent — cluster shape changes how a result is computed, not
+// what it is (both backends produce identical rule lists).
+type QuerySpec struct {
+	Version        int     `json:"v"`
+	Kind           string  `json:"kind"`
+	K              int     `json:"k"`
+	SampleSize     int     `json:"sample_size"`
+	Variant        string  `json:"variant"`
+	Epsilon        float64 `json:"epsilon"`
+	Seed           int64   `json:"seed"`
+	SampleFraction float64 `json:"sample_fraction,omitempty"`
+	GroupBys       int     `json:"group_bys,omitempty"`
+}
+
+// Fingerprint hashes the canonical encoding.
+func (q QuerySpec) Fingerprint() [32]byte { return fingerprint("query", q) }
+
+// SessionKey combines a dataset's source fingerprint with a prep
+// fingerprint: the identity under which a session's results are cacheable.
+// Two sessions over the same source with the same preparation are
+// interchangeable, so their cached results are shared.
+func SessionKey(ds DatasetSpec, prep PrepSpec) [32]byte {
+	h := sha256.New()
+	dfp := ds.Fingerprint()
+	pfp := prep.Fingerprint()
+	h.Write(dfp[:])
+	h.Write(pfp[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// fingerprint hashes a type tag, the encoding version and the spec's
+// canonical JSON. encoding/json emits struct fields in declaration order,
+// which makes the encoding deterministic; the specs contain no maps.
+func fingerprint(tag string, v any) [32]byte {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		// The spec types marshal unconditionally; an error here is a
+		// programming bug, not an input condition.
+		panic(fmt.Sprintf("spec: encoding %s spec: %v", tag, err))
+	}
+	h := sha256.New()
+	io.WriteString(h, tag)
+	h.Write([]byte{0})
+	binary.Write(h, binary.LittleEndian, int64(Version))
+	h.Write(buf)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// HashBytes returns the hex SHA-256 of raw bytes (CSV documents).
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// HashDataset hashes a materialized dataset's content — schema,
+// dictionaries in code order, dimension codes and measure bits — giving
+// builder-assembled datasets a source-independent identity.
+func HashDataset(ds *dataset.Dataset) string {
+	h := sha256.New()
+	io.WriteString(h, ds.Schema.MeasureName)
+	h.Write([]byte{0})
+	for j, name := range ds.Schema.DimNames {
+		io.WriteString(h, name)
+		h.Write([]byte{0})
+		for _, v := range ds.Dicts[j].Values() {
+			io.WriteString(h, v)
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{0})
+	}
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], uint64(ds.NumRows()))
+	h.Write(scratch[:])
+	for _, col := range ds.Dims {
+		for _, c := range col {
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(c))
+			h.Write(scratch[:4])
+		}
+	}
+	for _, m := range ds.Measure {
+		binary.Write(h, binary.LittleEndian, m)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Hex renders a fingerprint for logs, JSON and metric labels.
+func Hex(fp [32]byte) string { return hex.EncodeToString(fp[:]) }

@@ -1,0 +1,92 @@
+package spec
+
+import (
+	"testing"
+
+	"sirum/internal/dataset"
+)
+
+func TestQuerySpecFingerprintStableAndSensitive(t *testing.T) {
+	q := QuerySpec{Version: Version, Kind: KindMine, K: 10, SampleSize: 64, Variant: "optimized", Epsilon: 0.01, Seed: 1}
+	if q.Fingerprint() != q.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	same := q
+	if same.Fingerprint() != q.Fingerprint() {
+		t.Fatal("equal specs produced different fingerprints")
+	}
+	cases := map[string]QuerySpec{}
+	for name, mut := range map[string]func(*QuerySpec){
+		"kind":    func(s *QuerySpec) { s.Kind = KindExplore },
+		"k":       func(s *QuerySpec) { s.K = 11 },
+		"sample":  func(s *QuerySpec) { s.SampleSize = 32 },
+		"variant": func(s *QuerySpec) { s.Variant = "rct" },
+		"epsilon": func(s *QuerySpec) { s.Epsilon = 0.02 },
+		"seed":    func(s *QuerySpec) { s.Seed = 2 },
+		"frac":    func(s *QuerySpec) { s.SampleFraction = 0.5 },
+		"groupby": func(s *QuerySpec) { s.GroupBys = 2 },
+	} {
+		c := q
+		mut(&c)
+		cases[name] = c
+	}
+	fps := map[[32]byte]string{q.Fingerprint(): "base"}
+	for name, c := range cases {
+		fp := c.Fingerprint()
+		if prev, dup := fps[fp]; dup {
+			t.Errorf("changing %s collided with %s", name, prev)
+		}
+		fps[fp] = name
+	}
+}
+
+func TestDatasetSpecFingerprintExcludesEpoch(t *testing.T) {
+	base := DatasetSpec{Version: Version, Generator: &GeneratorSource{Name: "income", Rows: 1000, Seed: 1}}
+	bumped := base
+	bumped.Epoch = 7
+	if base.Fingerprint() != bumped.Fingerprint() {
+		t.Error("epoch changed the source fingerprint; it must key caches separately")
+	}
+	other := DatasetSpec{Version: Version, Generator: &GeneratorSource{Name: "income", Rows: 1001, Seed: 1}}
+	if base.Fingerprint() == other.Fingerprint() {
+		t.Error("different generator rows produced equal fingerprints")
+	}
+	csv := DatasetSpec{Version: Version, CSV: &CSVSource{SHA256: HashBytes([]byte("a,m\nx,1\n")), Measure: "m"}}
+	if base.Fingerprint() == csv.Fingerprint() {
+		t.Error("generator and CSV sources collided")
+	}
+}
+
+func TestSessionKeySeparatesPrep(t *testing.T) {
+	ds := DatasetSpec{Version: Version, Generator: &GeneratorSource{Name: "income", Rows: 1000, Seed: 1}}
+	p1 := PrepSpec{Version: Version, SampleSize: 16, Seed: 1, Backend: "native", RemineFactor: 1.5}
+	p2 := p1
+	p2.Seed = 2
+	if SessionKey(ds, p1) == SessionKey(ds, p2) {
+		t.Error("sessions prepared with different seeds must not share cached results")
+	}
+	if SessionKey(ds, p1) != SessionKey(ds, p1) {
+		t.Error("session key not deterministic")
+	}
+}
+
+func TestHashDatasetReflectsContent(t *testing.T) {
+	build := func(rows []string, ms []float64) *dataset.Dataset {
+		b := dataset.NewBuilder(dataset.Schema{DimNames: []string{"a"}, MeasureName: "m"})
+		for i, r := range rows {
+			if err := b.Add([]string{r}, ms[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.MustBuild()
+	}
+	d1 := build([]string{"x", "y"}, []float64{1, 2})
+	d2 := build([]string{"x", "y"}, []float64{1, 2})
+	d3 := build([]string{"x", "y"}, []float64{1, 3})
+	if HashDataset(d1) != HashDataset(d2) {
+		t.Error("identical content hashed differently")
+	}
+	if HashDataset(d1) == HashDataset(d3) {
+		t.Error("different measures hashed equal")
+	}
+}

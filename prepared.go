@@ -7,6 +7,7 @@ import (
 	"sirum/internal/engine"
 	"sirum/internal/explore"
 	"sirum/internal/miner"
+	"sirum/internal/spec"
 )
 
 // PrepareOptions configures Dataset.Prepare — the work done once per
@@ -37,14 +38,40 @@ type PrepareOptions struct {
 	RemineFactor float64
 }
 
-// prepOptions derives the internal preparation options for a dataset of the
-// given size, applying the Mine sample-size default.
-func (o PrepareOptions) prepOptions(rows int) miner.PrepOptions {
-	ss := o.SampleSize
-	if ss == 0 && rows > 1000 {
-		ss = 64
+// Canonical normalizes the prepare options for a dataset of the given size
+// into their canonical prep spec: defaults applied, backend spelled out.
+// The prep spec is part of a session's cacheable identity — sessions over
+// the same dataset source with equal prep specs answer queries
+// identically, so servers may share cached results between them.
+func (o PrepareOptions) Canonical(rows int) spec.PrepSpec {
+	s := spec.PrepSpec{
+		Version:        spec.Version,
+		SampleSize:     o.SampleSize,
+		Seed:           o.Seed,
+		SampleFraction: o.SampleFraction,
+		Backend:        string(o.Backend),
+		RemineFactor:   o.RemineFactor,
 	}
-	return miner.PrepOptions{SampleSize: ss, Seed: o.Seed, SampleFraction: o.SampleFraction}
+	if s.SampleSize == 0 && rows > 1000 {
+		s.SampleSize = 64
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Backend == "" {
+		s.Backend = string(BackendNative)
+	}
+	if s.RemineFactor <= 0 {
+		s.RemineFactor = 1.5 // NewIncremental's default staleness trigger
+	}
+	return s
+}
+
+// prepOptions derives the internal preparation options via the canonical
+// spec, keeping the defaults in one place.
+func (o PrepareOptions) prepOptions(rows int) miner.PrepOptions {
+	c := o.Canonical(rows)
+	return miner.PrepOptions{SampleSize: c.SampleSize, Seed: c.Seed, SampleFraction: c.SampleFraction}
 }
 
 // Prepared is a mining session: a dataset prepared once on a long-lived
@@ -55,13 +82,17 @@ func (o PrepareOptions) prepOptions(rows int) miner.PrepOptions {
 // prepared state and rebuilds it on the grown dataset, blocking until
 // in-flight queries finish. Close releases the substrate.
 type Prepared struct {
-	mu     sync.RWMutex
-	d      *Dataset
-	cl     engine.Backend
-	popt   PrepareOptions
-	prep   *miner.Prep
-	inc    *miner.Incremental
-	closed bool
+	mu       sync.RWMutex
+	d        *Dataset
+	cl       engine.Backend
+	popt     PrepareOptions
+	prep     *miner.Prep
+	inc      *miner.Incremental
+	dsSpec   spec.DatasetSpec // source identity; Epoch/Chain fields stay zero here
+	prepSpec spec.PrepSpec
+	epoch    int64    // bumped by every successful Append
+	chain    [32]byte // content chain: source fp, extended by each batch's content hash
+	closed   bool
 }
 
 // Prepare loads the dataset onto a fresh execution substrate and returns the
@@ -81,7 +112,63 @@ func (d *Dataset) Prepare(opt PrepareOptions) (*Prepared, error) {
 	if opt.RemineFactor > 0 {
 		inc.RemineFactor = opt.RemineFactor
 	}
-	return &Prepared{d: d, cl: cl, popt: opt, prep: prep, inc: inc}, nil
+	dsSpec := d.sourceSpec()
+	return &Prepared{
+		d: d, cl: cl, popt: opt, prep: prep, inc: inc,
+		dsSpec:   dsSpec,
+		prepSpec: opt.Canonical(d.NumRows()),
+		chain:    dsSpec.Fingerprint(),
+	}, nil
+}
+
+// DatasetSpec returns the canonical identity of the data this session
+// serves: the source fingerprint with Epoch set to the current epoch. The
+// source part is stable for the session's lifetime; the epoch is bumped by
+// every successful Append, which is what lets result caches invalidate
+// append-stale entries for free.
+func (p *Prepared) DatasetSpec() spec.DatasetSpec {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.datasetSpecLocked()
+}
+
+// datasetSpecLocked stamps the source spec with the current epoch and
+// content chain; callers hold at least the read lock.
+func (p *Prepared) datasetSpecLocked() spec.DatasetSpec {
+	s := p.dsSpec
+	s.Epoch = p.epoch
+	s.Chain = spec.Hex(p.chain)
+	return s
+}
+
+// PrepSpec returns the canonical prepare spec the session was built with.
+func (p *Prepared) PrepSpec() spec.PrepSpec {
+	return p.prepSpec // immutable after Prepare
+}
+
+// Epoch returns how many Appends the session has absorbed.
+func (p *Prepared) Epoch() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.epoch
+}
+
+// MineSpec canonicalizes a mine query against the session's current data
+// in one atomic step: the returned dataset spec's epoch and the
+// rows-dependent query defaults are read under the same lock, so the pair
+// is consistent even while Appends race. It does not run the query.
+func (p *Prepared) MineSpec(opt Options) (spec.DatasetSpec, spec.QuerySpec, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	q, err := opt.Canonical(p.d.NumRows())
+	return p.datasetSpecLocked(), q, err
+}
+
+// ExploreSpec is MineSpec for exploration queries.
+func (p *Prepared) ExploreSpec(opt ExploreOptions) (spec.DatasetSpec, spec.QuerySpec) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.datasetSpecLocked(), opt.Canonical()
 }
 
 // NumRows returns the current (accumulated) number of tuples.
@@ -97,6 +184,12 @@ func (p *Prepared) NumRows() int {
 type SessionStats struct {
 	// Rows is the accumulated dataset size (grows with Append).
 	Rows int `json:"rows"`
+	// Epoch counts the Appends absorbed so far; it is part of every cached
+	// result's key, so a bumped epoch is what invalidates stale entries.
+	Epoch int64 `json:"epoch"`
+	// Fingerprint is the hex source fingerprint of the dataset the session
+	// serves (stable across Appends; see DatasetSpec).
+	Fingerprint string `json:"fingerprint"`
 	// Backend names the execution substrate ("native", "sim").
 	Backend string `json:"backend"`
 	// PooledDatasets is how many prepared datasets the session's backend
@@ -118,6 +211,8 @@ func (p *Prepared) Stats() SessionStats {
 	snap := p.cl.Reg().Snapshot()
 	return SessionStats{
 		Rows:           p.d.NumRows(),
+		Epoch:          p.epoch,
+		Fingerprint:    spec.Hex(p.dsSpec.Fingerprint()),
 		Backend:        p.backendName(),
 		PooledDatasets: p.cl.Pool().Len(),
 		PoolLimit:      p.cl.Pool().Limit(),
@@ -220,7 +315,9 @@ func (p *Prepared) Append(batch *Dataset, opt Options) (*AppendResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	grown := &Dataset{ds: merged}
+	// The grown dataset keeps the base source identity: what changed is the
+	// epoch, which is bumped below once the append commits.
+	grown := &Dataset{ds: merged, src: old.src}
 	mopt, err := opt.minerOptions(grown.NumRows())
 	if err != nil {
 		return nil, err
@@ -252,6 +349,8 @@ func (p *Prepared) Append(batch *Dataset, opt Options) (*AppendResult, error) {
 	p.prep.Drop()
 	p.prep = prep
 	p.d = grown
+	p.epoch++
+	p.chain = spec.ExtendChain(p.chain, batch.contentHash())
 
 	out := &AppendResult{Remined: incRes.Remined, Rows: incRes.Rows, KL: incRes.KL}
 	for _, mr := range incRes.Rules {

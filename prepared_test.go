@@ -352,3 +352,72 @@ func TestPreparedQueryMetricsAndStats(t *testing.T) {
 		t.Error("stats lifetime has no phase durations")
 	}
 }
+
+// TestPreparedSpecsAndEpoch pins the canonical-identity contract of a
+// session: the dataset source fingerprint is stable across Appends while
+// the epoch counts them, equivalent option spellings canonicalize to equal
+// query fingerprints, and differing seeds do not.
+func TestPreparedSpecsAndEpoch(t *testing.T) {
+	ds, err := Generate("income", 1200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ds.Prepare(PrepareOptions{SampleSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if p.Epoch() != 0 {
+		t.Fatalf("fresh session epoch = %d", p.Epoch())
+	}
+	base := p.DatasetSpec()
+	if base.Generator == nil || base.Generator.Name != "income" {
+		t.Fatalf("dataset spec lost its generator source: %+v", base)
+	}
+
+	// Equivalent spellings canonicalize identically; zero values pick up
+	// the documented defaults.
+	implicit, err := Options{K: 3, SampleSize: 16, Seed: 2}.Canonical(ds.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Options{K: 3, SampleSize: 16, Seed: 2, Variant: VariantOptimized, Epsilon: 0.01}.Canonical(ds.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit.Fingerprint() != explicit.Fingerprint() {
+		t.Error("equivalent option spellings produced different fingerprints")
+	}
+	reseeded, err := Options{K: 3, SampleSize: 16, Seed: 3}.Canonical(ds.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reseeded.Fingerprint() == implicit.Fingerprint() {
+		t.Error("different seeds produced equal fingerprints")
+	}
+	if _, err := (Options{Variant: "nope"}).Canonical(ds.NumRows()); err == nil {
+		t.Error("bad variant canonicalized without error")
+	}
+
+	batch, err := Generate("income", 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append(batch, Options{K: 2, SampleSize: 16, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch() != 1 {
+		t.Errorf("epoch after append = %d, want 1", p.Epoch())
+	}
+	grown := p.DatasetSpec()
+	if grown.Epoch != 1 {
+		t.Errorf("dataset spec epoch = %d, want 1", grown.Epoch)
+	}
+	if grown.Fingerprint() != base.Fingerprint() {
+		t.Error("append changed the source fingerprint; only the epoch may move")
+	}
+	if st := p.Stats(); st.Epoch != 1 || st.Fingerprint == "" {
+		t.Errorf("stats = epoch %d fingerprint %q, want epoch 1 and a fingerprint", st.Epoch, st.Fingerprint)
+	}
+}

@@ -23,8 +23,11 @@
 package sirum
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -36,32 +39,68 @@ import (
 	"sirum/internal/maxent"
 	"sirum/internal/miner"
 	"sirum/internal/rule"
+	"sirum/internal/spec"
 )
 
 // Dataset is a multidimensional relation: categorical dimension attributes
-// plus one numeric measure attribute.
+// plus one numeric measure attribute. Every constructor records the
+// dataset's canonical source identity (generator parameters, CSV content
+// hash, or a content hash of the built rows), which is what sessions and
+// servers use to address cached results and snapshots.
 type Dataset struct {
-	ds *dataset.Dataset
+	ds  *dataset.Dataset
+	src *spec.DatasetSpec
+}
+
+// sourceSpec returns the canonical identity of the dataset's source,
+// falling back to a content hash for datasets assembled by internal paths
+// that did not record one.
+func (d *Dataset) sourceSpec() spec.DatasetSpec {
+	if d.src != nil {
+		return *d.src
+	}
+	return spec.DatasetSpec{Version: spec.Version, Content: &spec.ContentSource{SHA256: spec.HashDataset(d.ds)}}
+}
+
+// contentHash returns the hash of the dataset's materialized content,
+// reusing the one Builder.Build already computed (append batches arrive
+// that way) rather than re-hashing the columns.
+func (d *Dataset) contentHash() string {
+	if d.src != nil && d.src.Content != nil {
+		return d.src.Content.SHA256
+	}
+	return spec.HashDataset(d.ds)
 }
 
 // ReadCSV parses a dataset from CSV with a header row. The measure column is
 // named explicitly; columns listed in ignore (row ids and such) are dropped;
 // every other column becomes a dimension attribute.
 func ReadCSV(r io.Reader, measure string, ignore ...string) (*Dataset, error) {
-	ds, err := dataset.ReadCSV(r, measure, ignore...)
+	h := sha256.New()
+	ds, err := dataset.ReadCSV(io.TeeReader(r, h), measure, ignore...)
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{ds: ds}, nil
+	sorted := append([]string(nil), ignore...)
+	sort.Strings(sorted)
+	if len(sorted) == 0 {
+		sorted = nil
+	}
+	return &Dataset{ds: ds, src: &spec.DatasetSpec{Version: spec.Version, CSV: &spec.CSVSource{
+		SHA256:  hex.EncodeToString(h.Sum(nil)),
+		Measure: measure,
+		Ignore:  sorted,
+	}}}, nil
 }
 
 // ReadCSVFile opens path and parses it with ReadCSV.
 func ReadCSVFile(path, measure string, ignore ...string) (*Dataset, error) {
-	ds, err := dataset.ReadCSVFile(path, measure, ignore...)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{ds: ds}, nil
+	defer f.Close()
+	return ReadCSV(f, measure, ignore...)
 }
 
 // WriteCSV writes the dataset with a header row.
@@ -81,13 +120,15 @@ func NewBuilder(dimNames []string, measureName string) *Builder {
 // Add appends one tuple: one string value per dimension plus the measure.
 func (b *Builder) Add(dims []string, measure float64) error { return b.b.Add(dims, measure) }
 
-// Build finalizes the dataset.
+// Build finalizes the dataset. Builder-assembled datasets are identified by
+// a hash of their materialized content, there being no external source to
+// fingerprint.
 func (b *Builder) Build() (*Dataset, error) {
 	ds, err := b.b.Build()
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{ds: ds}, nil
+	return &Dataset{ds: ds, src: &spec.DatasetSpec{Version: spec.Version, Content: &spec.ContentSource{SHA256: spec.HashDataset(ds)}}}, nil
 }
 
 // Generate returns one of the built-in synthetic evaluation datasets:
@@ -98,7 +139,7 @@ func Generate(name string, rows int, seed int64) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{ds: ds}, nil
+	return &Dataset{ds: ds, src: &spec.DatasetSpec{Version: spec.Version, Generator: &spec.GeneratorSource{Name: name, Rows: rows, Seed: seed}}}, nil
 }
 
 // NumRows returns the number of tuples.
@@ -302,26 +343,66 @@ type QueryMetrics struct {
 	SimPhases map[string]time.Duration `json:"sim_phases_ns,omitempty"`
 }
 
-// minerOptions translates public options to the internal miner's, applying
-// the same defaults whether the job runs cold or against a prepared session
-// over a dataset of the given size.
+// Canonical normalizes the options for a dataset of the given size into
+// their canonical query spec: defaults applied (the thesis' evaluation
+// settings), the variant validated and spelled out. Two Options values that
+// mean the same query — regardless of which zero values the caller left
+// unset — canonicalize to specs with equal fingerprints, which is the
+// identity result caches and request logs key on.
+func (o Options) Canonical(rows int) (spec.QuerySpec, error) {
+	if _, err := o.Variant.internal(); err != nil {
+		return spec.QuerySpec{}, err
+	}
+	variant := o.Variant
+	if variant == "" {
+		variant = VariantOptimized
+	}
+	q := spec.QuerySpec{
+		Version:        spec.Version,
+		Kind:           spec.KindMine,
+		K:              o.K,
+		SampleSize:     o.SampleSize,
+		Variant:        string(variant),
+		Epsilon:        o.Epsilon,
+		Seed:           o.Seed,
+		SampleFraction: o.SampleFraction,
+	}
+	if q.K <= 0 {
+		q.K = 10
+	}
+	if q.SampleSize == 0 && rows > 1000 {
+		q.SampleSize = 64
+	}
+	if q.Epsilon <= 0 {
+		q.Epsilon = 0.01
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	return q, nil
+}
+
+// minerOptions translates public options to the internal miner's via the
+// canonical spec, so the defaults live in exactly one place whether the job
+// runs cold, against a prepared session, or is being fingerprinted for a
+// cache.
 func (o Options) minerOptions(rows int) (miner.Options, error) {
-	v, err := o.Variant.internal()
+	q, err := o.Canonical(rows)
 	if err != nil {
 		return miner.Options{}, err
 	}
-	sampleSize := o.SampleSize
-	if sampleSize == 0 && rows > 1000 {
-		sampleSize = 64
+	v, err := Variant(q.Variant).internal()
+	if err != nil {
+		return miner.Options{}, err
 	}
 	return miner.Options{
 		Variant:            v,
-		K:                  o.K,
-		SampleSize:         sampleSize,
-		Epsilon:            o.Epsilon,
-		Seed:               o.Seed,
-		SampleFraction:     o.SampleFraction,
-		EvaluateOnFullData: o.SampleFraction > 0 && o.SampleFraction < 1,
+		K:                  q.K,
+		SampleSize:         q.SampleSize,
+		Epsilon:            q.Epsilon,
+		Seed:               q.Seed,
+		SampleFraction:     q.SampleFraction,
+		EvaluateOnFullData: q.SampleFraction > 0 && q.SampleFraction < 1,
 	}, nil
 }
 
@@ -389,6 +470,33 @@ type ExploreOptions struct {
 	Cluster  Cluster
 	// Backend selects the execution substrate (default BackendNative).
 	Backend Backend
+}
+
+// Canonical normalizes exploration options into their canonical query
+// spec, mirroring Options.Canonical: defaults applied, stable encoding,
+// fingerprintable. Exploration always runs the optimized multi-rule miner
+// without candidate pruning (Section 5.6.2), so kind plus K/GroupBys/Seed
+// fully determine the answer.
+func (o ExploreOptions) Canonical() spec.QuerySpec {
+	q := spec.QuerySpec{
+		Version:  spec.Version,
+		Kind:     spec.KindExplore,
+		K:        o.K,
+		Variant:  string(VariantOptimized),
+		Epsilon:  0.01,
+		Seed:     o.Seed,
+		GroupBys: o.GroupBys,
+	}
+	if q.K <= 0 {
+		q.K = 10
+	}
+	if q.GroupBys <= 0 {
+		q.GroupBys = 2
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	return q
 }
 
 // ExploreResult carries the recommendations plus the prior the analyst is
