@@ -8,8 +8,15 @@
 // Usage:
 //
 //	sirumd [-addr :8080] [-inflight 16] [-cache 256] [-snapshot dir]
+//	       [-shard-id s0] [-advertise http://host:8080]
 //	sirumd -selftest [-dataset income] [-rows 5000] [-queries 64]
 //	       [-concurrency 8] [-k 3] [-sample 16]
+//
+// -shard-id and -advertise put the daemon in shard mode under a sirumr
+// router: the id labels the shard in health checks and metrics, and the
+// advertise address tells the cluster where to reach this daemon. A shard
+// run with -snapshot can be killed and restarted in place; the router
+// marks it down meanwhile and its sessions resume at their prior epochs.
 //
 // Endpoints:
 //
@@ -61,6 +68,8 @@ func run(args []string, out io.Writer) error {
 	inflight := fs.Int("inflight", 0, "max concurrently executing queries (0 = 2x cores); excess requests queue")
 	cache := fs.Int("cache", 0, "result cache entries (0 = 256 default, negative disables)")
 	snapshot := fs.String("snapshot", "", "session persistence directory: journal the registry and restore it on boot (empty disables)")
+	shardID := fs.String("shard-id", "", "logical shard name reported to routers via /v1/healthz and /v1/metrics (empty = standalone)")
+	advertise := fs.String("advertise", "", "address other nodes reach this daemon at, if it differs from -addr")
 	selftest := fs.Bool("selftest", false, "start on a loopback port, run the load generator and a restart-from-snapshot pass, and exit")
 	dataset := fs.String("dataset", "income", "selftest: built-in dataset backing the load session")
 	rows := fs.Int("rows", 5000, "selftest: dataset rows")
@@ -72,7 +81,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	conf := server.Config{MaxInFlight: *inflight, CacheEntries: *cache, SnapshotDir: *snapshot}
+	conf := server.Config{
+		MaxInFlight: *inflight, CacheEntries: *cache, SnapshotDir: *snapshot,
+		ShardID: *shardID, Advertise: *advertise,
+	}
 	if *selftest {
 		if conf.SnapshotDir == "" {
 			dir, err := os.MkdirTemp("", "sirumd-selftest-*")

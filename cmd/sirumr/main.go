@@ -1,0 +1,235 @@
+// Command sirumr is the sharding router for a multi-node sirumd cluster:
+// it serves the exact /v1 API of one daemon while placing every session on
+// one of N shard daemons by consistent hashing over the session's
+// canonical spec fingerprint (auto-id sessions hash their assigned id, so
+// identical anonymous specs still spread). Health checks mark shards down
+// and back up; a down shard's sessions answer clean 502/503 JSON errors
+// while every other shard serves unimpeded.
+//
+// Usage:
+//
+//	sirumr -shards http://h1:8080,http://h2:8080 [-addr :8090]
+//	       [-replicas 128] [-health 2s] [-timeout 2m]
+//	sirumr -selftest [-shard-count 3] [-sessions 32] [-dataset income]
+//	       [-rows 2000] [-queries 64] [-concurrency 8] [-k 3] [-sample 16]
+//
+// Cluster endpoints on top of the proxied /v1 surface:
+//
+//	GET  /v1/shards                    topology with health and session counts
+//	POST /v1/shards/{id}/drain         stop placing new sessions on a shard
+//	POST /v1/shards/{id}/undrain       resume placements
+//	GET  /v1/metrics                   cluster rollup of every shard's metrics
+//	GET  /v1/healthz                   ok | degraded | down
+//
+// The order of -shards is the cluster's identity: placement hashes shard
+// positions, so keep the list stable across router restarts.
+//
+// -selftest stands up an in-process cluster (shard daemons on loopback
+// ports plus the router) and drives the load generator through the router:
+// ≥32 sessions spread over the shards, a concurrent mixed query storm with
+// every same-spec answer cross-checked across shards, repeat queries
+// required to come back "cached": true through the proxy, and the
+// per-shard session balance required to stay under 2x the mean.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sirum/internal/router"
+	"sirum/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sirumr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sirumr", flag.ContinueOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	shards := fs.String("shards", "", "comma-separated shard base URLs, in stable topology order")
+	replicas := fs.Int("replicas", 0, "virtual ring points per shard (0 = 128)")
+	health := fs.Duration("health", 0, "health-check interval (0 = 2s)")
+	timeout := fs.Duration("timeout", 0, "per-request proxy timeout (0 = 2m)")
+	selftest := fs.Bool("selftest", false, "stand up an in-process cluster, drive the load generator through the router, verify balance/cache/consistency, and exit")
+	shardCount := fs.Int("shard-count", 3, "selftest: in-process shard daemons to stand up")
+	sessions := fs.Int("sessions", 32, "selftest: sessions to spread over the shards (minimum 32; the balance bound is judged over them)")
+	dataset := fs.String("dataset", "income", "selftest: built-in dataset backing the load sessions")
+	rows := fs.Int("rows", 2000, "selftest: dataset rows per session")
+	queries := fs.Int("queries", 64, "selftest: total queries to fire")
+	concurrency := fs.Int("concurrency", 8, "selftest: concurrent client workers")
+	k := fs.Int("k", 3, "selftest: rules per query")
+	sample := fs.Int("sample", 16, "selftest: |s| for candidate pruning")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *selftest {
+		return runSelftest(out, *shardCount, server.LoadConfig{
+			Dataset:     *dataset,
+			Rows:        *rows,
+			Queries:     *queries,
+			Concurrency: *concurrency,
+			K:           *k,
+			SampleSize:  *sample,
+			Sessions:    *sessions,
+		})
+	}
+
+	if *shards == "" {
+		return errors.New("-shards is required (comma-separated shard URLs)")
+	}
+	rt, err := router.New(router.Config{
+		Shards:         strings.Split(*shards, ","),
+		Replicas:       *replicas,
+		HealthInterval: *health,
+		Timeout:        *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Close()
+	return serve(out, rt, *addr)
+}
+
+// serve runs the router until SIGINT/SIGTERM. The router holds no
+// sessions, so draining is only the HTTP server's concern.
+func serve(out io.Writer, rt *router.Router, addr string) error {
+	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(out, "sirumr listening on %s\n", addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "sirumr draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutdownCtx)
+}
+
+// shardDaemon is one in-process selftest shard: an app server on a
+// loopback listener.
+type shardDaemon struct {
+	srv  *server.Server
+	http *http.Server
+	base string
+}
+
+func startShard(id string) (*shardDaemon, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{ShardID: id, Advertise: "http://" + ln.Addr().String()})
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &shardDaemon{srv: srv, http: hs, base: "http://" + ln.Addr().String()}, nil
+}
+
+func (d *shardDaemon) stop() {
+	d.http.Close()
+	d.srv.Close()
+}
+
+// runSelftest proves the routed cluster end to end: shards up, router up,
+// the load storm spread over the ring, then the three routed-serving
+// acceptance checks — cross-shard consistency, cache hits through the
+// proxy, and per-shard balance within 2x of the mean.
+func runSelftest(out io.Writer, shardCount int, cfg server.LoadConfig) error {
+	if shardCount < 2 {
+		return fmt.Errorf("selftest needs at least 2 shards, got %d", shardCount)
+	}
+	if cfg.Sessions < 32 {
+		return fmt.Errorf("selftest needs -sessions >= 32 for the balance bound to mean anything, got %d", cfg.Sessions)
+	}
+	var daemons []*shardDaemon
+	defer func() {
+		for _, d := range daemons {
+			d.stop()
+		}
+	}()
+	bases := make([]string, 0, shardCount)
+	for i := 0; i < shardCount; i++ {
+		d, err := startShard(fmt.Sprintf("s%d", i))
+		if err != nil {
+			return err
+		}
+		daemons = append(daemons, d)
+		bases = append(bases, d.base)
+	}
+	rt, err := router.New(router.Config{Shards: bases})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	routerSrv := &http.Server{Handler: rt.Handler()}
+	go routerSrv.Serve(ln)
+	defer routerSrv.Close()
+	cfg.BaseURL = "http://" + ln.Addr().String()
+
+	fmt.Fprintf(out, "selftest: %d queries x %d workers over %d sessions on %d shards (%s, %d rows)\n",
+		cfg.Queries, cfg.Concurrency, cfg.Sessions, shardCount, cfg.Dataset, cfg.Rows)
+	rep, err := server.RunLoad(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, rep)
+	if rep.Errors > 0 {
+		return fmt.Errorf("selftest: %d of %d queries failed: %s", rep.Errors, rep.Queries, rep.FirstError)
+	}
+	if rep.Consistency != "verified" {
+		return fmt.Errorf("selftest: cross-shard consistency not verified: %s", rep.Consistency)
+	}
+	if rep.CacheHits == 0 {
+		return errors.New("selftest: no repeat query reported \"cached\": true through the proxy")
+	}
+	if len(rep.ShardSessions) != shardCount {
+		return fmt.Errorf("selftest: balance report covers %d shards, want %d", len(rep.ShardSessions), shardCount)
+	}
+	var total, max int64
+	for _, n := range rep.ShardSessions {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total < int64(cfg.Sessions) {
+		return fmt.Errorf("selftest: balance judged over %d sessions, want >= %d", total, cfg.Sessions)
+	}
+	mean := float64(total) / float64(shardCount)
+	if float64(max) > 2*mean {
+		return fmt.Errorf("selftest: shard imbalance: max %d sessions vs mean %.1f (over 2x)", max, mean)
+	}
+	fmt.Fprintf(out, "balance: max %d sessions per shard vs mean %.1f over %d sessions — within 2x\n", max, mean, total)
+	return nil
+}

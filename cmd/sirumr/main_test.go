@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelftestSmoke stands the in-process cluster up — 3 shard daemons, the
+// router, the load generator spreading 32 sessions over the ring — and
+// requires the three routed-serving acceptance checks to pass: zero errors
+// with cross-shard consistency verified, repeat queries cached through the
+// proxy, and per-shard balance within 2x of the mean.
+func TestSelftestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest mines real queries")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-selftest", "-dataset", "income", "-rows", "400",
+		"-queries", "24", "-concurrency", "4", "-k", "2", "-sessions", "32",
+	}, &out)
+	if err != nil {
+		t.Fatalf("selftest failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"on 3 shards", "errors: 0", "consistency: verified",
+		"cache hits:", "shard balance:", "within 2x",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("selftest output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}, &strings.Builder{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{}, &strings.Builder{}); err == nil {
+		t.Error("serve mode without -shards accepted")
+	}
+	if err := run([]string{"-selftest", "-shard-count", "1"}, &strings.Builder{}); err == nil {
+		t.Error("single-shard selftest accepted; it would prove nothing about routing")
+	}
+}

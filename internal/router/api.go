@@ -1,0 +1,43 @@
+package router
+
+// The router's own wire types. Everything under /v1/datasets speaks the
+// shard API (internal/server's types) verbatim — the router is transparent
+// there — so only the cluster-control surface is defined here.
+
+// ShardInfo describes one shard as the router sees it.
+type ShardInfo struct {
+	// Index is the shard's position in the configured topology; placement
+	// hashes it, so it is the shard's durable identity.
+	Index int `json:"index"`
+	// ID is the shard's logical name: its sirumd -shard-id when the daemon
+	// reports one, else "s<index>".
+	ID string `json:"id"`
+	// Base is the URL the router proxies to.
+	Base string `json:"base"`
+	// Up is the last health verdict; a down shard's sessions answer 503
+	// until it returns.
+	Up bool `json:"up"`
+	// Draining shards serve their existing sessions but receive no new ones.
+	Draining bool `json:"draining"`
+	// Sessions is the session count last observed on the shard.
+	Sessions int64 `json:"sessions"`
+	// LastError is the most recent health-check or proxy failure, kept
+	// across recoveries for postmortems.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ShardsResponse is GET /v1/shards: the cluster topology with health.
+type ShardsResponse struct {
+	Shards []ShardInfo `json:"shards"`
+}
+
+// HealthResponse is the router's GET /v1/healthz: "ok" with every shard
+// up, "degraded" with some down, "down" with none reachable.
+type HealthResponse struct {
+	Status      string `json:"status"`
+	Shards      int    `json:"shards"`
+	ShardsUp    int    `json:"shards_up"`
+	Sessions    int    `json:"sessions"`
+	Proxied     int64  `json:"proxied"`
+	ProxyErrors int64  `json:"proxy_errors"`
+}

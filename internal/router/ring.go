@@ -1,0 +1,62 @@
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is the consistent-hash ring placement runs on: replicas virtual
+// points per shard, each a hash of the shard's *position* in the configured
+// topology — deliberately not its address. Hashing positions makes
+// placement a pure function of (key, shard count, replicas): the same key
+// lands on the same shard across router restarts, re-deployments that move
+// shards to new ports, and test runs on ephemeral listeners. The cost is
+// that the order of Config.Shards is part of the cluster's identity and
+// must stay stable across restarts, which a static topology gives for free.
+type ring struct {
+	shards int
+	points []ringPoint // sorted by hash, ties broken by shard index
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+func newRing(shards, replicas int) *ring {
+	r := &ring{shards: shards, points: make([]ringPoint, 0, shards*replicas)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("shard-%d#%d", s, v)))
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// walk returns every shard index in ring order starting from key's
+// successor point, each shard listed once. The first entry is the key's
+// home shard; the rest are the fallback order a placement uses when the
+// home shard is down or draining.
+func (r *ring) walk(key [32]byte) []int {
+	k := binary.BigEndian.Uint64(key[:8])
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= k })
+	out := make([]int, 0, r.shards)
+	seen := make(map[int]bool, r.shards)
+	for n := 0; n < len(r.points) && len(out) < r.shards; n++ {
+		p := r.points[(start+n)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}

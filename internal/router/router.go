@@ -1,0 +1,639 @@
+// Package router implements sirumr: a sharding router that fronts N sirumd
+// shard daemons and serves the same /v1 API as one big daemon. The paper's
+// premise is that informative rule mining scales out across workers; one
+// daemon scales queries across cores, and the router is the next rung —
+// sessions spread across machines, each held by exactly one shard.
+//
+// Placement is consistent hashing over the session's canonical identity
+// (internal/spec): a create with an explicit id routes by its dataset
+// spec fingerprint, computable from the request body alone, so sessions
+// over identical sources co-locate and share their shard's result cache;
+// anonymous auto-id creates route by the router-assigned session id, which
+// spreads identical-spec sessions evenly instead. The ring hashes shard
+// *positions*, not addresses, so placement survives restarts and moves.
+//
+// The router keeps a session→shard table (rebuilt from shard listings on
+// boot and on lookup misses, so restarted routers and snapshot-restored
+// shards converge), health-checks every shard, and marks shards down on
+// failed checks or proxy transport errors. Requests for a down shard's
+// sessions fail fast with 502/503 JSON errors while every other shard
+// serves unimpeded; a shard restarted from its -snapshot directory is
+// marked up again and its sessions resume at their prior epochs.
+// GET /v1/datasets merges the healthy shards' listings; GET /v1/metrics
+// rolls their metric families up into one document, per-shard series
+// labelled by shard.
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sirum/internal/server"
+	"sirum/internal/spec"
+)
+
+// Config wires a router to its shard topology.
+type Config struct {
+	// Shards are the shard daemons' base URLs, in topology order. The order
+	// is part of the cluster identity — placement hashes positions — so it
+	// must stay stable across router restarts.
+	Shards []string
+	// Replicas is the number of virtual ring points per shard (default 128;
+	// more points, smoother balance).
+	Replicas int
+	// HealthInterval spaces the background health sweeps (default 2s;
+	// negative disables the loop — tests drive CheckHealth directly).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (default 2s).
+	HealthTimeout time.Duration
+	// Timeout bounds one proxied request (default 2 minutes, matching the
+	// load generator's ceiling for a cold mine).
+	Timeout time.Duration
+	// MaxBodyBytes caps a request body before it is forwarded (default
+	// 64 MiB, the shard daemons' own cap).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 128
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// shard is one backend daemon: clients, health state and observed load.
+type shard struct {
+	index  int
+	base   string
+	client *server.Client // data plane, Config.Timeout
+	health *server.Client // health probes, Config.HealthTimeout
+
+	down     atomic.Bool
+	draining atomic.Bool
+	sessions atomic.Int64 // last observed session count
+	id       atomic.Value // string: logical shard id ("s<index>" until healthz reports one)
+	lastErr  atomic.Value // string: most recent failure, kept across recoveries
+}
+
+// label returns the shard's logical id for errors, metrics and /v1/shards.
+func (sh *shard) label() string { return sh.id.Load().(string) }
+
+func (sh *shard) lastError() string {
+	if v := sh.lastErr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// Router fronts the shard set. Create with New, optionally Start the
+// health loop, serve via Handler, stop with Close.
+type Router struct {
+	conf   Config
+	mux    *http.ServeMux
+	shards []*shard
+	ring   *ring
+
+	mu         sync.Mutex
+	table      map[string]*shard // session id → home shard
+	nextID     int               // auto-assigned session ids r1, r2, ...
+	lastResync time.Time
+
+	proxied   atomic.Int64 // requests relayed to a shard (any status)
+	proxyErrs atomic.Int64 // transport failures talking to shards
+
+	loop     sync.Once
+	stop     chan struct{}
+	loopDone chan struct{}
+}
+
+// New builds a router over the given topology and primes its view of the
+// cluster with one synchronous health sweep and table resync — best
+// effort: unreachable shards start marked down rather than failing boot.
+func New(conf Config) (*Router, error) {
+	conf = conf.withDefaults()
+	if len(conf.Shards) == 0 {
+		return nil, errors.New("router: at least one shard is required")
+	}
+	seen := make(map[string]bool, len(conf.Shards))
+	rt := &Router{
+		conf:     conf,
+		mux:      http.NewServeMux(),
+		ring:     newRing(len(conf.Shards), conf.Replicas),
+		table:    make(map[string]*shard),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	for i, base := range conf.Shards {
+		base = strings.TrimRight(base, "/")
+		if base == "" {
+			return nil, fmt.Errorf("router: shard %d has an empty URL", i)
+		}
+		if seen[base] {
+			return nil, fmt.Errorf("router: shard URL %q listed twice", base)
+		}
+		seen[base] = true
+		sh := &shard{
+			index:  i,
+			base:   base,
+			client: &server.Client{BaseURL: base, HTTP: &http.Client{Timeout: conf.Timeout}},
+			health: &server.Client{BaseURL: base, HTTP: &http.Client{Timeout: conf.HealthTimeout}},
+		}
+		sh.id.Store(fmt.Sprintf("s%d", i))
+		rt.shards = append(rt.shards, sh)
+	}
+	rt.mux.HandleFunc("POST /v1/datasets", rt.wrap(rt.handleCreate))
+	rt.mux.HandleFunc("GET /v1/datasets", rt.wrap(rt.handleList))
+	rt.mux.HandleFunc("GET /v1/datasets/{id}", rt.wrap(rt.handleSession))
+	rt.mux.HandleFunc("DELETE /v1/datasets/{id}", rt.wrap(rt.handleSession))
+	rt.mux.HandleFunc("POST /v1/datasets/{id}/{op}", rt.wrap(rt.handleSession))
+	rt.mux.HandleFunc("GET /v1/metrics", rt.wrap(rt.handleMetrics))
+	rt.mux.HandleFunc("GET /v1/healthz", rt.wrap(rt.handleHealth))
+	rt.mux.HandleFunc("GET /v1/shards", rt.wrap(rt.handleShards))
+	rt.mux.HandleFunc("POST /v1/shards/{id}/drain", rt.wrap(rt.handleDrain(true)))
+	rt.mux.HandleFunc("POST /v1/shards/{id}/undrain", rt.wrap(rt.handleDrain(false)))
+	rt.CheckHealth()
+	rt.Resync()
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler: the full /v1 shard surface
+// plus the /v1/shards cluster-control endpoints.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Start launches the background health loop. Safe to call once; Close
+// stops it.
+func (rt *Router) Start() {
+	if rt.conf.HealthInterval < 0 {
+		return
+	}
+	rt.loop.Do(func() {
+		go func() {
+			defer close(rt.loopDone)
+			t := time.NewTicker(rt.conf.HealthInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-rt.stop:
+					return
+				case <-t.C:
+					rt.CheckHealth()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the health loop. The shards are not touched: the router owns
+// no sessions, only the map of where they live.
+func (rt *Router) Close() error {
+	select {
+	case <-rt.stop:
+	default:
+		close(rt.stop)
+	}
+	if rt.conf.HealthInterval >= 0 {
+		rt.loop.Do(func() { close(rt.loopDone) }) // loop never started
+		<-rt.loopDone
+	}
+	return nil
+}
+
+// CheckHealth probes every shard once, concurrently, flipping down/up
+// marks and refreshing observed session counts and logical shard ids.
+func (rt *Router) CheckHealth() {
+	var wg sync.WaitGroup
+	for _, sh := range rt.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			h, err := sh.health.Health()
+			if err != nil {
+				rt.markDown(sh, err)
+				return
+			}
+			sh.sessions.Store(int64(h.Sessions))
+			if h.ShardID != "" {
+				sh.id.Store(h.ShardID)
+			}
+			sh.down.Store(false)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// markDown records a shard failure: the shard stops receiving placements
+// and its sessions answer 503 until a health check sees it again.
+func (rt *Router) markDown(sh *shard, err error) {
+	sh.lastErr.Store(err.Error())
+	sh.down.Store(true)
+}
+
+// Resync refreshes the session table from the healthy shards' listings
+// and returns the merged listing. It merges rather than replaces: a
+// listing is a snapshot taken before concurrent creates commit, so an
+// entry absent from every listing is kept, not dropped — sessions mapped
+// to down shards still live there (forgetting them would turn "shard
+// down" (503) into "no such dataset" (404)), just-created sessions would
+// otherwise 404 behind the resync throttle, and a genuinely stale entry
+// self-heals when the shard's 404 passes through handleSession and drops
+// it.
+func (rt *Router) Resync() []server.SessionInfo {
+	type result struct {
+		sh   *shard
+		list server.ListResponse
+		err  error
+	}
+	results := make([]result, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		if sh.down.Load() {
+			results[i] = result{sh: sh, err: errors.New("down")}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			list, err := sh.client.ListSessions()
+			results[i] = result{sh: sh, list: list, err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+
+	newTable := make(map[string]*shard)
+	var merged []server.SessionInfo
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		res.sh.sessions.Store(int64(len(res.list.Sessions)))
+		for _, info := range res.list.Sessions {
+			if _, dup := newTable[info.ID]; dup {
+				continue // split-brain id: first shard in topology order wins
+			}
+			newTable[info.ID] = res.sh
+			merged = append(merged, info)
+		}
+	}
+	rt.mu.Lock()
+	for id, sh := range newTable {
+		rt.table[id] = sh
+	}
+	rt.lastResync = time.Now()
+	rt.mu.Unlock()
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	return merged
+}
+
+// maybeResync runs Resync unless one ran in the last quarter second — the
+// lookup-miss path must not let a storm of unknown-id requests fan out to
+// every shard per request.
+func (rt *Router) maybeResync() {
+	rt.mu.Lock()
+	recent := time.Since(rt.lastResync) < 250*time.Millisecond
+	rt.mu.Unlock()
+	if !recent {
+		rt.Resync()
+	}
+}
+
+// Place returns the base URL of the shard a routing key places on right
+// now: the key's home shard, or the next ring successor while the home
+// shard is down or draining. This is the placement hook tests and
+// operators use to predict where a session will land.
+func (rt *Router) Place(key [32]byte) (string, error) {
+	sh, err := rt.place(key)
+	if err != nil {
+		return "", err
+	}
+	return sh.base, nil
+}
+
+func (rt *Router) place(key [32]byte) (*shard, error) {
+	for _, idx := range rt.ring.walk(key) {
+		sh := rt.shards[idx]
+		if !sh.down.Load() && !sh.draining.Load() {
+			return sh, nil
+		}
+	}
+	return nil, errf(http.StatusServiceUnavailable, "no healthy shard accepts new sessions")
+}
+
+// locate resolves a session id to its home shard, resyncing the table once
+// on a miss so restarted routers and snapshot-restored shards converge.
+func (rt *Router) locate(id string) *shard {
+	rt.mu.Lock()
+	sh := rt.table[id]
+	rt.mu.Unlock()
+	if sh != nil {
+		return sh
+	}
+	rt.maybeResync()
+	rt.mu.Lock()
+	sh = rt.table[id]
+	rt.mu.Unlock()
+	return sh
+}
+
+func (rt *Router) setTable(id string, sh *shard) {
+	rt.mu.Lock()
+	rt.table[id] = sh
+	rt.mu.Unlock()
+}
+
+func (rt *Router) dropTable(id string) {
+	rt.mu.Lock()
+	delete(rt.table, id)
+	rt.mu.Unlock()
+}
+
+// assignID picks the next free auto id. Auto-id sessions route by this
+// name (spec.RoutingKeyForID), so a burst of identical anonymous specs
+// spreads across the ring instead of piling onto one shard.
+func (rt *Router) assignID() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for {
+		rt.nextID++
+		id := fmt.Sprintf("r%d", rt.nextID)
+		if _, exists := rt.table[id]; !exists {
+			return id
+		}
+	}
+}
+
+// apiError, errf, writeJSON and wrap mirror the shard daemon's uniform
+// JSON error surface, so clients cannot tell a router error from a shard
+// error by shape.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) error {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (rt *Router) wrap(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := h(w, r); err != nil {
+			status, msg := http.StatusInternalServerError, err.Error()
+			var ae *apiError
+			if errors.As(err, &ae) {
+				status, msg = ae.status, ae.msg
+			}
+			writeJSON(w, status, server.ErrorResponse{Error: msg})
+		}
+	}
+}
+
+// readBody drains a request body under the router's size cap.
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.conf.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, errf(http.StatusRequestEntityTooLarge, "request body over %d bytes", tooLarge.Limit)
+		}
+		return nil, errf(http.StatusBadRequest, "reading request body: %v", err)
+	}
+	return body, nil
+}
+
+// relay writes a shard's raw response through unchanged.
+func relay(w http.ResponseWriter, raw *server.RawResponse) {
+	if raw.ContentType != "" {
+		w.Header().Set("Content-Type", raw.ContentType)
+	}
+	w.WriteHeader(raw.Status)
+	w.Write(raw.Body)
+}
+
+// forward proxies one request to a shard, converting transport failures
+// into a mark-down plus a 502 — the shard is unreachable, which is not the
+// client's fault and not a router bug.
+func (rt *Router) forward(sh *shard, method, path, contentType string, body []byte) (*server.RawResponse, error) {
+	raw, err := sh.client.DoRaw(method, path, contentType, body)
+	if err != nil {
+		rt.proxyErrs.Add(1)
+		rt.markDown(sh, err)
+		return nil, errf(http.StatusBadGateway, "shard %s is unreachable: %v", sh.label(), err)
+	}
+	rt.proxied.Add(1)
+	return raw, nil
+}
+
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) error {
+	body, err := rt.readBody(w, r)
+	if err != nil {
+		return err
+	}
+	var req server.CreateRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return errf(http.StatusBadRequest, "bad request body: %v", err)
+	}
+
+	var key [32]byte
+	if req.ID == "" {
+		req.ID = rt.assignID()
+		key = spec.RoutingKeyForID(req.ID)
+		// The body changed (an id was assigned), so re-encode it for the
+		// shard; explicit-id bodies forward byte-identical.
+		if body, err = json.Marshal(req); err != nil {
+			return err
+		}
+	} else {
+		if !server.ValidSessionID(req.ID) {
+			return errf(http.StatusBadRequest, "session id %q: want 1-64 chars of [A-Za-z0-9._-], starting alphanumeric", req.ID)
+		}
+		rt.mu.Lock()
+		_, exists := rt.table[req.ID]
+		rt.mu.Unlock()
+		if exists {
+			return errf(http.StatusConflict, "dataset %q already exists", req.ID)
+		}
+		ds, err := req.DatasetSpec()
+		if err != nil {
+			// Every DatasetSpec failure is a malformed source description;
+			// the shard would reject it with 400 too, just one hop later.
+			return errf(http.StatusBadRequest, "%v", err)
+		}
+		key = spec.RoutingKey(ds)
+		// A named create whose home shard is down must wait, not fall
+		// through the ring: the router cannot prove the id unused on a
+		// shard it cannot reach, and landing the name elsewhere would
+		// split-brain it when the shard returns with its sessions.
+		// (Draining is different — a draining shard is reachable and its
+		// sessions are in the table, so the successor is safe.)
+		if home := rt.shards[rt.ring.walk(key)[0]]; home.down.Load() {
+			return errf(http.StatusServiceUnavailable,
+				"home shard %s for dataset %q is down; retry when it returns", home.label(), req.ID)
+		}
+	}
+
+	sh, err := rt.place(key)
+	if err != nil {
+		return err
+	}
+	raw, err := rt.forward(sh, "POST", "/v1/datasets", "application/json", body)
+	if err != nil {
+		return err
+	}
+	if raw.Status == http.StatusCreated {
+		rt.setTable(req.ID, sh)
+		sh.sessions.Add(1)
+	}
+	relay(w, raw)
+	return nil
+}
+
+// handleSession proxies every per-session operation — get, delete, mine,
+// explore, append — to the session's home shard.
+func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	path := "/v1/datasets/" + id
+	switch op := r.PathValue("op"); op {
+	case "":
+	case "mine", "explore", "append":
+		path += "/" + op
+	default:
+		return errf(http.StatusNotFound, "unknown operation %q", op)
+	}
+	sh := rt.locate(id)
+	if sh == nil {
+		return errf(http.StatusNotFound, "unknown dataset %q", id)
+	}
+	if sh.down.Load() {
+		return errf(http.StatusServiceUnavailable, "dataset %q lives on shard %s, which is marked down", id, sh.label())
+	}
+	var body []byte
+	if r.Method == http.MethodPost {
+		var err error
+		if body, err = rt.readBody(w, r); err != nil {
+			return err
+		}
+	}
+	raw, err := rt.forward(sh, r.Method, path, r.Header.Get("Content-Type"), body)
+	if err != nil {
+		return err
+	}
+	switch {
+	case r.Method == http.MethodDelete && raw.Status == http.StatusNoContent:
+		rt.dropTable(id)
+		sh.sessions.Add(-1)
+	case raw.Status == http.StatusNotFound:
+		// The table thought the session lived there but the shard disagrees
+		// (e.g. it restarted without its snapshot): forget the stale entry
+		// so the next lookup resyncs instead of bouncing off it forever.
+		rt.dropTable(id)
+	}
+	relay(w, raw)
+	return nil
+}
+
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) error {
+	merged := rt.Resync()
+	if merged == nil {
+		merged = []server.SessionInfo{}
+	}
+	writeJSON(w, http.StatusOK, server.ListResponse{Sessions: merged})
+	return nil
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) error {
+	up := 0
+	for _, sh := range rt.shards {
+		if !sh.down.Load() {
+			up++
+		}
+	}
+	status := "ok"
+	switch {
+	case up == 0:
+		status = "down"
+	case up < len(rt.shards):
+		status = "degraded"
+	}
+	rt.mu.Lock()
+	sessions := len(rt.table)
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:      status,
+		Shards:      len(rt.shards),
+		ShardsUp:    up,
+		Sessions:    sessions,
+		Proxied:     rt.proxied.Load(),
+		ProxyErrors: rt.proxyErrs.Load(),
+	})
+	return nil
+}
+
+func (rt *Router) shardInfos() []ShardInfo {
+	infos := make([]ShardInfo, 0, len(rt.shards))
+	for _, sh := range rt.shards {
+		infos = append(infos, ShardInfo{
+			Index:     sh.index,
+			ID:        sh.label(),
+			Base:      sh.base,
+			Up:        !sh.down.Load(),
+			Draining:  sh.draining.Load(),
+			Sessions:  sh.sessions.Load(),
+			LastError: sh.lastError(),
+		})
+	}
+	return infos
+}
+
+func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, ShardsResponse{Shards: rt.shardInfos()})
+	return nil
+}
+
+// handleDrain flips a shard's draining mark by logical id: a draining
+// shard keeps serving its sessions but receives no new placements, the
+// graceful half of decommissioning.
+func (rt *Router) handleDrain(drain bool) func(w http.ResponseWriter, r *http.Request) error {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		id := r.PathValue("id")
+		for _, sh := range rt.shards {
+			if sh.label() == id || fmt.Sprintf("s%d", sh.index) == id {
+				sh.draining.Store(drain)
+				writeJSON(w, http.StatusOK, rt.shardInfos()[sh.index])
+				return nil
+			}
+		}
+		return errf(http.StatusNotFound, "unknown shard %q", id)
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"time"
 
 	"sirum"
+	"sirum/internal/spec"
 )
 
 // The wire types of sirumd's HTTP/JSON API. Field names are snake_case on
@@ -60,6 +62,51 @@ type CreateRequest struct {
 	// Prepare configures the prepare-once phase.
 	Prepare PrepareSpec `json:"prepare,omitempty"`
 }
+
+// sourceSpec computes the canonical identity of the dataset this request
+// would create, applying the same defaults buildDataset applies — without
+// materializing any rows. Validation errors match buildDataset's.
+func (req CreateRequest) sourceSpec() (spec.DatasetSpec, error) {
+	switch {
+	case req.Generator != nil && req.CSV != "":
+		return spec.DatasetSpec{}, errf(http.StatusBadRequest, "use either generator or csv, not both")
+	case req.Generator != nil:
+		g := *req.Generator
+		if g.Rows <= 0 {
+			g.Rows = 10000
+		}
+		if g.Seed == 0 {
+			g.Seed = 1
+		}
+		return spec.DatasetSpec{Version: spec.Version, Generator: &spec.GeneratorSource{
+			Name: g.Name, Rows: g.Rows, Seed: g.Seed,
+		}}, nil
+	case req.CSV != "":
+		if req.Measure == "" {
+			return spec.DatasetSpec{}, errf(http.StatusBadRequest, "measure is required with csv")
+		}
+		ignore := append([]string(nil), req.Ignore...)
+		sort.Strings(ignore)
+		if len(ignore) == 0 {
+			ignore = nil
+		}
+		return spec.DatasetSpec{Version: spec.Version, CSV: &spec.CSVSource{
+			SHA256:  spec.HashBytes([]byte(req.CSV)),
+			Measure: req.Measure,
+			Ignore:  ignore,
+		}}, nil
+	default:
+		return spec.DatasetSpec{}, errf(http.StatusBadRequest, "one of generator or csv is required")
+	}
+}
+
+// DatasetSpec is the placement hook for shard routers: the canonical source
+// identity of the dataset this create request describes, computable before
+// any shard has prepared it. Its fingerprint equals the one the session
+// will report once prepared (generator defaults applied, CSV content
+// hashed, ignore columns sorted), so consistent hashing over it places the
+// session once and resolves it forever.
+func (req CreateRequest) DatasetSpec() (spec.DatasetSpec, error) { return req.sourceSpec() }
 
 // SessionInfo describes one registered session.
 type SessionInfo struct {
@@ -157,9 +204,13 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// HealthResponse reports daemon liveness and load.
+// HealthResponse reports daemon liveness and load. ShardID and Advertise
+// identify the daemon within a multi-node cluster when it was started in
+// shard mode; routers read them off health checks.
 type HealthResponse struct {
 	Status      string `json:"status"`
+	ShardID     string `json:"shard_id,omitempty"`
+	Advertise   string `json:"advertise,omitempty"`
 	Sessions    int    `json:"sessions"`
 	InFlight    int    `json:"in_flight"`
 	Queued      int64  `json:"queued"`
@@ -216,6 +267,120 @@ func (c *Client) Do(method, path string, in, out any) error {
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
 	return nil
+}
+
+// The typed shard API: one method per endpoint, shared by the router's
+// control plane, the load generator and the selftests. Data-plane request
+// *forwarding* uses DoRaw instead, so a router never re-interprets bodies
+// it only needs to relay.
+
+// CreateSession registers a prepared session and returns its info.
+func (c *Client) CreateSession(req CreateRequest) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.Do("POST", "/v1/datasets", req, &info)
+	return info, err
+}
+
+// ListSessions enumerates the registered sessions.
+func (c *Client) ListSessions() (ListResponse, error) {
+	var list ListResponse
+	err := c.Do("GET", "/v1/datasets", nil, &list)
+	return list, err
+}
+
+// GetSession fetches one session with lifetime stats.
+func (c *Client) GetSession(id string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.Do("GET", "/v1/datasets/"+id, nil, &info)
+	return info, err
+}
+
+// DeleteSession closes and unregisters a session.
+func (c *Client) DeleteSession(id string) error {
+	return c.Do("DELETE", "/v1/datasets/"+id, nil, nil)
+}
+
+// Mine runs one mining query against a session.
+func (c *Client) Mine(id string, req MineRequest) (MineResponse, error) {
+	var resp MineResponse
+	err := c.Do("POST", "/v1/datasets/"+id+"/mine", req, &resp)
+	return resp, err
+}
+
+// Explore runs one data-cube exploration query against a session.
+func (c *Client) Explore(id string, req ExploreRequest) (ExploreResponse, error) {
+	var resp ExploreResponse
+	err := c.Do("POST", "/v1/datasets/"+id+"/explore", req, &resp)
+	return resp, err
+}
+
+// AppendRows folds new tuples into a session.
+func (c *Client) AppendRows(id string, req AppendRequest) (AppendResponse, error) {
+	var resp AppendResponse
+	err := c.Do("POST", "/v1/datasets/"+id+"/append", req, &resp)
+	return resp, err
+}
+
+// Health fetches the daemon's liveness and load counters.
+func (c *Client) Health() (HealthResponse, error) {
+	var resp HealthResponse
+	err := c.Do("GET", "/v1/healthz", nil, &resp)
+	return resp, err
+}
+
+// MetricsText fetches the Prometheus-style metrics document.
+func (c *Client) MetricsText() (string, error) {
+	raw, err := c.DoRaw("GET", "/v1/metrics", "", nil)
+	if err != nil {
+		return "", err
+	}
+	if raw.Status != http.StatusOK {
+		return "", fmt.Errorf("GET /v1/metrics: status %d", raw.Status)
+	}
+	return string(raw.Body), nil
+}
+
+// RawResponse is one un-decoded HTTP exchange result: what a proxy relays.
+type RawResponse struct {
+	Status      int
+	ContentType string
+	Body        []byte
+}
+
+// DoRaw performs one round trip without interpreting the response: any HTTP
+// status comes back as a RawResponse for the caller to relay verbatim, and
+// the returned error is reserved for transport failures — the signal a
+// router uses to mark a shard down.
+func (c *Client) DoRaw(method, path, contentType string, body []byte) (*RawResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &RawResponse{
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        buf,
+	}, nil
 }
 
 func publicRules(rules []sirum.Rule) []RuleJSON {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +35,14 @@ type LoadConfig struct {
 	// report's cache hit rate is meaningful. 1 sends identical queries
 	// only.
 	DistinctSeeds int
+	// Sessions spreads the storm over this many sessions instead of one
+	// (default 1). All sessions share one spec, so every same-seed answer
+	// must match no matter which session — or, behind a router, which
+	// shard — served it. Sessions beyond the first are created with auto
+	// ids, which is what a router spreads across its ring; when the target
+	// exposes /v1/shards (a router), the report includes the per-shard
+	// session balance.
+	Sessions int
 	// Timeout per request (default 2 minutes).
 	Timeout time.Duration
 }
@@ -63,6 +72,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.DistinctSeeds <= 0 {
 		c.DistinctSeeds = 4
 	}
+	if c.Sessions <= 0 {
+		c.Sessions = 1
+	}
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Minute
 	}
@@ -86,17 +98,34 @@ type LoadReport struct {
 	InfoGain    float64       `json:"info_gain"`   // from the baseline mine
 	RuleCount   int           `json:"rule_count"`  // rules in the baseline mine
 	Consistency string        `json:"consistency"` // "verified": same-spec responses all matched
+	// Sessions is how many sessions the storm was spread over; when the
+	// target is a router, ShardSessions reports how many landed per shard.
+	Sessions      int              `json:"sessions"`
+	ShardSessions map[string]int64 `json:"shard_sessions,omitempty"`
 }
 
 // String renders the report for terminals.
 func (r *LoadReport) String() string {
-	return fmt.Sprintf(
-		"queries: %d (%d mine, %d explore)   errors: %d\nwall: %v   throughput: %.1f q/s   cache hits: %d/%d (%.0f%%)\nlatency p50: %v   p95: %v   max: %v\nbaseline: %d rules, info gain %.4f   consistency: %s",
-		r.Queries, r.Mines, r.Explores, r.Errors,
+	s := fmt.Sprintf(
+		"queries: %d (%d mine, %d explore) over %d sessions   errors: %d\nwall: %v   throughput: %.1f q/s   cache hits: %d/%d (%.0f%%)\nlatency p50: %v   p95: %v   max: %v\nbaseline: %d rules, info gain %.4f   consistency: %s",
+		r.Queries, r.Mines, r.Explores, r.Sessions, r.Errors,
 		r.Wall.Round(time.Millisecond), r.Throughput,
 		r.CacheHits, r.Queries, 100*r.CacheRate,
 		r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond), r.Max.Round(time.Millisecond),
 		r.RuleCount, r.InfoGain, r.Consistency)
+	if len(r.ShardSessions) > 0 {
+		ids := make([]string, 0, len(r.ShardSessions))
+		for id := range r.ShardSessions {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		parts := make([]string, 0, len(ids))
+		for _, id := range ids {
+			parts = append(parts, fmt.Sprintf("%s=%d", id, r.ShardSessions[id]))
+		}
+		s += "\nshard balance: " + strings.Join(parts, "  ")
+	}
+	return s
 }
 
 // RunLoad fires cfg.Queries mixed mine/explore queries at cfg.Concurrency
@@ -111,22 +140,31 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
 	c := &Client{BaseURL: cfg.BaseURL, HTTP: &http.Client{Timeout: cfg.Timeout}}
 
-	var created SessionInfo
-	err := c.Do("POST", "/v1/datasets", CreateRequest{
-		Generator: &GeneratorSpec{Name: cfg.Dataset, Rows: cfg.Rows, Seed: 1},
-		Prepare:   PrepareSpec{SampleSize: cfg.SampleSize, Seed: 1},
-	}, &created)
-	if err != nil {
-		return nil, fmt.Errorf("creating load session: %w", err)
+	// All sessions share one spec; creation is sequential so auto ids —
+	// and therefore a router's id-hashed placement — are deterministic
+	// run to run.
+	paths := make([]string, 0, cfg.Sessions)
+	for s := 0; s < cfg.Sessions; s++ {
+		created, err := c.CreateSession(CreateRequest{
+			Generator: &GeneratorSpec{Name: cfg.Dataset, Rows: cfg.Rows, Seed: 1},
+			Prepare:   PrepareSpec{SampleSize: cfg.SampleSize, Seed: 1},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("creating load session %d: %w", s, err)
+		}
+		paths = append(paths, "/v1/datasets/"+created.ID)
 	}
-	sessionPath := "/v1/datasets/" + created.ID
-	defer c.Do("DELETE", sessionPath, nil, nil)
+	defer func() {
+		for _, p := range paths {
+			c.Do("DELETE", p, nil, nil)
+		}
+	}()
 
 	mineReq := func(seed int64) MineRequest {
 		return MineRequest{K: cfg.K, SampleSize: cfg.SampleSize, Seed: seed}
 	}
 	var baseline MineResponse
-	if err := c.Do("POST", sessionPath+"/mine", mineReq(1), &baseline); err != nil {
+	if err := c.Do("POST", paths[0]+"/mine", mineReq(1), &baseline); err != nil {
 		return nil, fmt.Errorf("baseline mine: %w", err)
 	}
 
@@ -138,7 +176,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	var next atomic.Int64
 
 	// First response per mine seed (the explore storm shares one spec);
-	// later same-spec responses must match it exactly.
+	// later same-spec responses must match it exactly. The refs are keyed
+	// by seed alone even with many sessions: identical specs mean every
+	// session — on whichever shard — must produce the same answer, which is
+	// exactly the cross-shard correctness a routed cluster has to prove.
 	var refMu sync.Mutex
 	mineRefs := make(map[int64]*MineResponse)
 	var exploreRef *ExploreResponse
@@ -156,6 +197,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				}
 				explore := cfg.ExploreEvery > 0 && i%cfg.ExploreEvery == cfg.ExploreEvery-1
 				isExplore[i] = explore
+				sessionPath := paths[i%len(paths)]
 				qStart := time.Now()
 				if explore {
 					var resp ExploreResponse
@@ -214,7 +256,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		Wall:      wall,
 		InfoGain:  baseline.InfoGain,
 		RuleCount: len(baseline.Rules),
+		Sessions:  cfg.Sessions,
 	}
+	rep.ShardSessions = shardBalance(c)
 	if cfg.Queries > 0 {
 		rep.CacheRate = float64(rep.CacheHits) / float64(cfg.Queries)
 	}
@@ -245,6 +289,27 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.Consistency = fmt.Sprintf("%d mismatches", mismatches.Load())
 	}
 	return rep, nil
+}
+
+// shardBalance asks the target for its per-shard session counts. Only a
+// router answers /v1/shards; a plain daemon 404s and the report simply
+// omits the balance line. Decoded structurally to avoid importing the
+// router package (which imports this one).
+func shardBalance(c *Client) map[string]int64 {
+	var resp struct {
+		Shards []struct {
+			ID       string `json:"id"`
+			Sessions int64  `json:"sessions"`
+		} `json:"shards"`
+	}
+	if err := c.Do("GET", "/v1/shards", nil, &resp); err != nil || len(resp.Shards) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(resp.Shards))
+	for _, sh := range resp.Shards {
+		out[sh.ID] = sh.Sessions
+	}
+	return out
 }
 
 func sameRules(a, b []RuleJSON) bool {

@@ -25,6 +25,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	s.mu.Lock()
 	numSessions := len(s.sessions)
 	s.mu.Unlock()
+	if s.conf.ShardID != "" {
+		gauge("sirumd_shard_info", "Shard identity of this daemon within a multi-node cluster.",
+			1, fmt.Sprintf("{shard_id=%q,advertise=%q}", s.conf.ShardID, s.conf.Advertise))
+	}
 	gauge("sirumd_sessions", "Registered prepared sessions.", numSessions, "")
 	gauge("sirumd_in_flight", "Queries holding an execution slot right now.", len(s.sem), "")
 	gauge("sirumd_queued", "Queries waiting for an admission slot right now.", s.queued.Load(), "")

@@ -66,6 +66,14 @@ type Config struct {
 	// here on create/append/delete, and Restore re-prepares it on boot.
 	// Empty disables persistence.
 	SnapshotDir string
+	// ShardID names this daemon within a multi-node cluster; it is reported
+	// in /v1/healthz and /v1/metrics so a router can label the shard by its
+	// logical identity rather than its address. Empty for standalone daemons.
+	ShardID string
+	// Advertise is the address other nodes should reach this daemon at
+	// (routers dial it; it may differ from the listen address behind NAT or
+	// port mapping). Reported alongside ShardID.
+	Advertise string
 	// Now stamps session creation times (defaults to time.Now; tests pin it).
 	Now func() time.Time
 }
@@ -89,6 +97,11 @@ func (c Config) withDefaults() Config {
 // validSessionID bounds ids to a path- and label-safe alphabet: they name
 // snapshot files and metric labels, not just map keys.
 var validSessionID = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`).MatchString
+
+// ValidSessionID reports whether id is acceptable as a session name: 1-64
+// chars of [A-Za-z0-9._-], starting alphanumeric. Routers apply the same
+// rule before placing a create, so an invalid id is rejected without a hop.
+func ValidSessionID(id string) bool { return validSessionID(id) }
 
 // Server is the daemon state: the session registry, the result cache and
 // admission control. Create with New, optionally Restore from a snapshot
@@ -398,29 +411,18 @@ func (s *Server) cachePut(sess *session, key cacheKey, v any) {
 
 // buildDataset materializes the data source of a create request (also used
 // verbatim to rebuild journaled sessions on Restore, which is what keeps
-// restored fingerprints identical to the originals).
+// restored fingerprints identical to the originals). It normalizes through
+// sourceSpec, so the dataset a shard builds carries exactly the identity a
+// router computed when it placed the request.
 func buildDataset(req CreateRequest) (*sirum.Dataset, error) {
-	switch {
-	case req.Generator != nil && req.CSV != "":
-		return nil, errf(http.StatusBadRequest, "use either generator or csv, not both")
-	case req.Generator != nil:
-		rows := req.Generator.Rows
-		if rows <= 0 {
-			rows = 10000
-		}
-		seed := req.Generator.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		return sirum.Generate(req.Generator.Name, rows, seed)
-	case req.CSV != "":
-		if req.Measure == "" {
-			return nil, errf(http.StatusBadRequest, "measure is required with csv")
-		}
-		return sirum.ReadCSV(strings.NewReader(req.CSV), req.Measure, req.Ignore...)
-	default:
-		return nil, errf(http.StatusBadRequest, "one of generator or csv is required")
+	src, err := req.sourceSpec()
+	if err != nil {
+		return nil, err
 	}
+	if src.Generator != nil {
+		return sirum.Generate(src.Generator.Name, src.Generator.Rows, src.Generator.Seed)
+	}
+	return sirum.ReadCSV(strings.NewReader(req.CSV), req.Measure, req.Ignore...)
 }
 
 // buildBatch assembles an append batch against a session's schema.
@@ -753,12 +755,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
 	n := len(s.sessions)
 	s.mu.Unlock()
 	resp := HealthResponse{
-		Status:   "ok",
-		Sessions: n,
-		InFlight: len(s.sem),
-		Queued:   s.queued.Load(),
-		Queries:  s.queries.Load(),
-		Rejected: s.rejected.Load(),
+		Status:    "ok",
+		ShardID:   s.conf.ShardID,
+		Advertise: s.conf.Advertise,
+		Sessions:  n,
+		InFlight:  len(s.sem),
+		Queued:    s.queued.Load(),
+		Queries:   s.queries.Load(),
+		Rejected:  s.rejected.Load(),
 	}
 	if s.cache != nil {
 		cs := s.cache.stats()

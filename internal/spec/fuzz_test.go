@@ -1,0 +1,142 @@
+package spec_test
+
+// Fuzz coverage for the canonical spec layer. Shard routing places every
+// session by its spec fingerprint, so two properties carry the whole
+// multi-node design: a fingerprint must survive an encode→decode→encode
+// round trip (snapshots and routers exchange specs as JSON), and every
+// option permutation that means the same query or dataset must collapse to
+// one fingerprint (otherwise equal requests route or cache differently).
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"sirum"
+	"sirum/internal/spec"
+)
+
+// variants rotates the fuzzer's variant selector through every accepted
+// spelling, including the empty default.
+var variants = []sirum.Variant{
+	"", sirum.VariantOptimized, sirum.VariantBaseline, sirum.VariantNaive,
+	sirum.VariantRCT, sirum.VariantFastPruning, sirum.VariantFastAncestor,
+	sirum.VariantMultiRule,
+}
+
+func FuzzSpecFingerprint(f *testing.F) {
+	f.Add(10, 64, uint8(0), 0.01, int64(1), 0.0, 5000, "income", 1000, int64(1), int64(0), "d1")
+	f.Add(0, 0, uint8(1), 0.0, int64(0), 0.5, 500, "gdelt", 0, int64(0), int64(3), "")
+	f.Add(-3, -1, uint8(4), -2.5, int64(-9), 1.5, 0, "", 12, int64(-1), int64(7), "a-b.c_d")
+	f.Fuzz(func(t *testing.T, k, sampleSize int, variantSel uint8, epsilon float64,
+		seed int64, frac float64, rows int, genName string, genRows int, genSeed, epoch int64, id string) {
+
+		// JSON has no NaN/Inf; specs only ever carry floats that arrived
+		// through JSON, so non-finite inputs are out of the domain.
+		if math.IsNaN(epsilon) || math.IsInf(epsilon, 0) || math.IsNaN(frac) || math.IsInf(frac, 0) {
+			t.Skip("non-finite floats are unrepresentable in the JSON wire format")
+		}
+
+		opts := sirum.Options{
+			K:              k,
+			SampleSize:     sampleSize,
+			Variant:        variants[int(variantSel)%len(variants)],
+			Epsilon:        epsilon,
+			Seed:           seed,
+			SampleFraction: frac,
+		}
+		q, err := opts.Canonical(rows)
+		if err != nil {
+			t.Fatalf("canonicalizing a known-good variant: %v", err)
+		}
+		fp := q.Fingerprint()
+		if fp != q.Fingerprint() {
+			t.Fatal("query fingerprint not deterministic")
+		}
+
+		// Encode→decode→encode stability: specs travel as JSON (snapshot
+		// journals, router control traffic); the round trip must not move
+		// the fingerprint.
+		buf, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("encoding query spec: %v", err)
+		}
+		var q2 spec.QuerySpec
+		if err := json.Unmarshal(buf, &q2); err != nil {
+			t.Fatalf("decoding query spec: %v", err)
+		}
+		if q2.Fingerprint() != fp {
+			t.Fatalf("query fingerprint drifted across JSON round trip:\n%s", buf)
+		}
+
+		// Permutation collapse: spelling the canonical defaults out
+		// explicitly means the same query, so it must canonicalize to the
+		// same fingerprint as leaving them zero.
+		explicit := sirum.Options{
+			K:              q.K,
+			SampleSize:     q.SampleSize,
+			Variant:        sirum.Variant(q.Variant),
+			Epsilon:        q.Epsilon,
+			Seed:           q.Seed,
+			SampleFraction: q.SampleFraction,
+		}
+		q3, err := explicit.Canonical(rows)
+		if err != nil {
+			t.Fatalf("re-canonicalizing explicit defaults: %v", err)
+		}
+		if q3.Fingerprint() != fp {
+			t.Fatalf("explicit defaults fingerprinted differently from implicit ones: %+v vs %+v", q3, q)
+		}
+
+		// Dataset specs: the fingerprint (= the shard-routing key) must
+		// ignore the mutable epoch/chain and survive its own round trip.
+		ds := spec.DatasetSpec{
+			Version:   spec.Version,
+			Generator: &spec.GeneratorSource{Name: genName, Rows: genRows, Seed: genSeed},
+		}
+		dsFP := ds.Fingerprint()
+		grown := ds
+		grown.Epoch = epoch
+		grown.Chain = spec.Hex(dsFP)
+		if grown.Fingerprint() != dsFP {
+			t.Fatal("epoch/chain leaked into the dataset source fingerprint")
+		}
+		if spec.RoutingKey(grown) != dsFP {
+			t.Fatal("routing key diverged from the source fingerprint")
+		}
+		dbuf, err := json.Marshal(grown)
+		if err != nil {
+			t.Fatalf("encoding dataset spec: %v", err)
+		}
+		var ds2 spec.DatasetSpec
+		if err := json.Unmarshal(dbuf, &ds2); err != nil {
+			t.Fatalf("decoding dataset spec: %v", err)
+		}
+		if ds2.Fingerprint() != dsFP {
+			t.Fatalf("dataset fingerprint drifted across JSON round trip:\n%s", dbuf)
+		}
+
+		// Id-derived routing keys live in a tagged hash domain: they are
+		// deterministic and can never alias a spec-derived key.
+		if spec.RoutingKeyForID(id) != spec.RoutingKeyForID(id) {
+			t.Fatal("id routing key not deterministic")
+		}
+		if spec.RoutingKeyForID(id) == dsFP {
+			t.Fatalf("id routing key for %q collided with a dataset fingerprint", id)
+		}
+
+		// Prep specs round-trip the same way.
+		p := sirum.PrepareOptions{SampleSize: sampleSize, Seed: seed, SampleFraction: frac}.Canonical(rows)
+		pbuf, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("encoding prep spec: %v", err)
+		}
+		var p2 spec.PrepSpec
+		if err := json.Unmarshal(pbuf, &p2); err != nil {
+			t.Fatalf("decoding prep spec: %v", err)
+		}
+		if p2.Fingerprint() != p.Fingerprint() {
+			t.Fatalf("prep fingerprint drifted across JSON round trip:\n%s", pbuf)
+		}
+	})
+}

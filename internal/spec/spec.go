@@ -17,6 +17,7 @@
 package spec
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -29,8 +30,10 @@ import (
 
 // Version is the encoding version baked into every fingerprint. Bump it
 // when a spec's canonical encoding changes meaning, so stale cache entries
-// and snapshots from older builds can never alias new ones.
-const Version = 1
+// and snapshots from older builds can never alias new ones. (2: fingerprints
+// hash the canonicalized re-encoding — sorted keys, unescaped strings — so
+// they are stable across JSON round trips.)
+const Version = 2
 
 // GeneratorSource identifies a built-in synthetic dataset by the three
 // inputs that fully determine its rows.
@@ -136,6 +139,29 @@ type QuerySpec struct {
 // Fingerprint hashes the canonical encoding.
 func (q QuerySpec) Fingerprint() [32]byte { return fingerprint("query", q) }
 
+// RoutingKey returns the stable shard-routing key of a dataset identity:
+// the source fingerprint, independent of epoch and content chain, so a
+// session stays on its home shard no matter how many batches are appended
+// to it. Sessions over identical sources share a key — a router placing by
+// it co-locates them on one shard, where they also share that shard's
+// result cache.
+func RoutingKey(ds DatasetSpec) [32]byte { return ds.Fingerprint() }
+
+// RoutingKeyForID returns the shard-routing key derived from a session id,
+// for sessions routed by name rather than by content (anonymous auto-id
+// sessions, where spreading identical specs across shards beats
+// co-locating them). The tag keeps id-derived keys from ever colliding
+// with spec-derived ones.
+func RoutingKeyForID(id string) [32]byte {
+	h := sha256.New()
+	io.WriteString(h, "session-id")
+	h.Write([]byte{0})
+	io.WriteString(h, id)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
 // SessionKey combines a dataset's source fingerprint with a prep
 // fingerprint: the identity under which a session's results are cacheable.
 // Two sessions over the same source with the same preparation are
@@ -152,14 +178,31 @@ func SessionKey(ds DatasetSpec, prep PrepSpec) [32]byte {
 }
 
 // fingerprint hashes a type tag, the encoding version and the spec's
-// canonical JSON. encoding/json emits struct fields in declaration order,
-// which makes the encoding deterministic; the specs contain no maps.
+// canonical JSON. The struct encoding alone is deterministic but not
+// round-trip stable: a string field holding invalid UTF-8 marshals as a
+// � escape, while the same field after one decode re-marshals as the
+// raw replacement character — different bytes, different hash. Since specs
+// travel as JSON (snapshot journals, shard routing), the hash is taken
+// over the canonicalized re-encoding instead: decode the struct encoding
+// into generic values (UseNumber keeps int64s exact) and re-marshal, which
+// sorts object keys and settles every string into its decoded form, so a
+// spec and its JSON round trip always fingerprint identically.
 func fingerprint(tag string, v any) [32]byte {
-	buf, err := json.Marshal(v)
+	structEnc, err := json.Marshal(v)
 	if err != nil {
 		// The spec types marshal unconditionally; an error here is a
 		// programming bug, not an input condition.
 		panic(fmt.Sprintf("spec: encoding %s spec: %v", tag, err))
+	}
+	dec := json.NewDecoder(bytes.NewReader(structEnc))
+	dec.UseNumber()
+	var generic any
+	if err := dec.Decode(&generic); err != nil {
+		panic(fmt.Sprintf("spec: canonicalizing %s spec: %v", tag, err))
+	}
+	buf, err := json.Marshal(generic)
+	if err != nil {
+		panic(fmt.Sprintf("spec: re-encoding %s spec: %v", tag, err))
 	}
 	h := sha256.New()
 	io.WriteString(h, tag)
