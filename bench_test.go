@@ -22,9 +22,15 @@ func benchCfg() experiments.Config {
 }
 
 // runExperiment executes one experiment per benchmark iteration and reports
-// a headline metric extracted from the named column of the first table.
+// a headline metric extracted from the named column of the first table. The
+// experiment harness replays whole evaluation scenarios, so these targets
+// are gated behind -short: `go test -short -bench .` runs only the direct
+// API benchmarks, which is the CI-friendly tiny-scale subset.
 func runExperiment(b *testing.B, id string, metricCol string) {
 	b.Helper()
+	if testing.Short() {
+		b.Skipf("experiment %s skipped in -short mode", id)
+	}
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		tables, err := experiments.Run(id, cfg)
@@ -89,10 +95,21 @@ func BenchmarkAblationRedundant(b *testing.B) {
 	runExperiment(b, "ablation-redundant", "")
 }
 
+// reportRowsPerSec publishes dataset-rows-processed-per-second, the common
+// throughput unit across the direct mining benchmarks (and the BENCH_*.json
+// trajectory).
+func reportRowsPerSec(b *testing.B, rows int) {
+	b.Helper()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(rows)*float64(b.N)/s, "rows/s")
+	}
+}
+
 // BenchmarkMineOptimized benchmarks the public API end to end on a mid-size
 // synthetic dataset — the number a downstream user would measure first.
 func BenchmarkMineOptimized(b *testing.B) {
-	ds, err := Generate("gdelt", 5000, 1)
+	const rows = 5000
+	ds, err := Generate("gdelt", rows, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -107,6 +124,7 @@ func BenchmarkMineOptimized(b *testing.B) {
 			b.ReportMetric(res.InfoGain, "info_gain")
 		}
 	}
+	reportRowsPerSec(b, rows)
 }
 
 // benchBackendMine runs one mining job on the given substrate. The sim run
@@ -117,7 +135,8 @@ func BenchmarkMineOptimized(b *testing.B) {
 // wall-clock ratio is therefore the end-to-end price of simulating that
 // cluster versus just answering the query.
 func benchBackendMine(b *testing.B, backend Backend) {
-	ds, err := Generate("gdelt", 20000, 1)
+	const rows = 20000
+	ds, err := Generate("gdelt", rows, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -136,6 +155,7 @@ func benchBackendMine(b *testing.B, backend Backend) {
 			b.ReportMetric(res.InfoGain, "info_gain")
 		}
 	}
+	reportRowsPerSec(b, rows)
 }
 
 // BenchmarkMineSimBackend is the simulated-cluster path of the backend
@@ -151,7 +171,8 @@ func preparedJob() Options { return Options{K: 5, SampleSize: 32, Seed: 2} }
 // that recomputes candidate pruning every iteration — what every
 // Dataset.Mine pays.
 func BenchmarkMineCold(b *testing.B) {
-	ds, err := Generate("gdelt", 20000, 1)
+	const rows = 20000
+	ds, err := Generate("gdelt", rows, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -162,6 +183,7 @@ func BenchmarkMineCold(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportRowsPerSec(b, rows)
 }
 
 // BenchmarkMinePrepared is the same job as BenchmarkMineCold asked of a
@@ -170,7 +192,8 @@ func BenchmarkMineCold(b *testing.B) {
 // reused, so each iteration measures what the second and later queries of an
 // interactive session cost.
 func BenchmarkMinePrepared(b *testing.B) {
-	ds, err := Generate("gdelt", 20000, 1)
+	const rows = 20000
+	ds, err := Generate("gdelt", rows, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -189,12 +212,14 @@ func BenchmarkMinePrepared(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportRowsPerSec(b, rows)
 }
 
 // BenchmarkMineBaseline is the same job on the unoptimized baseline, so the
 // two public-API benchmarks show the paper's headline speedup directly.
 func BenchmarkMineBaseline(b *testing.B) {
-	ds, err := Generate("gdelt", 5000, 1)
+	const rows = 5000
+	ds, err := Generate("gdelt", rows, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -205,4 +230,5 @@ func BenchmarkMineBaseline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportRowsPerSec(b, rows)
 }

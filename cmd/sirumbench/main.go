@@ -1,4 +1,5 @@
-// Command sirumbench regenerates the thesis' tables and figures.
+// Command sirumbench regenerates the thesis' tables and figures, and runs
+// the repository's throughput campaign.
 //
 // Usage:
 //
@@ -6,19 +7,31 @@
 //	sirumbench -exp fig-5.3            # one experiment
 //	sirumbench -exp all [-scale 2000]  # the whole evaluation
 //
+//	sirumbench -bench [-quick] [-out BENCH_1.json] [-suites mine,serve]
+//	sirumbench -compare OLD.json NEW.json [-tol 0.15]
+//
 // Experiment ids are the thesis' figure/table numbers (fig-3.1 … fig-5.19,
 // table-1.2, table-4.1) plus the ablations from DESIGN.md §5. The -scale
 // flag divides the paper's dataset sizes; platform fixed overheads are
 // scaled to match (DESIGN.md §1).
+//
+// -bench measures the canonical perf suites (mine/explore/append cold vs
+// prepared on both backends, plus an in-process serving storm) and emits the
+// versioned JSON document checked in as BENCH_1.json; -compare diffs two
+// such documents and flags moves beyond -tol in the bad direction.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"sirum/internal/bench"
 	"sirum/internal/experiments"
 )
 
@@ -39,8 +52,19 @@ func run(args []string, stdout io.Writer) error {
 	executors := fs.Int("executors", 16, "virtual executors")
 	cores := fs.Int("cores", 4, "virtual cores per executor")
 	backend := fs.String("backend", "sim", "substrate for the generic mining figures: sim or native (platform/scaling figures always simulate)")
+	doBench := fs.Bool("bench", false, "run the perf suites and emit a BENCH JSON report")
+	out := fs.String("out", "", "with -bench: write the report to this file (default stdout)")
+	suites := fs.String("suites", "", "with -bench: comma-separated suite subset (mine,explore,append,serve)")
+	compare := fs.Bool("compare", false, "diff two BENCH JSON reports: -compare OLD NEW")
+	tol := fs.Float64("tol", 0.15, "with -compare: relative tolerance before a delta is flagged")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		return runCompare(fs.Args(), *tol, stdout)
+	}
+	if *doBench {
+		return runBench(*out, *suites, *quick, stdout)
 	}
 	if *list {
 		for _, r := range experiments.All() {
@@ -76,5 +100,76 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// runBench executes the throughput-campaign suites and writes the report.
+func runBench(out, suites string, quick bool, stdout io.Writer) error {
+	cfg := bench.Config{
+		Quick: quick,
+		Log:   func(format string, args ...any) { fmt.Fprintf(stdout, format+"\n", args...) },
+	}
+	if suites != "" {
+		cfg.Suites = strings.Split(suites, ",")
+	}
+	start := time.Now()
+	rep, err := bench.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := bench.Validate(rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "(bench completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	if out == "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", buf)
+		return nil
+	}
+	if err := bench.WriteFile(out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", out)
+	return nil
+}
+
+// runCompare diffs two reports; regressions render flagged but do not fail
+// the command — the trajectory gate is informational by design.
+func runCompare(args []string, tol float64, stdout io.Writer) error {
+	// The flag package stops parsing at the first positional argument, so
+	// the documented `-compare OLD NEW -tol 0.25` order leaves -tol in the
+	// positionals; accept it there too.
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		if a := args[i]; a == "-tol" || a == "--tol" {
+			if i+1 >= len(args) {
+				return fmt.Errorf("-tol needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				return fmt.Errorf("-tol: %w", err)
+			}
+			tol = v
+			i++
+		} else {
+			paths = append(paths, a)
+		}
+	}
+	args = paths
+	if len(args) != 2 {
+		return fmt.Errorf("-compare needs exactly two report paths, got %d", len(args))
+	}
+	oldRep, err := bench.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	newRep, err := bench.ReadFile(args[1])
+	if err != nil {
+		return err
+	}
+	bench.Compare(oldRep, newRep, tol).Render(stdout)
 	return nil
 }

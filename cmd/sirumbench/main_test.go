@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"sirum/internal/bench"
 )
 
 func TestList(t *testing.T) {
@@ -36,5 +38,41 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args, &sb); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestCompareFlagOrders pins that -tol is honoured before or after the two
+// report paths (the flag package stops parsing at the first positional).
+func TestCompareFlagOrders(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	rep := &bench.Report{
+		SchemaVersion: bench.SchemaVersion,
+		CreatedAt:     "2026-01-01T00:00:00Z",
+		Host:          bench.Host{OS: "linux", Arch: "amd64", CPUs: 1, GoVersion: "go1.24"},
+		Suites: []bench.SuiteResult{{
+			Suite: "mine", Case: "prepared/native", Rows: 100, Iters: 1,
+			QueriesPerSec: 10, P50NS: 1e6, P95NS: 2e6, AllocsPerOp: 100,
+		}},
+	}
+	if err := bench.WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-compare", path, path, "-tol", "0.25"},
+		{"-compare", "-tol", "0.25", path, path},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Errorf("args %v: %v", args, err)
+		}
+		if !strings.Contains(sb.String(), "no regressions") {
+			t.Errorf("args %v: self-compare flagged regressions:\n%s", args, sb.String())
+		}
+	}
+	if err := run([]string{"-compare", path}, &strings.Builder{}); err == nil {
+		t.Error("single-path compare accepted")
+	}
+	if err := run([]string{"-compare", path, path, "-tol"}, &strings.Builder{}); err == nil {
+		t.Error("dangling -tol accepted")
 	}
 }

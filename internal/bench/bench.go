@@ -1,0 +1,418 @@
+// Package bench is the throughput campaign's measurement layer: canonical
+// suites over the library's hot paths (mine, explore, append — cold vs
+// prepared, sim vs native) and the serving path (an in-process sirumd under
+// a loadgen storm), reported as a versioned JSON document that gets checked
+// in per PR (BENCH_<schema>.json). Compare diffs two such documents and
+// flags deltas beyond a tolerance, so absolute regressions are visible
+// across the repository's history instead of only the relative speedup
+// assertions the tests make.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"sirum"
+	"sirum/internal/server"
+)
+
+// SchemaVersion stamps the report format; the checked-in trajectory file is
+// named BENCH_<SchemaVersion>.json.
+const SchemaVersion = 1
+
+// Host fingerprints the machine a report was produced on. Numbers are only
+// comparable across reports with matching fingerprints.
+type Host struct {
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+}
+
+// SuiteResult is one measured case of one suite.
+type SuiteResult struct {
+	Suite string `json:"suite"` // mine | explore | append | serve
+	Case  string `json:"case"`  // e.g. "prepared/native"
+	Rows  int    `json:"rows"`  // dataset rows the case ran against
+	Iters int    `json:"iters"` // measured operations
+
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	RowsPerSec    float64 `json:"rows_per_sec,omitempty"`
+	P50NS         int64   `json:"p50_ns"`
+	P95NS         int64   `json:"p95_ns"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+}
+
+// Report is the versioned bench document.
+type Report struct {
+	SchemaVersion int           `json:"schema_version"`
+	CreatedAt     string        `json:"created_at"`
+	GitRev        string        `json:"git_rev,omitempty"`
+	Quick         bool          `json:"quick"`
+	Host          Host          `json:"host"`
+	Suites        []SuiteResult `json:"suites"`
+}
+
+// Config sizes a bench run.
+type Config struct {
+	// Quick shrinks every suite to CI smoke scale: the numbers stop being
+	// comparable to full runs but the whole campaign finishes in seconds.
+	Quick bool
+	// Rows is the benchmark dataset size (default 10000; quick 1500).
+	Rows int
+	// Iters is the measured operations per case (default 5; quick 2).
+	Iters int
+	// ServeQueries sizes the serve-suite storm (default 64; quick 12).
+	ServeQueries int
+	// Suites restricts the run to the named suites (empty = all).
+	Suites []string
+	// Log, when set, receives one line per completed case.
+	Log func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rows <= 0 {
+		if c.Quick {
+			c.Rows = 1500
+		} else {
+			c.Rows = 10000
+		}
+	}
+	if c.Iters <= 0 {
+		if c.Quick {
+			c.Iters = 2
+		} else {
+			c.Iters = 5
+		}
+	}
+	if c.ServeQueries <= 0 {
+		if c.Quick {
+			c.ServeQueries = 12
+		} else {
+			c.ServeQueries = 64
+		}
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	return c
+}
+
+func (c Config) wants(suite string) bool {
+	if len(c.Suites) == 0 {
+		return true
+	}
+	for _, s := range c.Suites {
+		if strings.EqualFold(strings.TrimSpace(s), suite) {
+			return true
+		}
+	}
+	return false
+}
+
+// measurement is what the timing loop hands back for one case.
+type measurement struct {
+	iters         int
+	queriesPerSec float64
+	p50, p95      time.Duration
+	bytesPerOp    int64
+	allocsPerOp   int64
+}
+
+// measure times iters calls of op after one untimed warmup, reporting exact
+// percentiles from the full sorted sample and per-op allocation deltas from
+// runtime.MemStats.
+func measure(iters int, op func() error) (measurement, error) {
+	if err := op(); err != nil {
+		return measurement{}, err
+	}
+	lat := make([]time.Duration, 0, iters)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if err := op(); err != nil {
+			return measurement{}, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	total := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	m := measurement{
+		iters:       iters,
+		p50:         quantile(lat, 0.50),
+		p95:         quantile(lat, 0.95),
+		bytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		allocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+	}
+	if total > 0 {
+		m.queriesPerSec = float64(iters) / total.Seconds()
+	}
+	return m, nil
+}
+
+// quantile returns the exact q-quantile of a sorted sample with linear
+// interpolation between adjacent order statistics.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
+}
+
+func (m measurement) result(suite, kase string, rows int) SuiteResult {
+	r := SuiteResult{
+		Suite: suite, Case: kase, Rows: rows, Iters: m.iters,
+		QueriesPerSec: m.queriesPerSec,
+		P50NS:         int64(m.p50), P95NS: int64(m.p95),
+		BytesPerOp: m.bytesPerOp, AllocsPerOp: m.allocsPerOp,
+	}
+	if rows > 0 {
+		r.RowsPerSec = m.queriesPerSec * float64(rows)
+	}
+	return r
+}
+
+// benchDataset is the generator every suite draws from: the thesis' income
+// census table, the dataset the paper benchmarks most.
+const benchDataset = "income"
+
+// Run executes the configured suites and assembles the report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		GitRev:        gitRev(),
+		Quick:         cfg.Quick,
+		Host: Host{
+			OS: runtime.GOOS, Arch: runtime.GOARCH,
+			CPUs: runtime.NumCPU(), GoVersion: runtime.Version(),
+		},
+	}
+
+	ds, err := sirum.Generate(benchDataset, cfg.Rows, 1)
+	if err != nil {
+		return nil, err
+	}
+	mineOpt := func(backend sirum.Backend) sirum.Options {
+		return sirum.Options{K: 3, SampleSize: 16, Seed: 1, Backend: backend}
+	}
+
+	addCase := func(suite, kase string, rows int, op func() error) error {
+		m, err := measure(cfg.Iters, op)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", suite, kase, err)
+		}
+		res := m.result(suite, kase, rows)
+		rep.Suites = append(rep.Suites, res)
+		cfg.Log("%-8s %-16s %8.2f q/s  p95 %-10v %8d allocs/op", suite, kase, res.QueriesPerSec, time.Duration(res.P95NS).Round(time.Microsecond), res.AllocsPerOp)
+		return nil
+	}
+	prepare := func(backend sirum.Backend) (*sirum.Prepared, error) {
+		return ds.Prepare(sirum.PrepareOptions{SampleSize: 16, Seed: 1, Backend: backend})
+	}
+
+	backends := []sirum.Backend{sirum.BackendSim, sirum.BackendNative}
+	if cfg.wants("mine") {
+		for _, be := range backends {
+			if err := addCase("mine", "cold/"+string(be), cfg.Rows, func() error {
+				_, err := ds.Mine(mineOpt(be))
+				return err
+			}); err != nil {
+				return nil, err
+			}
+			p, err := prepare(be)
+			if err != nil {
+				return nil, err
+			}
+			err = addCase("mine", "prepared/"+string(be), cfg.Rows, func() error {
+				_, err := p.Mine(mineOpt(be))
+				return err
+			})
+			p.Close()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if cfg.wants("explore") {
+		expOpt := sirum.ExploreOptions{K: 3, GroupBys: 1, Seed: 1, Backend: sirum.BackendNative}
+		if err := addCase("explore", "cold/native", cfg.Rows, func() error {
+			_, err := ds.Explore(expOpt)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		p, err := prepare(sirum.BackendNative)
+		if err != nil {
+			return nil, err
+		}
+		err = addCase("explore", "prepared/native", cfg.Rows, func() error {
+			_, err := p.Explore(expOpt)
+			return err
+		})
+		p.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.wants("append") {
+		batchRows := cfg.Rows / 20
+		if batchRows < 50 {
+			batchRows = 50
+		}
+		for _, be := range backends {
+			p, err := prepare(be)
+			if err != nil {
+				return nil, err
+			}
+			seed := int64(2)
+			err = addCase("append", "prepared/"+string(be), batchRows, func() error {
+				batch, err := sirum.Generate(benchDataset, batchRows, seed)
+				seed++
+				if err != nil {
+					return err
+				}
+				_, err = p.Append(batch, mineOpt(be))
+				return err
+			})
+			p.Close()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if cfg.wants("serve") {
+		res, err := runServe(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Suites = append(rep.Suites, *res)
+		cfg.Log("%-8s %-16s %8.2f q/s  p95 %-10v %8d allocs/op", res.Suite, res.Case, res.QueriesPerSec, time.Duration(res.P95NS).Round(time.Microsecond), res.AllocsPerOp)
+	}
+	return rep, nil
+}
+
+// runServe boots an in-process sirumd and storms it with the load generator:
+// the serve numbers cover the whole serving path — HTTP, admission, result
+// cache, mining — in one process, so MemStats deltas mean allocations per
+// served query.
+func runServe(cfg Config) (*SuiteResult, error) {
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	lrep, err := server.RunLoad(server.LoadConfig{
+		BaseURL: ts.URL,
+		Dataset: benchDataset,
+		Rows:    cfg.Rows,
+		Queries: cfg.ServeQueries,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if lrep.Errors > 0 {
+		return nil, fmt.Errorf("serve: %d/%d queries failed: %s", lrep.Errors, lrep.Queries, lrep.FirstError)
+	}
+	return &SuiteResult{
+		Suite: "serve", Case: "storm/native", Rows: cfg.Rows, Iters: lrep.Queries,
+		QueriesPerSec: lrep.Throughput,
+		P50NS:         int64(lrep.P50), P95NS: int64(lrep.P95),
+		BytesPerOp: lrep.BytesPerQuery, AllocsPerOp: lrep.AllocsPerQuery,
+	}, nil
+}
+
+// gitRev best-effort resolves the working tree's HEAD for provenance; a
+// report produced outside a git checkout simply omits it.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Validate checks a report against the schema contract; Compare and CI use
+// it before trusting a document.
+func Validate(r *Report) error {
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("bench: schema version %d, want %d", r.SchemaVersion, SchemaVersion)
+	}
+	if _, err := time.Parse(time.RFC3339, r.CreatedAt); err != nil {
+		return fmt.Errorf("bench: bad created_at %q: %w", r.CreatedAt, err)
+	}
+	if r.Host.OS == "" || r.Host.Arch == "" || r.Host.CPUs <= 0 || r.Host.GoVersion == "" {
+		return fmt.Errorf("bench: incomplete host fingerprint %+v", r.Host)
+	}
+	if len(r.Suites) == 0 {
+		return fmt.Errorf("bench: no suites")
+	}
+	seen := map[string]bool{}
+	for i, s := range r.Suites {
+		id := s.Suite + "/" + s.Case
+		switch {
+		case s.Suite == "" || s.Case == "":
+			return fmt.Errorf("bench: suite %d has empty suite/case", i)
+		case seen[id]:
+			return fmt.Errorf("bench: duplicate case %s", id)
+		case s.Iters <= 0:
+			return fmt.Errorf("bench: %s: iters = %d", id, s.Iters)
+		case s.QueriesPerSec <= 0:
+			return fmt.Errorf("bench: %s: queries_per_sec = %g", id, s.QueriesPerSec)
+		case s.P50NS < 0 || s.P95NS < s.P50NS:
+			return fmt.Errorf("bench: %s: p50 %d / p95 %d out of order", id, s.P50NS, s.P95NS)
+		case s.BytesPerOp < 0 || s.AllocsPerOp < 0:
+			return fmt.Errorf("bench: %s: negative allocation stats", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON.
+func WriteFile(path string, r *Report) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a report.
+func ReadFile(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := Validate(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     "2026-01-01T00:00:00Z",
+		Host:          Host{OS: "linux", Arch: "amd64", CPUs: 8, GoVersion: "go1.24"},
+		Suites: []SuiteResult{
+			{Suite: "mine", Case: "prepared/native", Rows: 1000, Iters: 5,
+				QueriesPerSec: 100, P50NS: 9e6, P95NS: 12e6, BytesPerOp: 1 << 20, AllocsPerOp: 5000},
+			{Suite: "serve", Case: "storm/native", Rows: 1000, Iters: 64,
+				QueriesPerSec: 50, P50NS: 15e6, P95NS: 40e6, BytesPerOp: 2 << 20, AllocsPerOp: 9000},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(sampleReport()); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	cases := map[string]func(*Report){
+		"schema":     func(r *Report) { r.SchemaVersion = 99 },
+		"created_at": func(r *Report) { r.CreatedAt = "yesterday" },
+		"host":       func(r *Report) { r.Host.CPUs = 0 },
+		"no suites":  func(r *Report) { r.Suites = nil },
+		"dup case":   func(r *Report) { r.Suites[1] = r.Suites[0] },
+		"iters":      func(r *Report) { r.Suites[0].Iters = 0 },
+		"qps":        func(r *Report) { r.Suites[0].QueriesPerSec = 0 },
+		"p95<p50":    func(r *Report) { r.Suites[0].P95NS = r.Suites[0].P50NS - 1 },
+	}
+	for name, breakIt := range cases {
+		r := sampleReport()
+		breakIt(r)
+		if Validate(r) == nil {
+			t.Errorf("%s: broken report validated", name)
+		}
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldRep, newRep := sampleReport(), sampleReport()
+	newRep.Suites[0].QueriesPerSec = 50  // -50% throughput: regression
+	newRep.Suites[1].AllocsPerOp = 20000 // +122% allocs: regression
+	newRep.Suites[1].QueriesPerSec = 80  // +60% throughput: improvement, not flagged
+
+	cmp := Compare(oldRep, newRep, 0.15)
+	if !cmp.HostMatch {
+		t.Error("identical hosts reported as mismatched")
+	}
+	reg := cmp.Regressions()
+	if len(reg) != 2 {
+		t.Fatalf("got %d regressions, want 2: %+v", len(reg), reg)
+	}
+	want := map[string]string{"mine/prepared/native": "queries_per_sec", "serve/storm/native": "allocs_per_op"}
+	for _, d := range reg {
+		if want[d.Suite+"/"+d.Case] != d.Metric {
+			t.Errorf("unexpected regression %s/%s %s", d.Suite, d.Case, d.Metric)
+		}
+	}
+
+	var sb strings.Builder
+	cmp.Render(&sb)
+	if !strings.Contains(sb.String(), "REGRESSED") || !strings.Contains(sb.String(), "2 metric(s) regressed") {
+		t.Errorf("render missing regression marks:\n%s", sb.String())
+	}
+}
+
+func TestCompareDisjointCases(t *testing.T) {
+	oldRep, newRep := sampleReport(), sampleReport()
+	newRep.Suites = newRep.Suites[:1]
+	oldRep.Suites = oldRep.Suites[1:]
+	cmp := Compare(oldRep, newRep, 0.15)
+	if len(cmp.Deltas) != 0 {
+		t.Errorf("disjoint reports produced deltas: %+v", cmp.Deltas)
+	}
+	if len(cmp.OnlyOld) != 1 || len(cmp.OnlyNew) != 1 {
+		t.Errorf("OnlyOld %v OnlyNew %v", cmp.OnlyOld, cmp.OnlyNew)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []time.Duration{10, 20, 30, 40}
+	if got := quantile(sorted, 0.5); got != 25 {
+		t.Errorf("p50 = %v, want 25 (interpolated)", got)
+	}
+	if got := quantile(sorted, 1.0); got != 40 {
+		t.Errorf("p100 = %v, want 40", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty sample = %v, want 0", got)
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	rep := sampleReport()
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Suites) != len(rep.Suites) || got.Suites[0] != rep.Suites[0] {
+		t.Errorf("round trip mutated the report")
+	}
+}
+
+// TestRunTiny drives the real measurement loop end to end at toy scale.
+func TestRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run in -short mode")
+	}
+	rep, err := Run(Config{Quick: true, Rows: 300, Iters: 1, Suites: []string{"mine"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Suites) != 4 {
+		t.Errorf("mine suite produced %d cases, want 4", len(rep.Suites))
+	}
+}

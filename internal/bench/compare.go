@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Delta is one metric compared across two reports for one suite case.
+type Delta struct {
+	Suite  string  `json:"suite"`
+	Case   string  `json:"case"`
+	Metric string  `json:"metric"` // queries_per_sec | p95_ns | allocs_per_op
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Ratio is new/old (0 when old is 0).
+	Ratio float64 `json:"ratio"`
+	// Regressed marks a delta beyond the tolerance in the bad direction
+	// (throughput down, latency or allocations up).
+	Regressed bool `json:"regressed"`
+}
+
+// Comparison is the outcome of diffing two reports.
+type Comparison struct {
+	Deltas []Delta
+	// OnlyOld / OnlyNew list cases present in one report but not the other.
+	OnlyOld, OnlyNew []string
+	// HostMatch is false when the fingerprints differ — numbers are then
+	// indicative only.
+	HostMatch bool
+}
+
+// Regressions returns the flagged deltas.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs two reports case by case. tol is the relative tolerance
+// (e.g. 0.15 flags >15% moves in the bad direction); quick reports compare
+// like any other, the caller decides what to do with the flags.
+func Compare(old, new *Report, tol float64) *Comparison {
+	cmp := &Comparison{
+		HostMatch: old.Host == new.Host,
+	}
+	oldByID := map[string]SuiteResult{}
+	for _, s := range old.Suites {
+		oldByID[s.Suite+"/"+s.Case] = s
+	}
+	newSeen := map[string]bool{}
+	for _, n := range new.Suites {
+		id := n.Suite + "/" + n.Case
+		newSeen[id] = true
+		o, ok := oldByID[id]
+		if !ok {
+			cmp.OnlyNew = append(cmp.OnlyNew, id)
+			continue
+		}
+		cmp.Deltas = append(cmp.Deltas,
+			// Throughput regresses downward; latency and allocations upward.
+			delta(n.Suite, n.Case, "queries_per_sec", o.QueriesPerSec, n.QueriesPerSec, tol, false),
+			delta(n.Suite, n.Case, "p95_ns", float64(o.P95NS), float64(n.P95NS), tol, true),
+			delta(n.Suite, n.Case, "allocs_per_op", float64(o.AllocsPerOp), float64(n.AllocsPerOp), tol, true),
+		)
+	}
+	for _, s := range old.Suites {
+		if id := s.Suite + "/" + s.Case; !newSeen[id] {
+			cmp.OnlyOld = append(cmp.OnlyOld, id)
+		}
+	}
+	return cmp
+}
+
+func delta(suite, kase, metric string, o, n, tol float64, upIsBad bool) Delta {
+	d := Delta{Suite: suite, Case: kase, Metric: metric, Old: o, New: n}
+	if o > 0 {
+		d.Ratio = n / o
+		if upIsBad {
+			d.Regressed = d.Ratio > 1+tol
+		} else {
+			d.Regressed = d.Ratio < 1-tol
+		}
+	}
+	return d
+}
+
+// Render writes the comparison as a terminal table, regressions marked.
+func (c *Comparison) Render(w io.Writer) {
+	if !c.HostMatch {
+		fmt.Fprintln(w, "note: host fingerprints differ; deltas are indicative only")
+	}
+	fmt.Fprintf(w, "%-8s %-18s %-16s %14s %14s %8s\n", "suite", "case", "metric", "old", "new", "ratio")
+	for _, d := range c.Deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  <-- REGRESSED"
+		}
+		fmt.Fprintf(w, "%-8s %-18s %-16s %14s %14s %7.2fx%s\n",
+			d.Suite, d.Case, d.Metric, fmtMetric(d.Metric, d.Old), fmtMetric(d.Metric, d.New), d.Ratio, mark)
+	}
+	for _, id := range c.OnlyOld {
+		fmt.Fprintf(w, "only in old: %s\n", id)
+	}
+	for _, id := range c.OnlyNew {
+		fmt.Fprintf(w, "only in new: %s\n", id)
+	}
+	if reg := c.Regressions(); len(reg) > 0 {
+		fmt.Fprintf(w, "%d metric(s) regressed beyond tolerance\n", len(reg))
+	} else {
+		fmt.Fprintln(w, "no regressions beyond tolerance")
+	}
+}
+
+func fmtMetric(metric string, v float64) string {
+	switch metric {
+	case "p95_ns":
+		return time.Duration(v).Round(time.Microsecond).String()
+	case "queries_per_sec":
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

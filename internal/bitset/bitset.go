@@ -86,14 +86,55 @@ func (b *Bitset) Any() bool {
 
 // Intersects reports whether b and o share at least one set bit. It
 // corresponds to the "BA & r.BA != 0" test of Algorithm 3.
-func (b *Bitset) Intersects(o *Bitset) bool {
-	n := min(len(b.words), len(o.words))
+func (b *Bitset) Intersects(o *Bitset) bool { return andAny(b.words, o.words) }
+
+// AndAny reports whether b and o share at least one set bit — the unchecked
+// word-level bulk form of the per-bit Get-and-test loop.
+func (b *Bitset) AndAny(o *Bitset) bool { return andAny(b.words, o.words) }
+
+// andAny is the shared word loop of Intersects/AndAny.
+func andAny(a, b []uint64) bool {
+	n := min(len(a), len(b))
 	for i := 0; i < n; i++ {
-		if b.words[i]&o.words[i] != 0 {
+		if a[i]&b[i] != 0 {
 			return true
 		}
 	}
 	return false
+}
+
+// UnionInto ORs b's set bits into dst, word by word. dst must have capacity
+// for every set bit of b (it may be wider); bits beyond dst's word count
+// panic rather than silently vanish.
+func (b *Bitset) UnionInto(dst *Bitset) {
+	if len(b.words) > len(dst.words) {
+		for _, w := range b.words[len(dst.words):] {
+			if w != 0 {
+				panic(fmt.Sprintf("bitset: UnionInto target capacity %d cannot hold source capacity %d with high bits set", dst.n, b.n))
+			}
+		}
+	}
+	n := min(len(b.words), len(dst.words))
+	for i := 0; i < n; i++ {
+		dst.words[i] |= b.words[i]
+	}
+}
+
+// Words exposes the backing word slice (little-endian bit order, bit i lives
+// in Words()[i/64]). Mutating it mutates the bitset; bulk scan loops use it
+// to fuse word-level tests without per-bit bounds checks.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// FromWords wraps an existing word slice as a bitset of capacity n WITHOUT
+// copying: the bitset aliases words. It is the zero-allocation bridge from
+// flat coverage arrays (e.g. a TupleBlock's BA row) to the bulk operations
+// of this package. words must hold at least (n+63)/64 entries.
+func FromWords(n int, words []uint64) *Bitset {
+	need := (n + wordBits - 1) / wordBits
+	if len(words) < need {
+		panic(fmt.Sprintf("bitset: FromWords needs %d words for %d bits, got %d", need, n, len(words)))
+	}
+	return &Bitset{words: words, n: n}
 }
 
 // Equal reports whether the two bitsets have the same capacity and contents.
@@ -117,29 +158,58 @@ func (b *Bitset) Clone() *Bitset {
 }
 
 // Key returns the bit contents as a string usable as a map key. Two bitsets
-// with equal contents and capacity produce equal keys.
+// with equal contents and capacity produce equal keys. Hot paths that look
+// keys up repeatedly should use AppendKey with a reused scratch buffer
+// instead: map lookups via string(buf) do not allocate.
 func (b *Bitset) Key() string {
-	var sb strings.Builder
-	sb.Grow(len(b.words) * 8)
-	for _, w := range b.words {
-		for s := 0; s < 64; s += 8 {
-			sb.WriteByte(byte(w >> uint(s)))
-		}
-	}
-	return sb.String()
+	return string(b.AppendKey(make([]byte, 0, len(b.words)*8)))
 }
 
-// Indices returns the positions of the set bits in increasing order.
+// AppendKey appends the map-key encoding of b (8 little-endian bytes per
+// word, identical to Key) to dst and returns the extended slice. With a
+// reused scratch buffer the call itself never allocates, and looking the
+// result up as m[string(buf)] is allocation-free too.
+func (b *Bitset) AppendKey(dst []byte) []byte {
+	for _, w := range b.words {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst
+}
+
+// Indices returns the positions of the set bits in increasing order. The
+// output is sized by the capacity bound in one pass rather than by an extra
+// popcount pass over the words.
 func (b *Bitset) Indices() []int {
-	out := make([]int, 0, b.Count())
+	return b.AppendIndices(make([]int, 0, b.n))
+}
+
+// AppendIndices appends the positions of the set bits in increasing order to
+// dst and returns the extended slice. With a reused scratch buffer of
+// sufficient capacity the call never allocates.
+func (b *Bitset) AppendIndices(dst []int) []int {
 	for wi, w := range b.words {
 		for w != 0 {
 			tz := bits.TrailingZeros64(w)
-			out = append(out, wi*wordBits+tz)
+			dst = append(dst, wi*wordBits+tz)
 			w &= w - 1
 		}
 	}
-	return out
+	return dst
+}
+
+// ForEachSet calls f for each set bit in increasing order. It walks words
+// with TrailingZeros instead of testing every bit through the checked Get
+// path, so sparse iteration costs one call per set bit, not per capacity bit.
+func (b *Bitset) ForEachSet(f func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			f(wi*wordBits + tz)
+			w &= w - 1
+		}
+	}
 }
 
 // String renders the bitset most-significant-bit last, e.g. "1100" for bits

@@ -206,6 +206,134 @@ func TestQuickIntersectsMatchesReference(t *testing.T) {
 	}
 }
 
+func TestForEachSetAndAppendIndices(t *testing.T) {
+	want := []int{0, 5, 63, 64, 120}
+	b := FromIndices(128, want...)
+	var got []int
+	b.ForEachSet(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEachSet visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachSet visited %v, want %v", got, want)
+		}
+	}
+	scratch := make([]int, 0, 128)
+	app := b.AppendIndices(scratch)
+	idx := b.Indices()
+	if len(app) != len(idx) {
+		t.Fatalf("AppendIndices = %v, Indices = %v", app, idx)
+	}
+	for i := range idx {
+		if app[i] != idx[i] {
+			t.Fatalf("AppendIndices = %v, Indices = %v", app, idx)
+		}
+	}
+}
+
+func TestAndAnyMatchesIntersects(t *testing.T) {
+	a := FromIndices(100, 3, 64, 99)
+	b := FromIndices(100, 64)
+	c := FromIndices(100, 4, 65)
+	if !a.AndAny(b) || a.AndAny(c) || !b.AndAny(a) {
+		t.Error("AndAny disagrees with Intersects semantics")
+	}
+}
+
+func TestUnionInto(t *testing.T) {
+	src := FromIndices(70, 1, 65)
+	dst := FromIndices(70, 2)
+	src.UnionInto(dst)
+	for _, i := range []int{1, 2, 65} {
+		if !dst.Get(i) {
+			t.Errorf("bit %d missing after UnionInto", i)
+		}
+	}
+	if dst.Count() != 3 {
+		t.Errorf("Count = %d after UnionInto, want 3", dst.Count())
+	}
+	if !src.Get(1) || src.Get(2) {
+		t.Error("UnionInto mutated its source")
+	}
+	// A narrow source unions into a wider target.
+	narrow := FromIndices(4, 0)
+	wide := New(130)
+	narrow.UnionInto(wide)
+	if !wide.Get(0) || wide.Count() != 1 {
+		t.Error("narrow-into-wide union wrong")
+	}
+	// A wide source with high bits set cannot fit a narrow target.
+	defer func() {
+		if recover() == nil {
+			t.Error("UnionInto with unrepresentable high bits did not panic")
+		}
+	}()
+	FromIndices(130, 129).UnionInto(New(4))
+}
+
+func TestWordsAndFromWords(t *testing.T) {
+	b := FromIndices(128, 1, 64)
+	w := b.Words()
+	if len(w) != 2 || w[0] != 1<<1 || w[1] != 1 {
+		t.Fatalf("Words = %v", w)
+	}
+	alias := FromWords(128, w)
+	if !alias.Equal(b) {
+		t.Error("FromWords view not equal to source")
+	}
+	alias.Set(5)
+	if !b.Get(5) {
+		t.Error("FromWords does not alias its words")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromWords with too few words did not panic")
+		}
+	}()
+	FromWords(65, w[:1])
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	b := FromIndices(90, 1, 2, 88)
+	if got := string(b.AppendKey(nil)); got != b.Key() {
+		t.Errorf("AppendKey = %q, Key = %q", got, b.Key())
+	}
+	// Appends, never overwrites.
+	buf := []byte("x")
+	if got := string(b.AppendKey(buf)); got != "x"+b.Key() {
+		t.Error("AppendKey clobbered its prefix")
+	}
+}
+
+// TestBulkOpsDoNotAllocate pins the zero-allocation contract of the hot
+// bulk operations: with reused scratch buffers, none of them may allocate.
+func TestBulkOpsDoNotAllocate(t *testing.T) {
+	a := FromIndices(128, 0, 5, 63, 64, 120)
+	b := FromIndices(128, 5, 70)
+	keyBuf := make([]byte, 0, 64)
+	idxBuf := make([]int, 0, 128)
+	m := map[string]int{string(a.AppendKey(nil)): 1}
+	var sink int
+	cases := map[string]func(){
+		"AndAny":        func() { _ = a.AndAny(b) },
+		"UnionInto":     func() { b.UnionInto(a) },
+		"ForEachSet":    func() { a.ForEachSet(func(i int) { sink += i }) },
+		"AppendIndices": func() { idxBuf = a.AppendIndices(idxBuf[:0]) },
+		"AppendKey+map": func() {
+			keyBuf = a.AppendKey(keyBuf[:0])
+			sink += m[string(keyBuf)]
+		},
+		"Words": func() { _ = a.Words() },
+	}
+	for name, f := range cases {
+		if got := testing.AllocsPerRun(100, f); got != 0 {
+			t.Errorf("%s allocates %.1f per run, want 0", name, got)
+		}
+	}
+	_ = sink
+}
+
 func BenchmarkIntersects64(b *testing.B) {
 	x := FromIndices(64, 0, 13, 63)
 	y := FromIndices(64, 13)

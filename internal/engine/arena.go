@@ -1,0 +1,81 @@
+package engine
+
+import "sync"
+
+// columnArena recycles the per-query fork columns (the Mhat estimate arrays
+// CachedData.Fork hands every query). Prepared sessions answer many queries
+// over identically partitioned blocks, so the same column sizes come back
+// query after query; without reuse every fork allocates and zero-fills a
+// fresh []float64 per block. Each concrete backend owns one arena; query
+// scopes borrow from it and return their borrows in Finish, so a column is
+// only ever owned by one in-flight query.
+type columnArena struct {
+	mu   sync.Mutex
+	free [][]float64
+}
+
+// arenaMaxFree bounds the free list so a burst of unusually wide forks
+// cannot pin memory forever; surplus columns fall back to the GC.
+const arenaMaxFree = 256
+
+// get returns a length-n column, reusing the smallest free column that fits
+// (best fit keeps big columns available for big blocks). The contents are
+// unspecified; callers must initialise it.
+func (a *columnArena) get(n int) []float64 {
+	a.mu.Lock()
+	best := -1
+	for i, c := range a.free {
+		if cap(c) >= n && (best < 0 || cap(c) < cap(a.free[best])) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		col := a.free[best]
+		last := len(a.free) - 1
+		a.free[best] = a.free[last]
+		a.free[last] = nil
+		a.free = a.free[:last]
+		a.mu.Unlock()
+		return col[:n]
+	}
+	a.mu.Unlock()
+	return make([]float64, n)
+}
+
+// put returns columns to the free list. Nil or zero-capacity entries are
+// skipped; beyond arenaMaxFree the surplus is left to the GC.
+func (a *columnArena) put(cols [][]float64) {
+	a.mu.Lock()
+	for _, c := range cols {
+		if cap(c) == 0 {
+			continue
+		}
+		if len(a.free) >= arenaMaxFree {
+			break
+		}
+		a.free = append(a.free, c[:0])
+	}
+	a.mu.Unlock()
+}
+
+// borrowColumn resolves the arena for b: query scopes borrow from their
+// backend's arena (tracked, returned on Finish); a bare backend — cold runs
+// that fork once and drop everything with the substrate — just allocates.
+func borrowColumn(b Backend, n int) []float64 {
+	if s, ok := b.(*QueryScope); ok {
+		return s.borrowColumn(n)
+	}
+	return make([]float64, n)
+}
+
+// FillFloat64 sets every element of s to v with a doubling block copy —
+// runtime-assisted memmove instead of a per-element store loop.
+func FillFloat64(s []float64, v float64) {
+	if len(s) == 0 {
+		return
+	}
+	s[0] = v
+	for filled := 1; filled < len(s); filled *= 2 {
+		copy(s[filled:], s[:filled])
+	}
+}

@@ -80,6 +80,8 @@ type Backend interface {
 	// byte sizes for cost accounting (false on the native path, where the
 	// sizing closures would be pure overhead).
 	accountsBytes() bool
+	// arena returns the backend's fork-column arena (see columnArena).
+	arena() *columnArena
 }
 
 // Compile-time interface checks.

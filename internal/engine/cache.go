@@ -324,7 +324,9 @@ func (cd *CachedData) Scan(name string, mutate bool, f func(i int, b *TupleBlock
 // and no coverage bits. Forks are what make prepare-once/query-many safe:
 // concurrent queries scale their own Mhat/BA columns while reading one
 // shared copy of the data. The fork is registered against b's cache budget
-// (typically a per-query scope of the backend holding cd).
+// (typically a per-query scope of the backend holding cd). Estimate columns
+// are borrowed from the backend arena when b is a query scope; the scope's
+// Finish returns them, which is safe because forks never outlive their query.
 func (cd *CachedData) Fork(b Backend) (*CachedData, error) {
 	blocks := make([]*TupleBlock, cd.NumBlocks())
 	for i := range blocks {
@@ -332,10 +334,8 @@ func (cd *CachedData) Fork(b Backend) (*CachedData, error) {
 		if err != nil {
 			return nil, err
 		}
-		mhat := make([]float64, src.NumRows())
-		for r := range mhat {
-			mhat[r] = 1
-		}
+		mhat := borrowColumn(b, src.NumRows())
+		FillFloat64(mhat, 1)
 		blocks[i] = &TupleBlock{Start: src.Start, Dims: src.Dims, M: src.M, Mhat: mhat}
 		cd.Release(i)
 	}

@@ -101,6 +101,7 @@ type SimBackend struct {
 	simTime time.Duration
 
 	spill spiller
+	cols  columnArena
 
 	sem chan struct{} // limits real concurrency
 }
@@ -299,6 +300,8 @@ func (c *SimBackend) chargeSpillRead(bytes int64) {
 
 // accountsBytes: the simulator prices operators by byte volume.
 func (c *SimBackend) accountsBytes() bool { return true }
+
+func (c *SimBackend) arena() *columnArena { return &c.cols }
 
 // ChargeDiskRead accounts for loading a dataset from the distributed file
 // system, spread across executors reading their partitions in parallel.

@@ -23,6 +23,7 @@ type NativeBackend struct {
 	pool    *DataPool
 	workers int
 	spill   spiller
+	cols    columnArena
 }
 
 // NewNativeBackend builds a native multicore backend from conf (zero fields
@@ -113,6 +114,8 @@ func (b *NativeBackend) chargeSpillRead(bytes int64) {
 
 // accountsBytes: per-record byte sizing is simulation-only overhead.
 func (b *NativeBackend) accountsBytes() bool { return false }
+
+func (b *NativeBackend) arena() *columnArena { return &b.cols }
 
 // RunStage executes n tasks on the worker pool with work stealing. Task
 // panics are captured and re-raised on the caller with stage context after

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync"
 	"time"
 
 	"sirum/internal/metrics"
@@ -20,6 +21,13 @@ import (
 type QueryScope struct {
 	base Backend
 	reg  *metrics.Registry
+
+	// borrowed tracks fork columns taken from the backend arena; Finish
+	// returns them. The mutex covers concurrent borrows from parallel
+	// fork stages, not concurrent use of the columns themselves — each
+	// borrowed column belongs to exactly one block of this query's fork.
+	borrowMu sync.Mutex
+	borrowed [][]float64
 }
 
 // NewQueryScope wraps b with a fresh private registry. Wrapping another
@@ -129,6 +137,13 @@ var engineCounters = map[string]bool{
 // charges the backends book themselves. Call once when the query completes;
 // engine-booked counters are excluded to avoid double counting.
 func (s *QueryScope) Finish() {
+	s.borrowMu.Lock()
+	cols := s.borrowed
+	s.borrowed = nil
+	s.borrowMu.Unlock()
+	if len(cols) > 0 {
+		s.base.arena().put(cols)
+	}
 	base := s.base.Reg()
 	for k, v := range s.reg.Counters() {
 		if !engineCounters[k] {
@@ -159,3 +174,17 @@ func (s *QueryScope) chargeSpillRead(bytes int64) {
 }
 
 func (s *QueryScope) accountsBytes() bool { return s.base.accountsBytes() }
+
+func (s *QueryScope) arena() *columnArena { return s.base.arena() }
+
+// borrowColumn takes a length-n column from the backend arena and records it
+// for return at Finish. The query's fork owns the column exclusively until
+// then: the fork is dropped (mineScoped defers q.data.Drop before the
+// caller's deferred Finish), and nothing retains fork blocks past the query.
+func (s *QueryScope) borrowColumn(n int) []float64 {
+	col := s.base.arena().get(n)
+	s.borrowMu.Lock()
+	s.borrowed = append(s.borrowed, col)
+	s.borrowMu.Unlock()
+	return col
+}

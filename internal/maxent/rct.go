@@ -3,6 +3,7 @@ package maxent
 import (
 	"fmt"
 
+	"sirum/internal/bitset"
 	"sirum/internal/dataset"
 	"sirum/internal/metrics"
 	"sirum/internal/rule"
@@ -126,14 +127,11 @@ func (s *RCTScaler) Snapshot() []RCTRow {
 	return out
 }
 
-func baKey(words []uint64) string {
-	b := make([]byte, len(words)*8)
-	for i, w := range words {
-		for s := 0; s < 8; s++ {
-			b[i*8+s] = byte(w >> uint(8*s))
-		}
-	}
-	return string(b)
+// appendBAKey appends the map-key encoding of a coverage bit array (8
+// little-endian bytes per word) to dst. Reusing dst keeps the per-tuple
+// group-by and write-back loops allocation-free.
+func appendBAKey(dst []byte, words []uint64) []byte {
+	return bitset.FromWords(len(words)*64, words).AppendKey(dst)
 }
 
 // AddRule implements Scaler: lines 1–6 of Algorithm 3 extend the bit arrays
@@ -150,6 +148,7 @@ func (s *RCTScaler) AddRule(r rule.Rule) (ScaleStats, error) {
 	count := 0
 	s.rct = make(map[string]*rctRow, 2*len(s.rct)+1)
 	word, bit := w/64, uint64(1)<<(uint(w)%64)
+	keyBuf := make([]byte, 0, s.words*8)
 	for i := 0; i < s.ds.NumRows(); i++ {
 		bai := s.ba[i*s.words : (i+1)*s.words]
 		if r.MatchesRow(s.ds, i) {
@@ -157,11 +156,13 @@ func (s *RCTScaler) AddRule(r rule.Rule) (ScaleStats, error) {
 			sum += s.work[i]
 			count++
 		}
-		key := baKey(bai)
-		row, ok := s.rct[key]
+		// Scratch-buffer key: lookups via string(keyBuf) do not allocate,
+		// so only first-seen signatures pay a string.
+		keyBuf = appendBAKey(keyBuf[:0], bai)
+		row, ok := s.rct[string(keyBuf)]
 		if !ok {
 			row = &rctRow{ba: append([]uint64(nil), bai...)}
-			s.rct[key] = row
+			s.rct[string(keyBuf)] = row
 		}
 		row.count++
 		row.sumM += s.work[i]
@@ -187,12 +188,25 @@ func (s *RCTScaler) AddRule(r rule.Rule) (ScaleStats, error) {
 	// Write-back pass (lines 23–25): every tuple's estimate is the product
 	// of the multipliers of the rules it matches; tuples sharing a bit
 	// array share the estimate, so compute one product per RCT row.
-	est := make(map[string]float64, len(s.rct))
-	for key, row := range s.rct {
-		est[key] = s.productOf(row.ba)
-	}
-	for i := 0; i < s.ds.NumRows(); i++ {
-		s.mhat[i] = est[baKey(s.ba[i*s.words:(i+1)*s.words])]
+	if s.words == 1 {
+		// Word64 fast path: with the rule list in one machine word, key the
+		// estimate table directly by the coverage word.
+		est := make(map[uint64]float64, len(s.rct))
+		for _, row := range s.rct {
+			est[row.ba[0]] = s.productOf(row.ba)
+		}
+		for i, w := range s.ba {
+			s.mhat[i] = est[w]
+		}
+	} else {
+		est := make(map[string]float64, len(s.rct))
+		for key, row := range s.rct {
+			est[key] = s.productOf(row.ba)
+		}
+		for i := 0; i < s.ds.NumRows(); i++ {
+			keyBuf = appendBAKey(keyBuf[:0], s.ba[i*s.words:(i+1)*s.words])
+			s.mhat[i] = est[string(keyBuf)]
+		}
 	}
 	if s.Reg != nil {
 		s.Reg.Add(metrics.CtrScanRows, int64(2*s.ds.NumRows()))
@@ -200,13 +214,13 @@ func (s *RCTScaler) AddRule(r rule.Rule) (ScaleStats, error) {
 	return st, nil
 }
 
+// productOf multiplies the lambdas of the rules whose coverage bits are set,
+// walking only the set bits instead of testing every rule.
 func (s *RCTScaler) productOf(ba []uint64) float64 {
 	p := 1.0
-	for i := range s.rules {
-		if ba[i/64]&(1<<(uint(i)%64)) != 0 {
-			p *= s.lambda[i]
-		}
-	}
+	bitset.FromWords(len(s.rules), ba).ForEachSet(func(i int) {
+		p *= s.lambda[i]
+	})
 	return p
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"sirum/internal/bitset"
 	"sirum/internal/engine"
 	"sirum/internal/maxent"
 	"sirum/internal/metrics"
@@ -139,9 +140,7 @@ func (s *naiveDistScaler) AddRules(rs []rule.Rule) error {
 			s.lambda[i] = 1
 		}
 		if err := s.data.Scan("scaling/reset", true, func(_ int, b *engine.TupleBlock) {
-			for i := range b.Mhat {
-				b.Mhat[i] = 1
-			}
+			engine.FillFloat64(b.Mhat, 1)
 		}); err != nil {
 			return err
 		}
@@ -254,6 +253,7 @@ func (s *rctDistScaler) AddRules(rs []rule.Rule) error {
 			b.BA = make([]uint64, b.NumRows()*s.words)
 		}
 		o := blockOut{rct: make(map[string]*rctAgg), sums: make([]float64, len(rs)), counts: make([]float64, len(rs))}
+		keyBuf := make([]byte, 0, s.words*8)
 		for i := 0; i < b.NumRows(); i++ {
 			ba := b.BA[i*s.words : (i+1)*s.words]
 			for ri, r := range rs {
@@ -264,11 +264,13 @@ func (s *rctDistScaler) AddRules(rs []rule.Rule) error {
 					o.counts[ri]++
 				}
 			}
-			key := baString(ba)
-			row, ok := o.rct[key]
+			// Scratch-buffer key: the map lookup via string(keyBuf) does
+			// not allocate, so only first-seen signatures pay a string.
+			keyBuf = appendBAKey(keyBuf[:0], ba)
+			row, ok := o.rct[string(keyBuf)]
 			if !ok {
 				row = &rctAgg{ba: append([]uint64(nil), ba...)}
-				o.rct[key] = row
+				o.rct[string(keyBuf)] = row
 			}
 			row.count++
 			row.sumMhat += b.Mhat[i]
@@ -315,24 +317,40 @@ func (s *rctDistScaler) AddRules(rs []rule.Rule) error {
 	// Write-back pass (lines 23–25): estimates are per-coverage-signature
 	// products of multipliers.
 	s.chargeJoin(int64(len(s.lambda)) * 8)
+	if s.words == 1 {
+		// Word64 fast path: with the rule list in one machine word, key the
+		// estimate table directly by the coverage word and skip byte-key
+		// encoding entirely.
+		est := make(map[uint64]float64, len(rct))
+		for _, row := range rct {
+			est[row.ba[0]] = s.productOf(row.ba)
+		}
+		return s.data.Scan("scaling/writeback", true, func(_ int, b *engine.TupleBlock) {
+			for i, w := range b.BA {
+				b.Mhat[i] = est[w]
+			}
+		})
+	}
 	est := make(map[string]float64, len(rct))
 	for key, row := range rct {
 		est[key] = s.productOf(row.ba)
 	}
 	return s.data.Scan("scaling/writeback", true, func(_ int, b *engine.TupleBlock) {
+		keyBuf := make([]byte, 0, s.words*8)
 		for i := 0; i < b.NumRows(); i++ {
-			b.Mhat[i] = est[baString(b.BA[i*s.words:(i+1)*s.words])]
+			keyBuf = appendBAKey(keyBuf[:0], b.BA[i*s.words:(i+1)*s.words])
+			b.Mhat[i] = est[string(keyBuf)]
 		}
 	})
 }
 
+// productOf multiplies the lambdas of the rules whose coverage bits are set,
+// walking only the set bits instead of testing every rule.
 func (s *rctDistScaler) productOf(ba []uint64) float64 {
 	p := 1.0
-	for i := range s.rules {
-		if ba[i/64]&(1<<(uint(i)%64)) != 0 {
-			p *= s.lambda[i]
-		}
-	}
+	bitset.FromWords(len(s.rules), ba).ForEachSet(func(i int) {
+		p *= s.lambda[i]
+	})
 	return p
 }
 
@@ -376,14 +394,11 @@ func (s *rctDistScaler) scaleRCT(rct map[string]*rctAgg) error {
 	return fmt.Errorf("miner: RCT iterative scaling did not converge in %d loops", s.maxLoops)
 }
 
-func baString(ba []uint64) string {
-	b := make([]byte, len(ba)*8)
-	for i, w := range ba {
-		for k := 0; k < 8; k++ {
-			b[i*8+k] = byte(w >> uint(8*k))
-		}
-	}
-	return string(b)
+// appendBAKey appends the map-key encoding of a coverage bit array (8
+// little-endian bytes per word) to dst. Reusing dst across rows keeps the
+// RCT build and write-back scans allocation-free per row.
+func appendBAKey(dst []byte, ba []uint64) []byte {
+	return bitset.FromWords(len(ba)*64, ba).AppendKey(dst)
 }
 
 // relDiff and scaleRatio mirror maxent's guards.

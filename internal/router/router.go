@@ -439,6 +439,37 @@ func relay(w http.ResponseWriter, raw *server.RawResponse) {
 	w.Write(raw.Body)
 }
 
+// relayStream copies a shard's streaming response through unchanged, without
+// ever holding the body in memory.
+func relayStream(w http.ResponseWriter, resp *server.StreamResponse) {
+	defer resp.Body.Close()
+	if resp.ContentType != "" {
+		w.Header().Set("Content-Type", resp.ContentType)
+	}
+	w.WriteHeader(resp.Status)
+	io.Copy(w, resp.Body)
+}
+
+// capReader streams a request body through the router's size cap, recording
+// whether the cap fired so the proxy can answer 413 instead of blaming the
+// shard for the aborted upload.
+type capReader struct {
+	r        io.Reader
+	limit    int64
+	tooLarge bool
+}
+
+func (cr *capReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			cr.tooLarge = true
+		}
+	}
+	return n, err
+}
+
 // forward proxies one request to a shard, converting transport failures
 // into a mark-down plus a 502 — the shard is unreachable, which is not the
 // client's fault and not a router bug.
@@ -451,6 +482,29 @@ func (rt *Router) forward(sh *shard, method, path, contentType string, body []by
 	}
 	rt.proxied.Add(1)
 	return raw, nil
+}
+
+// forwardStream proxies one request to a shard end to end without buffering:
+// the client body streams up (under the size cap carried by body, when set)
+// and the shard response streams back. Transport failures mark the shard
+// down exactly like forward, except a cap-aborted upload is the client's
+// fault and answers 413.
+func (rt *Router) forwardStream(sh *shard, method, path, contentType string, body *capReader, length int64) (*server.StreamResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = body
+	}
+	resp, err := sh.client.DoStream(method, path, contentType, rd, length)
+	if err != nil {
+		if body != nil && body.tooLarge {
+			return nil, errf(http.StatusRequestEntityTooLarge, "request body over %d bytes", body.limit)
+		}
+		rt.proxyErrs.Add(1)
+		rt.markDown(sh, err)
+		return nil, errf(http.StatusBadGateway, "shard %s is unreachable: %v", sh.label(), err)
+	}
+	rt.proxied.Add(1)
+	return resp, nil
 }
 
 func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) error {
@@ -538,28 +592,33 @@ func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) error {
 	if sh.down.Load() {
 		return errf(http.StatusServiceUnavailable, "dataset %q lives on shard %s, which is marked down", id, sh.label())
 	}
-	var body []byte
+	// Session operations are pure relays: the router never interprets the
+	// bodies, so both directions stream instead of buffering whole payloads
+	// (appends can carry megabytes of rows, mines return full rule lists).
+	var body *capReader
+	length := int64(-1)
 	if r.Method == http.MethodPost {
-		var err error
-		if body, err = rt.readBody(w, r); err != nil {
-			return err
+		if r.ContentLength > rt.conf.MaxBodyBytes {
+			return errf(http.StatusRequestEntityTooLarge, "request body over %d bytes", rt.conf.MaxBodyBytes)
 		}
+		body = &capReader{r: http.MaxBytesReader(w, r.Body, rt.conf.MaxBodyBytes), limit: rt.conf.MaxBodyBytes}
+		length = r.ContentLength
 	}
-	raw, err := rt.forward(sh, r.Method, path, r.Header.Get("Content-Type"), body)
+	resp, err := rt.forwardStream(sh, r.Method, path, r.Header.Get("Content-Type"), body, length)
 	if err != nil {
 		return err
 	}
 	switch {
-	case r.Method == http.MethodDelete && raw.Status == http.StatusNoContent:
+	case r.Method == http.MethodDelete && resp.Status == http.StatusNoContent:
 		rt.dropTable(id)
 		sh.sessions.Add(-1)
-	case raw.Status == http.StatusNotFound:
+	case resp.Status == http.StatusNotFound:
 		// The table thought the session lived there but the shard disagrees
 		// (e.g. it restarted without its snapshot): forget the stale entry
 		// so the next lookup resyncs instead of bouncing off it forever.
 		rt.dropTable(id)
 	}
-	relay(w, raw)
+	relayStream(w, resp)
 	return nil
 }
 

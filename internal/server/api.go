@@ -383,6 +383,47 @@ func (c *Client) DoRaw(method, path, contentType string, body []byte) (*RawRespo
 	}, nil
 }
 
+// StreamResponse is one in-flight HTTP exchange: status and content type are
+// final, the body streams straight from the server. The caller owns Body and
+// must Close it.
+type StreamResponse struct {
+	Status      int
+	ContentType string
+	Body        io.ReadCloser
+}
+
+// DoStream performs one round trip without buffering either direction: body
+// (when non-nil) streams to the server, and the response body streams back
+// to the caller. Like DoRaw, any HTTP status is returned as a response and
+// the error is reserved for transport failures. Content length may be passed
+// via length (use -1 when unknown) so fixed-size relays avoid chunked
+// encoding.
+func (c *Client) DoStream(method, path, contentType string, body io.Reader, length int64) (*StreamResponse, error) {
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil && length >= 0 {
+		req.ContentLength = length
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamResponse{
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        resp.Body,
+	}, nil
+}
+
 func publicRules(rules []sirum.Rule) []RuleJSON {
 	out := make([]RuleJSON, 0, len(rules))
 	for _, r := range rules {

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -102,6 +103,12 @@ type LoadReport struct {
 	// target is a router, ShardSessions reports how many landed per shard.
 	Sessions      int              `json:"sessions"`
 	ShardSessions map[string]int64 `json:"shard_sessions,omitempty"`
+	// AllocsPerQuery and BytesPerQuery are runtime.MemStats deltas over the
+	// storm divided by the query count. They cover the whole process, so
+	// they are meaningful when the daemon runs in-process (the bench serve
+	// suite); against a remote daemon they reflect only the client side.
+	AllocsPerQuery int64 `json:"allocs_per_query"`
+	BytesPerQuery  int64 `json:"bytes_per_query"`
 }
 
 // String renders the report for terminals.
@@ -184,6 +191,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	mineRefs := make(map[int64]*MineResponse)
 	var exploreRef *ExploreResponse
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Concurrency; w++ {
@@ -243,6 +252,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	// Seed 1 was primed by the baseline, so its storm responses must also
 	// equal the baseline itself.
@@ -277,6 +288,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 	if wall > 0 {
 		rep.Throughput = float64(cfg.Queries) / wall.Seconds()
+	}
+	if cfg.Queries > 0 {
+		rep.AllocsPerQuery = int64(memAfter.Mallocs-memBefore.Mallocs) / int64(cfg.Queries)
+		rep.BytesPerQuery = int64(memAfter.TotalAlloc-memBefore.TotalAlloc) / int64(cfg.Queries)
 	}
 	sorted := append([]time.Duration(nil), latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -324,11 +339,19 @@ func sameRules(a, b []RuleJSON) bool {
 	return true
 }
 
-// percentile returns the value at fraction q of a sorted slice.
+// percentile returns the exact q-quantile of a sorted sample, linearly
+// interpolating between the two adjacent order statistics when the rank
+// q*(n-1) is not integral (so p95 of a 64-query run is not silently rounded
+// down to an earlier order statistic).
 func percentile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
+	rank := q * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
 }
