@@ -7,8 +7,8 @@
 //	sirumbench -exp fig-5.3            # one experiment
 //	sirumbench -exp all [-scale 2000]  # the whole evaluation
 //
-//	sirumbench -bench [-quick] [-out BENCH_1.json] [-suites mine,serve]
-//	sirumbench -compare OLD.json NEW.json [-tol 0.15]
+//	sirumbench -bench [-quick] [-out BENCH_2.json] [-suites mine,serve]
+//	sirumbench -compare [OLD.json] NEW.json [-tol 0.15]
 //
 // Experiment ids are the thesis' figure/table numbers (fig-3.1 … fig-5.19,
 // table-1.2, table-4.1) plus the ablations from DESIGN.md §5. The -scale
@@ -17,8 +17,11 @@
 //
 // -bench measures the canonical perf suites (mine/explore/append cold vs
 // prepared on both backends, plus an in-process serving storm) and emits the
-// versioned JSON document checked in as BENCH_1.json; -compare diffs two
-// such documents and flags moves beyond -tol in the bad direction.
+// versioned JSON document checked in as BENCH_<n>.json; -compare diffs two
+// such documents and flags moves beyond -tol in the bad direction. With one
+// path, the baseline is the newest checked-in BENCH_<n>.json. Flagged
+// latency/throughput deltas are advisory; flagged allocs_per_op deltas fail
+// the command.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -136,8 +140,12 @@ func runBench(out, suites string, quick bool, stdout io.Writer) error {
 	return nil
 }
 
-// runCompare diffs two reports; regressions render flagged but do not fail
-// the command — the trajectory gate is informational by design.
+// runCompare diffs two reports. With a single path the baseline is
+// auto-selected: the newest checked-in BENCH_<n>.json in the current
+// directory, so CI keeps comparing against the latest trajectory point
+// without edits. Latency and throughput regressions render flagged but stay
+// advisory (shared runners wobble); allocs_per_op regressions fail the
+// command — allocation counts are deterministic, so those flags are real.
 func runCompare(args []string, tol float64, stdout io.Writer) error {
 	// The flag package stops parsing at the first positional argument, so
 	// the documented `-compare OLD NEW -tol 0.25` order leaves -tol in the
@@ -159,8 +167,17 @@ func runCompare(args []string, tol float64, stdout io.Writer) error {
 		}
 	}
 	args = paths
-	if len(args) != 2 {
-		return fmt.Errorf("-compare needs exactly two report paths, got %d", len(args))
+	switch len(args) {
+	case 1:
+		base, err := newestBenchReport(".")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "baseline: %s (newest checked-in trajectory point)\n", base)
+		args = []string{base, args[0]}
+	case 2:
+	default:
+		return fmt.Errorf("-compare needs one (NEW, baseline auto-selected) or two (OLD NEW) report paths, got %d", len(args))
 	}
 	oldRep, err := bench.ReadFile(args[0])
 	if err != nil {
@@ -170,6 +187,33 @@ func runCompare(args []string, tol float64, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	bench.Compare(oldRep, newRep, tol).Render(stdout)
+	cmp := bench.Compare(oldRep, newRep, tol)
+	cmp.Render(stdout)
+	if reg := cmp.AllocRegressions(); len(reg) > 0 {
+		return fmt.Errorf("%d allocs_per_op regression(s) beyond tolerance (latency/throughput flags are advisory; allocation flags block)", len(reg))
+	}
 	return nil
+}
+
+// newestBenchReport picks the highest-numbered BENCH_<n>.json in dir.
+func newestBenchReport(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		base := filepath.Base(m)
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json"))
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no checked-in BENCH_<n>.json baseline found in %s", dir)
+	}
+	return best, nil
 }

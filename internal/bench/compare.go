@@ -41,6 +41,20 @@ func (c *Comparison) Regressions() []Delta {
 	return out
 }
 
+// AllocRegressions returns the flagged allocs_per_op deltas — the subset a
+// CI gate can block on. Allocation counts are deterministic for a given
+// code path, so unlike latency and throughput (which wobble with the
+// runner's load) they only regress when the code really allocates more.
+func (c *Comparison) AllocRegressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed && d.Metric == "allocs_per_op" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // Compare diffs two reports case by case. tol is the relative tolerance
 // (e.g. 0.15 flags >15% moves in the bad direction); quick reports compare
 // like any other, the caller decides what to do with the flags.

@@ -3,9 +3,14 @@
 // (Section 4.2), the sample-count fix-up of the aggregates, exhaustive
 // candidate enumeration, and distributed top-k selection by information
 // gain.
+//
+// Generation is generic over the rule-key representation via Codec: packed
+// uint64 keys when the schema fits 64 bits (allocation-free end to end) and
+// string keys otherwise. See internal/cube for the representation contract.
 package candgen
 
 import (
+	"cmp"
 	"container/heap"
 	"fmt"
 	"math/rand"
@@ -105,6 +110,169 @@ func (ix *InvertedIndex) Bytes() int64 {
 	return n
 }
 
+// Codec binds one key representation end to end: the cube's KeySpace
+// operations plus rule encoding/decoding and the leaf-instance scans that
+// seed the pipeline. StringCodec works for any schema; PackedCodec applies
+// when the dimensions pack into 64 bits and keeps the whole candidate
+// pipeline allocation-free. The cmp.Ordered bound gives top-k selection its
+// deterministic tie-break.
+type Codec[K cmp.Ordered] interface {
+	cube.KeySpace[K]
+	// EncodeRule returns r's key.
+	EncodeRule(r rule.Rule) (K, error)
+	// DecodeRule decodes key into dst (allocated when too small).
+	DecodeRule(key K, dst rule.Rule) (rule.Rule, error)
+	// LCAParts computes the locally combined LCA aggregates (see the
+	// package-level LCAParts).
+	LCAParts(c engine.Backend, data *engine.CachedData, s *Sample, indexed bool, ix *InvertedIndex) (*engine.PColl[map[K]cube.Agg], error)
+	// ExhaustiveParts turns every data tuple into a full-constant instance
+	// (see the package-level ExhaustiveParts).
+	ExhaustiveParts(c engine.Backend, data *engine.CachedData) (*engine.PColl[map[K]cube.Agg], error)
+	// ForEachLeafKey enumerates every (leaf key, block row) incidence of a
+	// block in ascending row order: the tuple's own instance per row when s
+	// is nil, else the |s| LCA instances per row (ix must index s). The
+	// miner's LCA memo builds on this.
+	ForEachLeafKey(b *engine.TupleBlock, s *Sample, ix *InvertedIndex, emit func(key K, row int))
+}
+
+// StringCodec is the Codec of the string-key representation.
+type StringCodec struct{ cube.StringKeys }
+
+// NewStringCodec returns the string codec for arity d.
+func NewStringCodec(d int) StringCodec { return StringCodec{cube.StringKeys{D: d}} }
+
+// EncodeRule implements Codec.
+func (c StringCodec) EncodeRule(r rule.Rule) (string, error) { return r.Key(), nil }
+
+// DecodeRule implements Codec.
+func (c StringCodec) DecodeRule(key string, dst rule.Rule) (rule.Rule, error) {
+	return rule.DecodeKey(key, c.D, dst)
+}
+
+// LCAParts implements Codec.
+func (c StringCodec) LCAParts(b engine.Backend, data *engine.CachedData, s *Sample, indexed bool, ix *InvertedIndex) (*engine.PColl[map[string]cube.Agg], error) {
+	return LCAParts(b, data, s, indexed, ix)
+}
+
+// ExhaustiveParts implements Codec.
+func (c StringCodec) ExhaustiveParts(b engine.Backend, data *engine.CachedData) (*engine.PColl[map[string]cube.Agg], error) {
+	return ExhaustiveParts(b, data)
+}
+
+// ForEachLeafKey implements Codec. The string path pays one key allocation
+// per incidence; only the once-per-session memo build uses it.
+func (c StringCodec) ForEachLeafKey(b *engine.TupleBlock, s *Sample, ix *InvertedIndex, emit func(string, int)) {
+	d := c.D
+	if s == nil {
+		key := make(rule.Rule, d)
+		for i := 0; i < b.NumRows(); i++ {
+			for j := 0; j < d; j++ {
+				key[j] = b.Dims[j][i]
+			}
+			emit(key.Key(), i)
+		}
+		return
+	}
+	ns := s.Size()
+	template := make([]int32, ns*d)
+	for i := range template {
+		template[i] = rule.Wildcard
+	}
+	buf := make([]int32, ns*d)
+	for i := 0; i < b.NumRows(); i++ {
+		copy(buf, template)
+		for j := 0; j < d; j++ {
+			v := b.Dims[j][i]
+			for _, si := range ix.Posting(j, v) {
+				buf[int(si)*d+j] = v
+			}
+		}
+		for si := 0; si < ns; si++ {
+			emit(rule.Rule(buf[si*d:(si+1)*d]).Key(), i)
+		}
+	}
+}
+
+// PackedCodec is the Codec of the packed-key representation.
+type PackedCodec struct{ cube.PackedKeys }
+
+// NewPackedCodec returns the packed codec over p.
+func NewPackedCodec(p *rule.Packer) PackedCodec { return PackedCodec{cube.PackedKeys{P: p}} }
+
+// EncodeRule implements Codec.
+func (c PackedCodec) EncodeRule(r rule.Rule) (uint64, error) { return c.P.Pack(r) }
+
+// DecodeRule implements Codec.
+func (c PackedCodec) DecodeRule(key uint64, dst rule.Rule) (rule.Rule, error) {
+	return c.P.Unpack(key, dst)
+}
+
+// LCAParts implements Codec.
+func (c PackedCodec) LCAParts(b engine.Backend, data *engine.CachedData, s *Sample, indexed bool, ix *InvertedIndex) (*engine.PColl[map[uint64]cube.Agg], error) {
+	return lcaPartsPacked(b, data, s, indexed, ix, c.P)
+}
+
+// ExhaustiveParts implements Codec.
+func (c PackedCodec) ExhaustiveParts(b engine.Backend, data *engine.CachedData) (*engine.PColl[map[uint64]cube.Agg], error) {
+	p := c.P
+	out := make([]map[uint64]cube.Agg, data.NumBlocks())
+	err := data.Scan("candgen/exhaustive", false, func(bi int, b *engine.TupleBlock) {
+		local := make(map[uint64]cube.Agg)
+		d := len(b.Dims)
+		codes := make(rule.Rule, d)
+		for i := 0; i < b.NumRows(); i++ {
+			for j := 0; j < d; j++ {
+				codes[j] = b.Dims[j][i]
+			}
+			k := p.PackCodes(codes)
+			agg := cube.Agg{SumM: b.M[i], SumMhat: b.Mhat[i], Count: 1}
+			if old, ok := local[k]; ok {
+				local[k] = cube.Merge(old, agg)
+			} else {
+				local[k] = agg
+			}
+		}
+		out[bi] = local
+	})
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewPColl(out), nil
+}
+
+// ForEachLeafKey implements Codec; allocation-free.
+func (c PackedCodec) ForEachLeafKey(b *engine.TupleBlock, s *Sample, ix *InvertedIndex, emit func(uint64, int)) {
+	p := c.P
+	d := len(b.Dims)
+	if s == nil {
+		codes := make(rule.Rule, d)
+		for i := 0; i < b.NumRows(); i++ {
+			for j := 0; j < d; j++ {
+				codes[j] = b.Dims[j][i]
+			}
+			emit(p.PackCodes(codes), i)
+		}
+		return
+	}
+	ns := s.Size()
+	wild := p.AllWildcards()
+	buf := make([]uint64, ns)
+	for i := 0; i < b.NumRows(); i++ {
+		for si := range buf {
+			buf[si] = wild
+		}
+		for j := 0; j < d; j++ {
+			v := b.Dims[j][i]
+			for _, si := range ix.Posting(j, v) {
+				buf[si] = p.Set(buf[si], j, v)
+			}
+		}
+		for si := 0; si < ns; si++ {
+			emit(buf[si], i)
+		}
+	}
+}
+
 // LCAParts computes the locally combined LCA aggregates LCA(s, D): for every
 // (sample tuple, data tuple) pair, the least common ancestor keyed by rule,
 // carrying (t[m], t[m̂], 1). One output map per data block. When indexed is
@@ -128,11 +296,105 @@ func LCAParts(c engine.Backend, data *engine.CachedData, s *Sample, indexed bool
 	out := make([]map[string]cube.Agg, data.NumBlocks())
 	comparisons := make([]int64, data.NumBlocks())
 	err := data.Scan("candgen/lca", false, func(bi int, b *engine.TupleBlock) {
-		local := make(map[string]cube.Agg)
+		local := cube.NewAggTable(b.NumRows())
 		if indexed {
 			comparisons[bi] = lcaIndexed(b, s, ix, local)
 		} else {
 			comparisons[bi] = lcaNaive(b, s, local)
+		}
+		out[bi] = local.Map()
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, n := range comparisons {
+		total += n
+	}
+	c.Reg().Add(metrics.CtrLCAComparisons, total)
+	return engine.NewPColl(out), nil
+}
+
+// lcaNaive computes each pair's LCA with d attribute comparisons, keying the
+// aggregate table through one scratch buffer.
+func lcaNaive(b *engine.TupleBlock, s *Sample, local *cube.AggTable) int64 {
+	d := len(b.Dims)
+	lca := make(rule.Rule, d)
+	keyBuf := make([]byte, 0, d*4)
+	var comps int64
+	for i := 0; i < b.NumRows(); i++ {
+		agg := cube.Agg{SumM: b.M[i], SumMhat: b.Mhat[i], Count: 1}
+		for _, srow := range s.Rows {
+			for j := 0; j < d; j++ {
+				if srow[j] == b.Dims[j][i] {
+					lca[j] = srow[j]
+				} else {
+					lca[j] = rule.Wildcard
+				}
+			}
+			comps += int64(d)
+			keyBuf = lca.AppendKey(keyBuf[:0])
+			local.Add(keyBuf, agg)
+		}
+	}
+	return comps
+}
+
+// lcaIndexed initializes all |s| LCAs of a tuple to all-wildcards and uses
+// the index to write back only the agreeing constants (Section 4.2): one
+// lookup per attribute plus one write per agreement, instead of |s|·d
+// comparisons.
+func lcaIndexed(b *engine.TupleBlock, s *Sample, ix *InvertedIndex, local *cube.AggTable) int64 {
+	d := len(b.Dims)
+	ns := s.Size()
+	template := make([]int32, ns*d)
+	for i := range template {
+		template[i] = rule.Wildcard
+	}
+	buf := make([]int32, ns*d)
+	keyBuf := make([]byte, 0, d*4)
+	var ops int64
+	for i := 0; i < b.NumRows(); i++ {
+		copy(buf, template)
+		for j := 0; j < d; j++ {
+			v := b.Dims[j][i]
+			ops++ // one index lookup per attribute
+			for _, si := range ix.Posting(j, v) {
+				buf[int(si)*d+j] = v
+				ops++
+			}
+		}
+		agg := cube.Agg{SumM: b.M[i], SumMhat: b.Mhat[i], Count: 1}
+		for si := 0; si < ns; si++ {
+			keyBuf = rule.Rule(buf[si*d : (si+1)*d]).AppendKey(keyBuf[:0])
+			local.Add(keyBuf, agg)
+		}
+	}
+	return ops
+}
+
+// lcaPartsPacked is LCAParts in the packed representation: LCAs stay packed
+// words throughout, so neither strategy allocates per pair.
+func lcaPartsPacked(c engine.Backend, data *engine.CachedData, s *Sample, indexed bool, ix *InvertedIndex, p *rule.Packer) (*engine.PColl[map[uint64]cube.Agg], error) {
+	if s.Size() == 0 {
+		return nil, fmt.Errorf("candgen: empty sample")
+	}
+	if indexed {
+		if ix == nil {
+			ix = BuildIndex(s)
+		}
+		c.Broadcast(ix.Bytes() + s.Bytes())
+	} else {
+		c.Broadcast(s.Bytes())
+	}
+	out := make([]map[uint64]cube.Agg, data.NumBlocks())
+	comparisons := make([]int64, data.NumBlocks())
+	err := data.Scan("candgen/lca", false, func(bi int, b *engine.TupleBlock) {
+		local := make(map[uint64]cube.Agg, b.NumRows())
+		if indexed {
+			comparisons[bi] = lcaIndexedPacked(b, s, ix, p, local)
+		} else {
+			comparisons[bi] = lcaNaivePacked(b, s, p, local)
 		}
 		out[bi] = local
 	})
@@ -147,8 +409,7 @@ func LCAParts(c engine.Backend, data *engine.CachedData, s *Sample, indexed bool
 	return engine.NewPColl(out), nil
 }
 
-// lcaNaive computes each pair's LCA with d attribute comparisons.
-func lcaNaive(b *engine.TupleBlock, s *Sample, local map[string]cube.Agg) int64 {
+func lcaNaivePacked(b *engine.TupleBlock, s *Sample, p *rule.Packer, local map[uint64]cube.Agg) int64 {
 	d := len(b.Dims)
 	lca := make(rule.Rule, d)
 	var comps int64
@@ -163,7 +424,7 @@ func lcaNaive(b *engine.TupleBlock, s *Sample, local map[string]cube.Agg) int64 
 				}
 			}
 			comps += int64(d)
-			k := lca.Key()
+			k := p.PackCodes(lca)
 			if old, ok := local[k]; ok {
 				local[k] = cube.Merge(old, agg)
 			} else {
@@ -174,32 +435,27 @@ func lcaNaive(b *engine.TupleBlock, s *Sample, local map[string]cube.Agg) int64 
 	return comps
 }
 
-// lcaIndexed initializes all |s| LCAs of a tuple to all-wildcards and uses
-// the index to write back only the agreeing constants (Section 4.2): one
-// lookup per attribute plus one write per agreement, instead of |s|·d
-// comparisons.
-func lcaIndexed(b *engine.TupleBlock, s *Sample, ix *InvertedIndex, local map[string]cube.Agg) int64 {
+func lcaIndexedPacked(b *engine.TupleBlock, s *Sample, ix *InvertedIndex, p *rule.Packer, local map[uint64]cube.Agg) int64 {
 	d := len(b.Dims)
 	ns := s.Size()
-	template := make([]int32, ns*d)
-	for i := range template {
-		template[i] = rule.Wildcard
-	}
-	buf := make([]int32, ns*d)
+	wild := p.AllWildcards()
+	buf := make([]uint64, ns)
 	var ops int64
 	for i := 0; i < b.NumRows(); i++ {
-		copy(buf, template)
+		for si := range buf {
+			buf[si] = wild
+		}
 		for j := 0; j < d; j++ {
 			v := b.Dims[j][i]
 			ops++ // one index lookup per attribute
 			for _, si := range ix.Posting(j, v) {
-				buf[int(si)*d+j] = v
+				buf[si] = p.Set(buf[si], j, v)
 				ops++
 			}
 		}
 		agg := cube.Agg{SumM: b.M[i], SumMhat: b.Mhat[i], Count: 1}
 		for si := 0; si < ns; si++ {
-			k := rule.Rule(buf[si*d : (si+1)*d]).Key()
+			k := buf[si]
 			if old, ok := local[k]; ok {
 				local[k] = cube.Merge(old, agg)
 			} else {
@@ -215,25 +471,39 @@ func lcaIndexed(b *engine.TupleBlock, s *Sample, ix *InvertedIndex, local map[st
 // so its aggregates are divided by c. After adjustment, SumM and Count equal
 // the candidate's true support sums over D. Candidates covering no sample
 // tuple cannot exist (every candidate is an ancestor of an LCA, hence of a
-// sample tuple); they would indicate corruption and so panic.
-func AdjustForSample(c engine.Backend, candidates *engine.PColl[map[string]cube.Agg], s *Sample, d int) *engine.PColl[map[string]cube.Agg] {
+// sample tuple); they indicate corruption and surface as an error rather
+// than a worker panic.
+func AdjustForSample[K cmp.Ordered](c engine.Backend, candidates *engine.PColl[map[K]cube.Agg], s *Sample, codec Codec[K]) (*engine.PColl[map[K]cube.Agg], error) {
 	c.Broadcast(s.Bytes())
-	return engine.MapParts(c, candidates, "candgen/adjust", func(_ int, part map[string]cube.Agg) map[string]cube.Agg {
-		out := make(map[string]cube.Agg, len(part))
+	out := make([]map[K]cube.Agg, candidates.NumParts())
+	errs := make([]error, candidates.NumParts())
+	c.RunStage("candgen/adjust", candidates.NumParts(), func(i int) {
+		part := candidates.Part(i)
+		adj := make(map[K]cube.Agg, len(part))
+		buf := make(rule.Rule, codec.NumDims())
 		for key, agg := range part {
-			r, err := rule.FromKey(key, d)
+			r, err := codec.DecodeRule(key, buf)
 			if err != nil {
-				panic(fmt.Sprintf("candgen: corrupt candidate key: %v", err))
+				errs[i] = fmt.Errorf("candgen: corrupt candidate key: %w", err)
+				return
 			}
+			buf = r
 			mc := s.MatchCount(r)
 			if mc == 0 {
-				panic(fmt.Sprintf("candgen: candidate %v covers no sample tuple", r))
+				errs[i] = fmt.Errorf("candgen: candidate %v covers no sample tuple", r.Clone())
+				return
 			}
 			f := float64(mc)
-			out[key] = cube.Agg{SumM: agg.SumM / f, SumMhat: agg.SumMhat / f, Count: agg.Count / f}
+			adj[key] = cube.Agg{SumM: agg.SumM / f, SumMhat: agg.SumMhat / f, Count: agg.Count / f}
 		}
-		return out
+		out[i] = adj
 	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return engine.NewPColl(out), nil
 }
 
 // ExhaustiveParts turns every data tuple into a full-constant rule instance,
@@ -242,22 +512,18 @@ func AdjustForSample(c engine.Backend, candidates *engine.PColl[map[string]cube.
 func ExhaustiveParts(c engine.Backend, data *engine.CachedData) (*engine.PColl[map[string]cube.Agg], error) {
 	out := make([]map[string]cube.Agg, data.NumBlocks())
 	err := data.Scan("candgen/exhaustive", false, func(bi int, b *engine.TupleBlock) {
-		local := make(map[string]cube.Agg)
+		local := cube.NewAggTable(b.NumRows())
 		d := len(b.Dims)
 		key := make(rule.Rule, d)
+		keyBuf := make([]byte, 0, d*4)
 		for i := 0; i < b.NumRows(); i++ {
 			for j := 0; j < d; j++ {
 				key[j] = b.Dims[j][i]
 			}
-			k := key.Key()
-			agg := cube.Agg{SumM: b.M[i], SumMhat: b.Mhat[i], Count: 1}
-			if old, ok := local[k]; ok {
-				local[k] = cube.Merge(old, agg)
-			} else {
-				local[k] = agg
-			}
+			keyBuf = key.AppendKey(keyBuf[:0])
+			local.Add(keyBuf, cube.Agg{SumM: b.M[i], SumMhat: b.Mhat[i], Count: 1})
 		}
-		out[bi] = local
+		out[bi] = local.Map()
 	})
 	if err != nil {
 		return nil, err
@@ -265,34 +531,40 @@ func ExhaustiveParts(c engine.Backend, data *engine.CachedData) (*engine.PColl[m
 	return engine.NewPColl(out), nil
 }
 
-// Candidate is a scored candidate rule.
-type Candidate struct {
-	Key  string
+// Candidate is a scored candidate rule in the codec's key representation.
+type Candidate[K cmp.Ordered] struct {
+	Key  K
 	Gain float64
 	Agg  cube.Agg
 }
 
 // candHeap is a min-heap by gain used for per-partition top-n.
-type candHeap []Candidate
+type candHeap[K cmp.Ordered] []Candidate[K]
 
-func (h candHeap) Len() int           { return len(h) }
-func (h candHeap) Less(i, j int) bool { return h[i].Gain < h[j].Gain }
-func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x any)        { *h = append(*h, x.(Candidate)) }
-func (h *candHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-func (h candHeap) Peek() Candidate    { return h[0] }
+func (h candHeap[K]) Len() int           { return len(h) }
+func (h candHeap[K]) Less(i, j int) bool { return h[i].Gain < h[j].Gain }
+func (h candHeap[K]) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candHeap[K]) Push(x any)        { *h = append(*h, x.(Candidate[K])) }
+func (h *candHeap[K]) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+func (h candHeap[K]) Peek() Candidate[K] { return h[0] }
 
 // TopByGain scores every candidate with the information-gain estimate
 // (Equation 2.2) and returns the global top n in descending gain order,
 // skipping keys in exclude (already-selected rules) and non-positive gains.
 // The reduction runs as per-partition heaps followed by a driver merge, the
 // standard distributed top-k.
-func TopByGain(c engine.Backend, candidates *engine.PColl[map[string]cube.Agg], n int, exclude map[string]bool) []Candidate {
+func TopByGain[K cmp.Ordered](c engine.Backend, candidates *engine.PColl[map[K]cube.Agg], n int, exclude map[K]bool) []Candidate[K] {
 	if n <= 0 {
 		return nil
 	}
-	tops := engine.MapParts(c, candidates, "candgen/topk", func(_ int, part map[string]cube.Agg) []Candidate {
-		h := make(candHeap, 0, n+1)
+	tops := engine.MapParts(c, candidates, "candgen/topk", func(_ int, part map[K]cube.Agg) []Candidate[K] {
+		h := make(candHeap[K], 0, n+1)
 		for key, agg := range part {
 			if exclude[key] {
 				continue
@@ -302,15 +574,15 @@ func TopByGain(c engine.Backend, candidates *engine.PColl[map[string]cube.Agg], 
 				continue
 			}
 			if len(h) < n {
-				heap.Push(&h, Candidate{Key: key, Gain: g, Agg: agg})
+				heap.Push(&h, Candidate[K]{Key: key, Gain: g, Agg: agg})
 			} else if g > h.Peek().Gain {
-				h[0] = Candidate{Key: key, Gain: g, Agg: agg}
+				h[0] = Candidate[K]{Key: key, Gain: g, Agg: agg}
 				heap.Fix(&h, 0)
 			}
 		}
 		return h
 	})
-	var all []Candidate
+	var all []Candidate[K]
 	for _, part := range tops.Parts() {
 		all = append(all, part...)
 	}

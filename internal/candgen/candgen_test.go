@@ -167,7 +167,10 @@ func TestSamplePipelineMatchesDirectSums(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	adjusted := AdjustForSample(c, cands, s, 3)
+	adjusted, err := AdjustForSample(c, cands, s, NewStringCodec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	all := engine.CollectMap(c, adjusted, "gather", cube.Merge, func(k string, v cube.Agg) int { return len(k) + 24 })
 	if len(all) == 0 {
 		t.Fatal("no candidates")
@@ -220,7 +223,10 @@ func TestQuickSamplePipeline(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		adjusted := AdjustForSample(c, cands, s, 3)
+		adjusted, err := AdjustForSample(c, cands, s, NewStringCodec(3))
+		if err != nil {
+			return false
+		}
 		all := engine.CollectMap(c, adjusted, "g", cube.Merge, func(k string, v cube.Agg) int { return 36 })
 		for key, agg := range all {
 			r, _ := rule.FromKey(key, 3)

@@ -1,0 +1,167 @@
+package candgen
+
+import (
+	"math"
+	"testing"
+
+	"sirum/internal/cube"
+	"sirum/internal/datagen"
+	"sirum/internal/dataset"
+	"sirum/internal/engine"
+	"sirum/internal/maxent"
+	"sirum/internal/rule"
+	"sirum/internal/stats"
+)
+
+// cacheFor loads ds into a fresh cluster the way the miner does.
+func cacheFor(t *testing.T, c engine.Backend, ds *dataset.Dataset) *engine.CachedData {
+	t.Helper()
+	_, work := maxent.NewTransform(ds.Measure)
+	mhat := make([]float64, len(work))
+	avg := ds.MeanMeasure()
+	for i := range mhat {
+		mhat[i] = avg
+	}
+	cd, err := engine.CacheTuples(c, engine.BlocksFromColumns(ds.Dims, work, mhat, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cd
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+		return d / m
+	}
+	return d
+}
+
+// collectAsStringKeys gathers a keyed candidate collection and normalizes
+// the keys to the string representation so both pipelines compare directly.
+func collectAsStringKeys[K interface {
+	~string | ~uint64
+}](t *testing.T, c engine.Backend, parts *engine.PColl[map[K]cube.Agg], codec Codec[K]) map[string]cube.Agg {
+	t.Helper()
+	raw := engine.CollectMap(c, parts, "equiv/collect", cube.Merge, codec.RecordBytes)
+	out := make(map[string]cube.Agg, len(raw))
+	for k, v := range raw {
+		r, err := codec.DecodeRule(k, nil)
+		if err != nil {
+			t.Fatalf("decoding candidate key %v: %v", k, err)
+		}
+		out[r.Key()] = v
+	}
+	if len(out) != len(raw) {
+		t.Fatalf("normalizing keys collapsed %d candidates to %d", len(raw), len(out))
+	}
+	return out
+}
+
+func compareCandidates(t *testing.T, label string, ds *dataset.Dataset, str, packed map[string]cube.Agg) {
+	t.Helper()
+	if len(str) != len(packed) {
+		t.Fatalf("%s: candidate counts differ: %d string vs %d packed", label, len(str), len(packed))
+	}
+	for k, sv := range str {
+		pv, ok := packed[k]
+		if !ok {
+			r, _ := rule.FromKey(k, ds.NumDims())
+			t.Fatalf("%s: packed pipeline missing candidate %s", label, r.Format(ds.Dicts))
+		}
+		if relDiff(sv.SumM, pv.SumM) > 1e-9 || relDiff(sv.SumMhat, pv.SumMhat) > 1e-9 || relDiff(sv.Count, pv.Count) > 1e-9 {
+			r, _ := rule.FromKey(k, ds.NumDims())
+			t.Errorf("%s: %s aggregates differ: %+v vs %+v", label, r.Format(ds.Dicts), sv, pv)
+		}
+	}
+}
+
+// TestPackedStringCandidatesEquivalentConcurrent is the cross-representation
+// property of the packed-key fast path: over randomized datasets, the packed
+// and string pipelines — leaf instances, cube stages, sample fix-up —
+// produce identical candidate maps (same rules, aggregates equal up to
+// summation order). The Concurrent name opts the test into the CI race run,
+// so the per-part map handling of both representations is also race-checked.
+func TestPackedStringCandidatesEquivalentConcurrent(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ds   *dataset.Dataset
+	}{
+		{"income-a", datagen.Income(500, 11)},
+		{"income-b", datagen.Income(900, 23)},
+		{"gdelt", datagen.GDELT(700, 7)},
+		{"flights", datagen.Flights()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := tc.ds
+			d := ds.NumDims()
+			packer, ok := rule.NewPacker(ds.DomainSizes())
+			if !ok {
+				t.Fatalf("%s does not pack (%d dims)", tc.name, d)
+			}
+			cs, cp := newTestCluster(), newTestCluster()
+			defer cs.Close()
+			defer cp.Close()
+			cds, cdp := cacheFor(t, cs, ds), cacheFor(t, cp, ds)
+			strCodec, packCodec := NewStringCodec(d), NewPackedCodec(packer)
+			groups := cube.SplitGroups(d, 2)
+
+			// Sampled LCA pipeline, indexed and naive.
+			for _, indexed := range []bool{false, true} {
+				s := DrawSample(ds, stats.NewRand(31), 5)
+				sl, err := strCodec.LCAParts(cs, cds, s, indexed, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pl, err := packCodec.LCAParts(cp, cdp, s, indexed, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc, err := cube.ComputeKeyed[string](cs, sl, strCodec, groups)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pc, err := cube.ComputeKeyed[uint64](cp, pl, packCodec, groups)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sa, err := AdjustForSample(cs, sc, s, strCodec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pa, err := AdjustForSample(cp, pc, s, packCodec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := "lca/naive"
+				if indexed {
+					label = "lca/indexed"
+				}
+				compareCandidates(t, label, ds,
+					collectAsStringKeys(t, cs, sa, strCodec),
+					collectAsStringKeys(t, cp, pa, packCodec))
+			}
+
+			// Exhaustive pipeline.
+			se, err := strCodec.ExhaustiveParts(cs, cds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pe, err := packCodec.ExhaustiveParts(cp, cdp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := cube.ComputeKeyed[string](cs, se, strCodec, groups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pc, err := cube.ComputeKeyed[uint64](cp, pe, packCodec, groups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareCandidates(t, "exhaustive", ds,
+				collectAsStringKeys(t, cs, sc, strCodec),
+				collectAsStringKeys(t, cp, pc, packCodec))
+		})
+	}
+}

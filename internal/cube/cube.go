@@ -13,6 +13,15 @@
 //     reduced output to stage j+1, shrinking the emitted intermediate volume
 //     (Figure 5.8). Appendix A proves the outputs identical; this package's
 //     property tests check it.
+//
+// The pipeline is generic over the key representation (KeySpace). PackedKeys
+// keys rules as single uint64 words whenever the dimension dictionaries pack
+// into 64 bits (rule.NewPacker) — the fast path, with no allocation per
+// emitted ancestor. StringKeys is the general fallback for wider schemas:
+// rule.Key strings of 4 bytes per attribute, emitted through a scratch
+// buffer and an AggTable so only the first emission of each distinct
+// ancestor materializes a string. Both representations produce identical
+// candidate sets; the equivalence tests pin that.
 package cube
 
 import (
@@ -38,9 +47,174 @@ func Merge(a, b Agg) Agg {
 	return Agg{SumM: a.SumM + b.SumM, SumMhat: a.SumMhat + b.SumMhat, Count: a.Count + b.Count}
 }
 
-// aggBytes estimates a shuffled record's size for cost accounting: the rule
-// key plus three float64 fields.
-func aggBytes(k string, _ Agg) int { return len(k) + 24 }
+// KeySpace abstracts the rule-key representation the cube pipeline runs
+// over: the packed-uint64 fast path or the general string path.
+type KeySpace[K comparable] interface {
+	// NumDims returns the rule arity d.
+	NumDims() int
+	// MapAncestors runs one map stage over a partition: it emits the proper
+	// ancestors of every rule obtained by wildcarding non-empty subsets of
+	// the group's attributes, locally combined. It returns the combined map
+	// and the number of (ancestor, aggregate) emissions, and fails on
+	// corrupt keys or an enumeration past rule.MaxFreeAttrs.
+	MapAncestors(part map[K]Agg, group []int) (map[K]Agg, int64, error)
+	// RecordBytes sizes one shuffled (key, aggregate) record for cost
+	// accounting.
+	RecordBytes(k K, v Agg) int
+}
+
+// StringKeys is the general-purpose key representation: rule.Key strings of
+// 4 bytes per attribute, valid for any arity.
+type StringKeys struct{ D int }
+
+// NumDims implements KeySpace.
+func (s StringKeys) NumDims() int { return s.D }
+
+// RecordBytes implements KeySpace: the key string plus three float64 fields.
+func (s StringKeys) RecordBytes(k string, _ Agg) int { return len(k) + 24 }
+
+// wildcardField overwrites attribute p's four key bytes with the wildcard
+// pattern — 0xFF×4, the little-endian encoding of rule.Wildcard, which no
+// valid (non-negative) code produces.
+func wildcardField(buf []byte, p int) {
+	buf[p*4] = 0xFF
+	buf[p*4+1] = 0xFF
+	buf[p*4+2] = 0xFF
+	buf[p*4+3] = 0xFF
+}
+
+func isWildcardField(key string, p int) bool {
+	return key[p*4] == 0xFF && key[p*4+1] == 0xFF && key[p*4+2] == 0xFF && key[p*4+3] == 0xFF
+}
+
+// MapAncestors implements KeySpace. Ancestors are enumerated in place on a
+// scratch key buffer — no Rule is materialized per ancestor, and AggTable
+// interns each distinct ancestor key once.
+func (s StringKeys) MapAncestors(part map[string]Agg, group []int) (map[string]Agg, int64, error) {
+	local := NewAggTable(2 * len(part))
+	free := make([]int, 0, len(group))
+	buf := make([]byte, s.D*4)
+	var emitted int64
+	for key, agg := range part {
+		if len(key) != s.D*4 {
+			return nil, 0, fmt.Errorf("cube: corrupt rule key: %d bytes, want %d for arity %d", len(key), s.D*4, s.D)
+		}
+		free = free[:0]
+		for _, p := range group {
+			if !isWildcardField(key, p) {
+				free = append(free, p)
+			}
+		}
+		if len(free) > rule.MaxFreeAttrs {
+			return nil, 0, &rule.BlowupError{Free: len(free)}
+		}
+		total := 1 << uint(len(free))
+		for mask := 1; mask < total; mask++ {
+			copy(buf, key)
+			for b := 0; b < len(free); b++ {
+				if mask&(1<<uint(b)) != 0 {
+					wildcardField(buf, free[b])
+				}
+			}
+			local.Add(buf, agg)
+			emitted++
+		}
+	}
+	return local.Map(), emitted, nil
+}
+
+// PackedKeys is the fast-path key representation: single-word keys from a
+// rule.Packer, valid when the dimension dictionaries pack into 64 bits.
+type PackedKeys struct{ P *rule.Packer }
+
+// NumDims implements KeySpace.
+func (pk PackedKeys) NumDims() int { return pk.P.NumDims() }
+
+// RecordBytes implements KeySpace: an 8-byte packed key plus three float64
+// fields (not the string key's 4·d bytes — shuffle cost figures stay honest
+// across representations).
+func (pk PackedKeys) RecordBytes(_ uint64, _ Agg) int { return 8 + 24 }
+
+// MapAncestors implements KeySpace. Wildcarding an attribute is a single OR
+// with its field mask; the whole stage allocates only the output map.
+func (pk PackedKeys) MapAncestors(part map[uint64]Agg, group []int) (map[uint64]Agg, int64, error) {
+	p := pk.P
+	local := make(map[uint64]Agg, 2*len(part))
+	free := make([]uint64, 0, len(group))
+	total := uint(p.TotalBits())
+	var emitted int64
+	for key, agg := range part {
+		if total < 64 && key>>total != 0 {
+			return nil, 0, fmt.Errorf("cube: corrupt packed rule key %#x: bits set beyond the %d-bit layout", key, total)
+		}
+		free = free[:0]
+		for _, pos := range group {
+			if m := p.FieldMask(pos); key&m != m {
+				free = append(free, m)
+			}
+		}
+		if len(free) > rule.MaxFreeAttrs {
+			return nil, 0, &rule.BlowupError{Free: len(free)}
+		}
+		n := 1 << uint(len(free))
+		for mask := 1; mask < n; mask++ {
+			anc := key
+			for b := 0; b < len(free); b++ {
+				if mask&(1<<uint(b)) != 0 {
+					anc |= free[b]
+				}
+			}
+			if old, ok := local[anc]; ok {
+				local[anc] = Merge(old, agg)
+			} else {
+				local[anc] = agg
+			}
+			emitted++
+		}
+	}
+	return local, emitted, nil
+}
+
+// AggTable accumulates string-keyed aggregates with allocation-free hot-path
+// lookups: the index is consulted via m[string(buf)] (a no-copy access), so
+// a key string is materialized only on the first sighting of each distinct
+// key. Aggregates live in a flat slice and merge in place.
+type AggTable struct {
+	idx  map[string]int
+	aggs []Agg
+}
+
+// NewAggTable returns a table pre-sized for about hint distinct keys.
+func NewAggTable(hint int) *AggTable {
+	return &AggTable{idx: make(map[string]int, hint), aggs: make([]Agg, 0, hint)}
+}
+
+// Add merges agg into the entry for key — a scratch buffer the caller is
+// free to reuse immediately after the call.
+func (t *AggTable) Add(key []byte, agg Agg) {
+	if i, ok := t.idx[string(key)]; ok {
+		a := &t.aggs[i]
+		a.SumM += agg.SumM
+		a.SumMhat += agg.SumMhat
+		a.Count += agg.Count
+		return
+	}
+	t.idx[string(key)] = len(t.aggs)
+	t.aggs = append(t.aggs, agg)
+}
+
+// Len returns the number of distinct keys.
+func (t *AggTable) Len() int { return len(t.idx) }
+
+// Map materializes the table as an ordinary keyed map, reusing the interned
+// key strings.
+func (t *AggTable) Map() map[string]Agg {
+	out := make(map[string]Agg, len(t.idx))
+	for k, i := range t.idx {
+		out[k] = t.aggs[i]
+	}
+	return out
+}
 
 // SplitGroups partitions the attribute positions 0..d-1 into g contiguous,
 // near-even ordered groups (the thesis' evaluation splits "evenly into two
@@ -90,59 +264,52 @@ func validateGroups(d int, groups [][]int) error {
 	return nil
 }
 
-// Compute runs the (possibly multi-stage) data-cube over per-partition rule
-// aggregates. Input partitions map rule keys (rule.Key of arity d) to their
-// aggregates — for sample-based pruning these are the locally combined LCA
-// instances; for exhaustive exploration, the tuples themselves. The result
-// partitions every candidate rule (each input rule and all its ancestors)
-// uniquely with fully merged aggregates.
+// ComputeKeyed runs the (possibly multi-stage) data-cube over per-partition
+// rule aggregates in the given key representation. Input partitions map rule
+// keys to their aggregates — for sample-based pruning these are the locally
+// combined LCA instances; for exhaustive exploration, the tuples themselves.
+// The result partitions every candidate rule (each input rule and all its
+// ancestors) uniquely with fully merged aggregates.
 //
 // Every stage is one map-reduce round: a JobBoundary is charged per round,
 // and each emitted ancestor counts toward metrics.CtrPairsEmitted, the
-// quantity Figure 5.8 plots.
-func Compute(c engine.Backend, in *engine.PColl[map[string]Agg], d int, groups [][]int) (*engine.PColl[map[string]Agg], error) {
-	if err := validateGroups(d, groups); err != nil {
+// quantity Figure 5.8 plots. Corrupt keys and over-wide generalizations
+// surface as errors, not worker panics.
+func ComputeKeyed[K comparable](c engine.Backend, in *engine.PColl[map[K]Agg], ks KeySpace[K], groups [][]int) (*engine.PColl[map[K]Agg], error) {
+	if err := validateGroups(ks.NumDims(), groups); err != nil {
 		return nil, err
 	}
 	parts := c.Config().Partitions
 	// Round 0: key-partition the input so every rule lives in exactly one
 	// partition (the reduce of "computing LCA(s,D)" in the thesis).
-	cur := engine.ShuffleByKey(c, in, "cube/partition", parts, Merge, aggBytes)
+	cur := engine.ShuffleByKey(c, in, "cube/partition", parts, Merge, ks.RecordBytes)
 	c.JobBoundary()
 
 	for gi, group := range groups {
 		group := group
 		stage := fmt.Sprintf("cube/stage%d", gi+1)
-		// Map: emit the proper ancestors of every current rule obtained by
-		// wildcarding non-empty subsets of this group's attributes,
-		// combining locally (the combiner of the MR round).
-		gen := engine.MapParts(c, cur, stage+"/map", func(_ int, part map[string]Agg) map[string]Agg {
-			local := make(map[string]Agg)
-			var emitted int64
-			buf := make(rule.Rule, d)
-			for key, agg := range part {
-				r, err := rule.FromKey(key, d)
-				if err != nil {
-					panic(fmt.Sprintf("cube: corrupt rule key: %v", err))
-				}
-				copy(buf, r)
-				buf.ForEachGeneralization(group, false, func(anc rule.Rule) {
-					k := anc.Key()
-					if old, ok := local[k]; ok {
-						local[k] = Merge(old, agg)
-					} else {
-						local[k] = agg
-					}
-					emitted++
-				})
+		// Map: emit this group's proper ancestors, combining locally (the
+		// combiner of the MR round). Failures are collected per partition and
+		// surfaced after the stage instead of panicking inside a worker.
+		errs := make([]error, cur.NumParts())
+		gen := engine.MapParts(c, cur, stage+"/map", func(i int, part map[K]Agg) map[K]Agg {
+			local, emitted, err := ks.MapAncestors(part, group)
+			if err != nil {
+				errs[i] = err
+				return map[K]Agg{}
 			}
 			c.Reg().Add(metrics.CtrPairsEmitted, emitted)
 			return local
 		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 		// Reduce: co-partition the generated ancestors with the pass-through
 		// rules (same hash, same partition count) and merge.
-		genRed := engine.ShuffleByKey(c, gen, stage+"/shuffle", parts, Merge, aggBytes)
-		merged := make([]map[string]Agg, parts)
+		genRed := engine.ShuffleByKey(c, gen, stage+"/shuffle", parts, Merge, ks.RecordBytes)
+		merged := make([]map[K]Agg, parts)
 		c.RunStage(stage+"/merge", parts, func(b int) {
 			out := cur.Part(b)
 			for k, v := range genRed.Part(b) {
@@ -160,6 +327,17 @@ func Compute(c engine.Backend, in *engine.PColl[map[string]Agg], d int, groups [
 	return cur, nil
 }
 
+// Compute is ComputeKeyed in the string-key representation — the historical
+// entry point, kept for the general path and the cross-representation tests.
+func Compute(c engine.Backend, in *engine.PColl[map[string]Agg], d int, groups [][]int) (*engine.PColl[map[string]Agg], error) {
+	return ComputeKeyed[string](c, in, StringKeys{D: d}, groups)
+}
+
+// ComputePacked is ComputeKeyed in the packed-key representation.
+func ComputePacked(c engine.Backend, in *engine.PColl[map[uint64]Agg], p *rule.Packer, groups [][]int) (*engine.PColl[map[uint64]Agg], error) {
+	return ComputeKeyed[uint64](c, in, PackedKeys{P: p}, groups)
+}
+
 // ComputeSingleStage is Compute with all attributes in one group — the
 // one-round algorithm of Naive/BJ SIRUM where mappers emit full cube
 // lattices.
@@ -169,7 +347,7 @@ func ComputeSingleStage(c engine.Backend, in *engine.PColl[map[string]Agg], d in
 
 // CountCandidates sums the number of distinct candidate rules across the
 // result partitions.
-func CountCandidates(c engine.Backend, candidates *engine.PColl[map[string]Agg]) int64 {
+func CountCandidates[K comparable](c engine.Backend, candidates *engine.PColl[map[K]Agg]) int64 {
 	var total int64
 	for _, p := range candidates.Parts() {
 		total += int64(len(p))

@@ -16,6 +16,9 @@ func newTestCluster() *engine.SimBackend {
 	return engine.NewSimBackend(engine.Config{Executors: 2, CoresPerExecutor: 2, Partitions: 4})
 }
 
+// aggBytes sizes string-keyed records for gather accounting in tests.
+func aggBytes(k string, _ Agg) int { return len(k) + 24 }
+
 func TestSplitGroups(t *testing.T) {
 	cases := []struct {
 		d, g int

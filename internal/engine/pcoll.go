@@ -206,15 +206,25 @@ func CollectMap[K comparable, V any](b Backend, in *PColl[map[K]V], name string,
 	return total
 }
 
+// FNV-1a constants, inlined so string hashing needs no hash.Hash64 object or
+// []byte(v) copy per shuffled record.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // hashKey hashes arbitrary comparable keys. String keys (the rule keys) use
-// FNV-1a directly; other comparables go through a formatted fallback that is
-// slower but rarely used.
+// an inlined allocation-free FNV-1a; other comparables go through a
+// formatted fallback that is slower but rarely used.
 func hashKey[K comparable](k K) uint64 {
 	switch v := any(k).(type) {
 	case string:
-		h := fnv.New64a()
-		h.Write([]byte(v))
-		return h.Sum64()
+		h := uint64(fnvOffset64)
+		for i := 0; i < len(v); i++ {
+			h ^= uint64(v[i])
+			h *= fnvPrime64
+		}
+		return h
 	case int:
 		return mix64(uint64(v))
 	case int32:

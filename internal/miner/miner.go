@@ -1,6 +1,7 @@
 package miner
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"time"
@@ -67,28 +68,40 @@ func timedOn(c engine.Backend, phase string, f func() error) error {
 
 // query is one mining query running against prepared state: it owns the
 // per-query metrics scope, the forked (mutable-estimate) data view, and the
-// candidate sample in effect for this query.
-type query struct {
+// candidate sample in effect for this query. It is generic over the rule-key
+// representation of its codec: packed uint64 keys when the prepared schema
+// fits 64 bits, string keys otherwise.
+type query[K cmp.Ordered] struct {
 	p      *Prep
 	c      engine.Backend // per-query scope of the shared backend
 	opt    Options
+	codec  candgen.Codec[K]
 	data   *engine.CachedData // per-query fork of the prepared blocks
 	sample *candgen.Sample
 	index  *candgen.InvertedIndex
-	memo   *lcaMemo // non-nil when cross-iteration LCA reuse applies
+	memo   *lcaMemo[K] // non-nil when cross-iteration LCA reuse applies
 }
 
 // timed charges f's durations to the query's registry.
-func (q *query) timed(phase string, f func() error) error {
+func (q *query[K]) timed(phase string, f func() error) error {
 	return timedOn(q.c, phase, f)
 }
 
-// mineScoped runs one query on the given scope. wallStart/simStart anchor
-// the result's totals (cold runs pass the instant before preparation so the
-// load is included, prepared queries the query start).
+// mineScoped picks the key representation prepared for this dataset and runs
+// the generic mining loop on the given scope.
 func (p *Prep) mineScoped(qc engine.Backend, opt Options, wallStart time.Time, simStart time.Duration) (*Result, error) {
 	opt = opt.withDefaults()
-	q, err := p.newQuery(qc, opt)
+	if p.packer != nil {
+		return mineKeyed(p, qc, opt, wallStart, simStart, candgen.NewPackedCodec(p.packer))
+	}
+	return mineKeyed(p, qc, opt, wallStart, simStart, candgen.NewStringCodec(p.ds.NumDims()))
+}
+
+// mineKeyed runs one query. wallStart/simStart anchor the result's totals
+// (cold runs pass the instant before preparation so the load is included,
+// prepared queries the query start).
+func mineKeyed[K cmp.Ordered](p *Prep, qc engine.Backend, opt Options, wallStart time.Time, simStart time.Duration, codec candgen.Codec[K]) (*Result, error) {
+	q, err := newQuery(p, qc, opt, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -107,14 +120,18 @@ func (p *Prep) mineScoped(qc engine.Backend, opt Options, wallStart time.Time, s
 	}
 
 	res := &Result{}
-	selected := map[string]bool{}
+	selected := map[K]bool{}
 	addRules := func(rs []rule.Rule) error {
 		return q.timed(metrics.PhaseScaling, func() error {
 			if err := scaler.AddRules(rs); err != nil {
 				return err
 			}
 			for _, r := range rs {
-				selected[r.Key()] = true
+				k, err := codec.EncodeRule(r)
+				if err != nil {
+					return fmt.Errorf("miner: %w", err)
+				}
+				selected[k] = true
 			}
 			return nil
 		})
@@ -149,16 +166,17 @@ func (p *Prep) mineScoped(qc engine.Backend, opt Options, wallStart time.Time, s
 
 	for len(res.Rules) < ruleBudget {
 		res.Iterations++
-		cands, nCands, err := q.generateCandidates(d, groups)
+		cands, nCands, err := q.generateCandidates(groups)
 		if err != nil {
 			return nil, err
 		}
 		res.Candidates = nCands
 
-		var picked []candgen.Candidate
+		var picked []candgen.Candidate[K]
 		err = q.timed(metrics.PhaseRuleSelection, func() error {
-			picked = q.selectRules(cands, nCands, selected, min(opt.RulesPerIter, ruleBudget-len(res.Rules)))
-			return nil
+			var e error
+			picked, e = q.selectRules(cands, nCands, selected, min(opt.RulesPerIter, ruleBudget-len(res.Rules)))
+			return e
 		})
 		if err != nil {
 			return nil, err
@@ -168,7 +186,7 @@ func (p *Prep) mineScoped(qc engine.Backend, opt Options, wallStart time.Time, s
 		}
 		rs := make([]rule.Rule, len(picked))
 		for i, cand := range picked {
-			r, err := rule.FromKey(cand.Key, d)
+			r, err := codec.DecodeRule(cand.Key, nil)
 			if err != nil {
 				return nil, fmt.Errorf("miner: corrupt candidate key: %w", err)
 			}
@@ -227,12 +245,12 @@ func (p *Prep) mineScoped(qc engine.Backend, opt Options, wallStart time.Time, s
 
 // newQuery resolves the query's sample, forks the prepared blocks into a
 // private data view, and decides whether the prepared LCA memo applies.
-func (p *Prep) newQuery(qc engine.Backend, opt Options) (*query, error) {
+func newQuery[K cmp.Ordered](p *Prep, qc engine.Backend, opt Options, codec candgen.Codec[K]) (*query[K], error) {
 	if opt.SampleFraction != 0 && opt.SampleFraction != p.opt.SampleFraction {
 		return nil, fmt.Errorf("miner: prepared with SampleFraction=%v, query asked for %v (prepare again)",
 			p.opt.SampleFraction, opt.SampleFraction)
 	}
-	q := &query{p: p, c: qc, opt: opt}
+	q := &query[K]{p: p, c: qc, opt: opt, codec: codec}
 
 	// The prepared sample (and its lazily built index) is reused when the
 	// query's sample parameters match; otherwise the query draws its own.
@@ -282,7 +300,7 @@ func (p *Prep) newQuery(qc engine.Backend, opt Options) (*query, error) {
 		// LCA round, so it is charged as candidate pruning); later queries
 		// get it for free.
 		err := q.timed(metrics.PhaseCandPruning, func() error {
-			memo, err := p.memoFor(q)
+			memo, err := memoFor(p, q)
 			q.memo = memo
 			return err
 		})
@@ -297,8 +315,8 @@ func (p *Prep) newQuery(qc engine.Backend, opt Options) (*query, error) {
 // generateCandidates runs one rule-generation round: candidate pruning (LCA
 // computation), ancestor generation (the cube), gain-input preparation (the
 // sample fix-up). Phases are timed separately to reproduce Figure 3.2.
-func (q *query) generateCandidates(d int, groups [][]int) (*engine.PColl[map[string]cube.Agg], int64, error) {
-	var lcas *engine.PColl[map[string]cube.Agg]
+func (q *query[K]) generateCandidates(groups [][]int) (*engine.PColl[map[K]cube.Agg], int64, error) {
+	var lcas *engine.PColl[map[K]cube.Agg]
 	wallStart := time.Now()
 	simStart := q.c.SimTime()
 	err := q.timed(metrics.PhaseCandPruning, func() error {
@@ -313,9 +331,9 @@ func (q *query) generateCandidates(d int, groups [][]int) (*engine.PColl[map[str
 			if q.opt.useShuffleJoin() {
 				q.c.Repartition(q.p.dataBytes, 0)
 			}
-			lcas, err = candgen.LCAParts(q.c, q.data, q.sample, q.opt.useIndex(), q.index)
+			lcas, err = q.codec.LCAParts(q.c, q.data, q.sample, q.opt.useIndex(), q.index)
 		default:
-			lcas, err = candgen.ExhaustiveParts(q.c, q.data)
+			lcas, err = q.codec.ExhaustiveParts(q.c, q.data)
 		}
 		return err
 	})
@@ -323,10 +341,10 @@ func (q *query) generateCandidates(d int, groups [][]int) (*engine.PColl[map[str
 		return nil, 0, err
 	}
 
-	var cands *engine.PColl[map[string]cube.Agg]
+	var cands *engine.PColl[map[K]cube.Agg]
 	err = q.timed(metrics.PhaseAncestorGen, func() error {
 		var err error
-		cands, err = cube.Compute(q.c, lcas, d, groups)
+		cands, err = cube.ComputeKeyed[K](q.c, lcas, q.codec, groups)
 		return err
 	})
 	if err != nil {
@@ -335,10 +353,18 @@ func (q *query) generateCandidates(d int, groups [][]int) (*engine.PColl[map[str
 
 	err = q.timed(metrics.PhaseGainComputing, func() error {
 		if q.sample != nil {
-			cands = candgen.AdjustForSample(q.c, cands, q.sample, d)
+			var err error
+			cands, err = candgen.AdjustForSample(q.c, cands, q.sample, q.codec)
+			if err != nil {
+				return err
+			}
 		}
 		if q.opt.PruneRedundantAncestors {
-			cands = pruneRedundant(q.c, cands, d)
+			var err error
+			cands, err = pruneRedundant(q.c, cands, q.codec)
+			if err != nil {
+				return err
+			}
 		}
 		return nil
 	})
@@ -356,22 +382,25 @@ func (q *query) generateCandidates(d int, groups [][]int) (*engine.PColl[map[str
 // gain, then further candidates that are mutually disjoint with every rule
 // already picked this iteration, rank within the top TopPercent of all
 // candidates, and gain at least MinGainRatio of the top gain (Section 4.4).
-func (q *query) selectRules(cands *engine.PColl[map[string]cube.Agg], total int64, selected map[string]bool, l int) []candgen.Candidate {
+func (q *query[K]) selectRules(cands *engine.PColl[map[K]cube.Agg], total int64, selected map[K]bool, l int) ([]candgen.Candidate[K], error) {
 	pool := candgen.TopByGain(q.c, cands, q.opt.TopPoolSize, selected)
 	if len(pool) == 0 {
-		return nil
+		return nil, nil
 	}
-	picked := []candgen.Candidate{pool[0]}
+	picked := []candgen.Candidate[K]{pool[0]}
 	if l <= 1 {
-		return picked
+		return picked, nil
 	}
-	d := q.p.ds.NumDims()
 	rankCut := int(q.opt.TopPercent * float64(total))
 	if rankCut < 1 {
 		rankCut = 1
 	}
 	gainCut := q.opt.MinGainRatio * pool[0].Gain
-	pickedRules := []rule.Rule{mustFromKey(pool[0].Key, d)}
+	top, err := q.codec.DecodeRule(pool[0].Key, nil)
+	if err != nil {
+		return nil, fmt.Errorf("miner: corrupt candidate key: %w", err)
+	}
+	pickedRules := []rule.Rule{top}
 	for rank := 1; rank < len(pool) && len(picked) < l; rank++ {
 		if rank > rankCut {
 			break
@@ -380,7 +409,10 @@ func (q *query) selectRules(cands *engine.PColl[map[string]cube.Agg], total int6
 		if cand.Gain < gainCut {
 			break // pool is sorted; later candidates only get worse
 		}
-		r := mustFromKey(cand.Key, d)
+		r, err := q.codec.DecodeRule(cand.Key, nil)
+		if err != nil {
+			return nil, fmt.Errorf("miner: corrupt candidate key: %w", err)
+		}
 		disjoint := true
 		for _, p := range pickedRules {
 			if !r.Disjoint(p) {
@@ -394,63 +426,64 @@ func (q *query) selectRules(cands *engine.PColl[map[string]cube.Agg], total int6
 		picked = append(picked, cand)
 		pickedRules = append(pickedRules, r)
 	}
-	return picked
-}
-
-func mustFromKey(key string, d int) rule.Rule {
-	r, err := rule.FromKey(key, d)
-	if err != nil {
-		panic(fmt.Sprintf("miner: corrupt candidate key: %v", err))
-	}
-	return r
+	return picked, nil
 }
 
 // pruneRedundant drops candidates that have the same support count as one of
 // their children in the candidate set — their gain is identical to the
 // child's, so evaluating both is wasted work (Chapter 7, future work). The
 // child (more specific rule) is kept.
-func pruneRedundant(c engine.Backend, cands *engine.PColl[map[string]cube.Agg], d int) *engine.PColl[map[string]cube.Agg] {
+func pruneRedundant[K cmp.Ordered](c engine.Backend, cands *engine.PColl[map[K]cube.Agg], codec candgen.Codec[K]) (*engine.PColl[map[K]cube.Agg], error) {
+	d := codec.NumDims()
 	// The check needs parent lookups across partitions, so gather the
 	// counts first (keys only — small relative to full aggregates).
-	counts := make(map[string]float64)
+	counts := make(map[K]float64)
 	for _, part := range cands.Parts() {
 		for k, agg := range part {
 			counts[k] = agg.Count
 		}
 	}
-	redundant := make(map[string]bool)
+	redundant := make(map[K]bool)
 	buf := make(rule.Rule, d)
 	for k := range counts {
-		child := mustFromKey(k, d)
+		child, err := codec.DecodeRule(k, buf)
+		if err != nil {
+			return nil, fmt.Errorf("miner: corrupt candidate key: %w", err)
+		}
+		buf = child
 		for j := 0; j < d; j++ {
 			if child[j] == rule.Wildcard {
 				continue
 			}
-			copy(buf, child)
-			buf[j] = rule.Wildcard
-			pk := buf.Key()
+			v := child[j]
+			child[j] = rule.Wildcard
+			pk, err := codec.EncodeRule(child)
+			child[j] = v
+			if err != nil {
+				return nil, fmt.Errorf("miner: %w", err)
+			}
 			if pc, ok := counts[pk]; ok && pc == counts[k] {
 				redundant[pk] = true
 			}
 		}
 	}
 	if len(redundant) == 0 {
-		return cands
+		return cands, nil
 	}
-	return engine.MapParts(c, cands, "miner/prune-redundant", func(_ int, part map[string]cube.Agg) map[string]cube.Agg {
-		out := make(map[string]cube.Agg, len(part))
+	return engine.MapParts(c, cands, "miner/prune-redundant", func(_ int, part map[K]cube.Agg) map[K]cube.Agg {
+		out := make(map[K]cube.Agg, len(part))
 		for k, v := range part {
 			if !redundant[k] {
 				out[k] = v
 			}
 		}
 		return out
-	})
+	}), nil
 }
 
 // currentKL computes the divergence between the measure and estimate columns
 // across the query's cached blocks.
-func (q *query) currentKL() (float64, error) {
+func (q *query[K]) currentKL() (float64, error) {
 	data := q.data
 	type sums struct{ sp, sq float64 }
 	partial := make([]sums, data.NumBlocks())
@@ -498,7 +531,7 @@ func (q *query) currentKL() (float64, error) {
 }
 
 // informationGain computes the Section 5.1 metric over the query's blocks.
-func (q *query) informationGain() (float64, error) {
+func (q *query[K]) informationGain() (float64, error) {
 	data := q.data
 	kl, err := q.currentKL()
 	if err != nil {
@@ -552,7 +585,7 @@ func (q *query) informationGain() (float64, error) {
 // metric of the SIRUM-on-sample experiments. Rules whose support is empty on
 // the full data cannot occur (a sample rule always covers its sample rows,
 // which come from the full data).
-func (q *query) evaluateOnFull(rules []rule.Rule) (float64, error) {
+func (q *query[K]) evaluateOnFull(rules []rule.Rule) (float64, error) {
 	_, work := maxent.NewTransform(q.p.full.Measure)
 	s := maxent.NewRCTScaler(q.p.full, work, len(rules)+1)
 	s.Epsilon = q.opt.Epsilon

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"sirum/internal/candgen"
 	"sirum/internal/datagen"
 	"sirum/internal/dataset"
 	"sirum/internal/engine"
@@ -234,24 +235,35 @@ func TestMultiRuleSelectionInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := &query{
-		p:    &Prep{c: c, ds: ds, dataBytes: ds.ApproxBytes()},
-		c:    engine.NewQueryScope(c),
-		opt:  opt,
-		data: data,
+	codec := candgen.NewStringCodec(3)
+	q := &query[string]{
+		p:     &Prep{c: c, ds: ds, dataBytes: ds.ApproxBytes()},
+		c:     engine.NewQueryScope(c),
+		opt:   opt,
+		codec: codec,
+		data:  data,
 	}
-	cands, n, err := q.generateCandidates(3, [][]int{{0, 1, 2}})
+	cands, n, err := q.generateCandidates([][]int{{0, 1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	picked := q.selectRules(cands, n, map[string]bool{}, 3)
+	picked, err := q.selectRules(cands, n, map[string]bool{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(picked) < 2 {
 		t.Fatalf("picked %d rules", len(picked))
 	}
 	for i := 0; i < len(picked); i++ {
 		for j := i + 1; j < len(picked); j++ {
-			ri := mustFromKey(picked[i].Key, 3)
-			rj := mustFromKey(picked[j].Key, 3)
+			ri, err := codec.DecodeRule(picked[i].Key, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rj, err := codec.DecodeRule(picked[j].Key, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !ri.Disjoint(rj) {
 				t.Errorf("picked rules %v and %v overlap", ri.Format(ds.Dicts), rj.Format(ds.Dicts))
 			}

@@ -1,6 +1,7 @@
 package miner
 
 import (
+	"cmp"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -71,6 +72,7 @@ type Prep struct {
 	dataBytes int64
 	parts     int
 	sample    *candgen.Sample // nil when SampleSize is 0
+	packer    *rule.Packer    // non-nil when the schema packs into 64-bit keys
 	poolID    string
 
 	indexOnce sync.Once
@@ -79,7 +81,7 @@ type Prep struct {
 	loadMu sync.Mutex // serializes (re)loading the blocks into the pool
 
 	memoMu sync.Mutex
-	memo   *lcaMemo
+	memo   any // *lcaMemo[K] in the representation mineScoped selects
 }
 
 // Prepare runs the preparation phase on c: measure transform, optional
@@ -136,6 +138,10 @@ func prepare(c engine.Backend, ds *dataset.Dataset, opt PrepOptions) (*Prep, err
 	if opt.SampleSize > 0 {
 		p.sample = candgen.DrawSample(p.ds, stats.NewRand(opt.Seed), opt.SampleSize)
 	}
+	// Packed single-word rule keys whenever the dictionaries fit; queries
+	// fall back to string keys otherwise. Recomputed on every (re)prepare, so
+	// appends that grow a dictionary past a field boundary stay correct.
+	p.packer, _ = rule.NewPacker(p.ds.DomainSizes())
 	p.poolID = fmt.Sprintf("prep-%d", prepSeq.Add(1))
 	return p, nil
 }
@@ -233,14 +239,20 @@ func (p *Prep) memoEligible(opt Options, sample *candgen.Sample) bool {
 }
 
 // memoFor returns the shared LCA memo, building it from q's fork on first
-// use (one builder at a time; concurrent first queries wait).
-func (p *Prep) memoFor(q *query) (*lcaMemo, error) {
+// use (one builder at a time; concurrent first queries wait). The memo is
+// keyed in the representation mineScoped selects; that choice is a function
+// of the prepared dataset, so every query of one Prep agrees on K.
+func memoFor[K cmp.Ordered](p *Prep, q *query[K]) (*lcaMemo[K], error) {
 	p.memoMu.Lock()
 	defer p.memoMu.Unlock()
 	if p.memo != nil {
-		return p.memo, nil
+		m, ok := p.memo.(*lcaMemo[K])
+		if !ok {
+			return nil, fmt.Errorf("miner: internal: LCA memo key representation mismatch")
+		}
+		return m, nil
 	}
-	memo, err := buildLCAMemo(q.c, q.data, p.sample, p.indexFor())
+	memo, err := buildLCAMemo(q.c, q.data, p.sample, p.indexFor(), q.codec)
 	if err != nil {
 		return nil, err
 	}
@@ -255,12 +267,12 @@ func (p *Prep) memoFor(q *query) (*lcaMemo, error) {
 // do, and those are recomputed per round as a gather over the query fork's
 // Mhat column — the prepare-once payoff that replaces the full LCA
 // recomputation of every round.
-type lcaMemo struct {
-	blocks []lcaMemoBlock
+type lcaMemo[K cmp.Ordered] struct {
+	blocks []lcaMemoBlock[K]
 }
 
-type lcaMemoBlock struct {
-	keys     []string
+type lcaMemoBlock[K cmp.Ordered] struct {
+	keys     []K
 	sumM     []float64
 	count    []float64
 	rowStart []int32 // CSR offsets into rows, len(keys)+1
@@ -268,21 +280,20 @@ type lcaMemoBlock struct {
 }
 
 // buildLCAMemo scans the data once, producing the same per-block key sets as
-// candgen.LCAParts (or ExhaustiveParts when s is nil) while recording the
-// row incidences. Per-key contributions are recorded in ascending row order,
-// matching the summation order of the direct computation, so memoized
+// the codec's LCAParts (or ExhaustiveParts when s is nil) while recording
+// the row incidences. The codec enumerates incidences in ascending row
+// order, matching the summation order of the direct computation, so memoized
 // aggregates are bit-identical to recomputed ones.
-func buildLCAMemo(c engine.Backend, data *engine.CachedData, s *candgen.Sample, ix *candgen.InvertedIndex) (*lcaMemo, error) {
-	memo := &lcaMemo{blocks: make([]lcaMemoBlock, data.NumBlocks())}
+func buildLCAMemo[K cmp.Ordered](c engine.Backend, data *engine.CachedData, s *candgen.Sample, ix *candgen.InvertedIndex, codec candgen.Codec[K]) (*lcaMemo[K], error) {
+	memo := &lcaMemo[K]{blocks: make([]lcaMemoBlock[K], data.NumBlocks())}
 	err := data.Scan("miner/lca-memo", false, func(bi int, b *engine.TupleBlock) {
 		type entry struct {
 			sumM  float64
 			count float64
 			rows  []int32
 		}
-		d := len(b.Dims)
-		local := make(map[string]*entry)
-		add := func(key string, i int) {
+		local := make(map[K]*entry)
+		codec.ForEachLeafKey(b, s, ix, func(key K, i int) {
 			e, ok := local[key]
 			if !ok {
 				e = &entry{}
@@ -291,39 +302,9 @@ func buildLCAMemo(c engine.Backend, data *engine.CachedData, s *candgen.Sample, 
 			e.sumM += b.M[i]
 			e.count++
 			e.rows = append(e.rows, int32(i))
-		}
-		if s == nil {
-			// Exhaustive: every tuple is its own full-constant rule instance.
-			key := make(rule.Rule, d)
-			for i := 0; i < b.NumRows(); i++ {
-				for j := 0; j < d; j++ {
-					key[j] = b.Dims[j][i]
-				}
-				add(key.Key(), i)
-			}
-		} else {
-			// Sample-based: the LCA of every (sample tuple, data tuple) pair,
-			// via the inverted index (identical keys to the naive strategy).
-			ns := s.Size()
-			template := make([]int32, ns*d)
-			for i := range template {
-				template[i] = rule.Wildcard
-			}
-			buf := make([]int32, ns*d)
-			for i := 0; i < b.NumRows(); i++ {
-				copy(buf, template)
-				for j := 0; j < d; j++ {
-					for _, si := range ix.Posting(j, b.Dims[j][i]) {
-						buf[int(si)*d+j] = b.Dims[j][i]
-					}
-				}
-				for si := 0; si < ns; si++ {
-					add(rule.Rule(buf[si*d:(si+1)*d]).Key(), i)
-				}
-			}
-		}
-		mb := lcaMemoBlock{
-			keys:     make([]string, 0, len(local)),
+		})
+		mb := lcaMemoBlock[K]{
+			keys:     make([]K, 0, len(local)),
 			sumM:     make([]float64, 0, len(local)),
 			count:    make([]float64, 0, len(local)),
 			rowStart: make([]int32, 1, len(local)+1),
@@ -346,11 +327,11 @@ func buildLCAMemo(c engine.Backend, data *engine.CachedData, s *candgen.Sample, 
 // parts materializes this round's candidate aggregates from the memo and the
 // query's current estimates: one scan summing Mhat over each key's covered
 // rows.
-func (m *lcaMemo) parts(c engine.Backend, data *engine.CachedData) (*engine.PColl[map[string]cube.Agg], error) {
-	out := make([]map[string]cube.Agg, data.NumBlocks())
+func (m *lcaMemo[K]) parts(c engine.Backend, data *engine.CachedData) (*engine.PColl[map[K]cube.Agg], error) {
+	out := make([]map[K]cube.Agg, data.NumBlocks())
 	err := data.Scan("miner/lca-replay", false, func(bi int, b *engine.TupleBlock) {
 		mb := &m.blocks[bi]
-		local := make(map[string]cube.Agg, len(mb.keys))
+		local := make(map[K]cube.Agg, len(mb.keys))
 		for ki, k := range mb.keys {
 			var sm float64
 			for _, r := range mb.rows[mb.rowStart[ki]:mb.rowStart[ki+1]] {

@@ -1,0 +1,146 @@
+package rule
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Packer packs rules into single uint64 keys. Dimension attribute j gets a
+// fixed field of ceil(log2(domain_j + 1)) bits — wide enough for the codes
+// 0..domain_j-1 plus one spare pattern, the all-ones field, which stands for
+// the wildcard — and the fields are laid out low-to-high in attribute order.
+// Packing applies when the fields sum to at most 64 bits, the common case
+// for the evaluation schemas (the canonical income dataset needs 31); wider
+// schemas fall back to the string keys of Key/FromKey.
+//
+// Packed keys are what make the cube/candidate pipeline allocation-free:
+// keys are machine words instead of per-emission strings, candidate maps are
+// map[uint64]Agg, and wildcarding an attribute during ancestor enumeration
+// is a single OR with the attribute's field mask.
+type Packer struct {
+	shifts  []uint
+	masks   []uint64 // field mask in key position: limit << shift
+	limits  []uint64 // all-ones field value — the wildcard pattern
+	domains []uint64
+	wild    uint64 // the packed all-wildcards rule
+	total   uint   // bits used
+}
+
+// NewPacker sizes a packer for the given per-dimension domain sizes. ok is
+// false when the dimensions need more than 64 bits in total (or there are
+// none at all); callers then key rules as strings.
+func NewPacker(domains []int) (*Packer, bool) {
+	if len(domains) == 0 {
+		return nil, false
+	}
+	p := &Packer{
+		shifts:  make([]uint, len(domains)),
+		masks:   make([]uint64, len(domains)),
+		limits:  make([]uint64, len(domains)),
+		domains: make([]uint64, len(domains)),
+	}
+	var shift uint
+	for j, dom := range domains {
+		if dom < 1 {
+			dom = 1 // an empty dictionary still needs its wildcard pattern
+		}
+		// 2^w - 1 >= dom, so codes 0..dom-1 never collide with the all-ones
+		// wildcard.
+		w := uint(bits.Len(uint(dom)))
+		if shift+w > 64 {
+			return nil, false
+		}
+		limit := uint64(1)<<w - 1
+		p.shifts[j] = shift
+		p.limits[j] = limit
+		p.masks[j] = limit << shift
+		p.domains[j] = uint64(dom)
+		p.wild |= limit << shift
+		shift += w
+	}
+	p.total = shift
+	return p, true
+}
+
+// NumDims returns the rule arity the packer was sized for.
+func (p *Packer) NumDims() int { return len(p.shifts) }
+
+// TotalBits returns the number of key bits in use (at most 64).
+func (p *Packer) TotalBits() int { return int(p.total) }
+
+// AllWildcards returns the packed all-wildcards rule: every field all-ones.
+func (p *Packer) AllWildcards() uint64 { return p.wild }
+
+// FieldMask returns the key mask of attribute j. ORing it into a key
+// wildcards the attribute, and a key holds the wildcard exactly when the
+// masked field is all ones.
+func (p *Packer) FieldMask(j int) uint64 { return p.masks[j] }
+
+// IsWildcard reports whether attribute j of key holds the wildcard pattern.
+func (p *Packer) IsWildcard(key uint64, j int) bool { return key&p.masks[j] == p.masks[j] }
+
+// Set returns key with attribute j replaced by code v (unvalidated — the
+// caller guarantees v came from the attribute's dictionary).
+func (p *Packer) Set(key uint64, j int, v int32) uint64 {
+	return key&^p.masks[j] | uint64(uint32(v))<<p.shifts[j]
+}
+
+// PackCodes packs a code tuple, mapping Wildcard entries to the all-ones
+// pattern, without validation — the hot path for codes that came out of the
+// dataset's dictionaries. A code outside its dictionary corrupts neighboring
+// fields; use Pack for rules of uncertain provenance.
+func (p *Packer) PackCodes(codes []int32) uint64 {
+	var key uint64
+	for j, v := range codes {
+		if v == Wildcard {
+			key |= p.masks[j]
+		} else {
+			key |= uint64(uint32(v)) << p.shifts[j]
+		}
+	}
+	return key
+}
+
+// Pack validates and packs an arbitrary rule.
+func (p *Packer) Pack(r Rule) (uint64, error) {
+	if len(r) != len(p.shifts) {
+		return 0, fmt.Errorf("rule: packing arity-%d rule with a %d-dimension packer", len(r), len(p.shifts))
+	}
+	var key uint64
+	for j, v := range r {
+		switch {
+		case v == Wildcard:
+			key |= p.masks[j]
+		case v >= 0 && uint64(v) < p.domains[j]:
+			key |= uint64(v) << p.shifts[j]
+		default:
+			return 0, fmt.Errorf("rule: code %d of attribute %d outside domain [0,%d)", v, j, p.domains[j])
+		}
+	}
+	return key, nil
+}
+
+// Unpack decodes a packed key into dst (allocated when too small) and
+// returns it. Keys with stray high bits or field values outside both the
+// domain and the wildcard pattern are corrupt and rejected.
+func (p *Packer) Unpack(key uint64, dst Rule) (Rule, error) {
+	if p.total < 64 && key>>p.total != 0 {
+		return nil, fmt.Errorf("rule: corrupt packed key %#x: bits set beyond the %d-bit layout", key, p.total)
+	}
+	if cap(dst) < len(p.shifts) {
+		dst = make(Rule, len(p.shifts))
+	}
+	dst = dst[:len(p.shifts)]
+	for j := range p.shifts {
+		f := key >> p.shifts[j] & p.limits[j]
+		switch {
+		case f == p.limits[j]:
+			dst[j] = Wildcard
+		case f < p.domains[j]:
+			dst[j] = int32(f)
+		default:
+			return nil, fmt.Errorf("rule: corrupt packed key %#x: field %d holds %d, domain size %d", key, j, f, p.domains[j])
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,209 @@
+package rule
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// packerFor builds domain sizes whose fields sum to exactly total bits:
+// dims-1 single-bit fields (domain 1) and one field carrying the rest.
+func domainsForBits(dims, total int) []int {
+	doms := make([]int, dims)
+	for j := 0; j < dims-1; j++ {
+		doms[j] = 1 // domain 1 → field width 1
+	}
+	rest := total - (dims - 1)
+	doms[dims-1] = 1<<rest - 1 // width rest: Len(2^rest - 1) = rest
+	return doms
+}
+
+func TestNewPackerBitBudget(t *testing.T) {
+	// d·bits = 63, 64: packable; 65: string fallback.
+	for _, tc := range []struct {
+		total int
+		ok    bool
+	}{{63, true}, {64, true}, {65, false}} {
+		doms := domainsForBits(4, tc.total)
+		p, ok := NewPacker(doms)
+		if ok != tc.ok {
+			t.Fatalf("NewPacker(%d bits): ok=%v, want %v", tc.total, ok, tc.ok)
+		}
+		if ok && p.TotalBits() != tc.total {
+			t.Errorf("TotalBits = %d, want %d", p.TotalBits(), tc.total)
+		}
+	}
+	if _, ok := NewPacker(nil); ok {
+		t.Error("zero-dimension schema accepted")
+	}
+	// Sub-positive domains still get their wildcard field.
+	p, ok := NewPacker([]int{0, 5})
+	if !ok || p.TotalBits() != 1+3 {
+		t.Errorf("NewPacker([0 5]): ok=%v bits=%d", ok, p.TotalBits())
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	doms := []int{7, 1, 12, 3}
+	p, ok := NewPacker(doms)
+	if !ok {
+		t.Fatal("packer rejected a narrow schema")
+	}
+	rng := rand.New(rand.NewSource(5))
+	buf := make(Rule, 4)
+	for i := 0; i < 500; i++ {
+		r := make(Rule, 4)
+		for j, dom := range doms {
+			if rng.Intn(3) == 0 {
+				r[j] = Wildcard
+			} else {
+				r[j] = int32(rng.Intn(dom))
+			}
+		}
+		key, err := p.Pack(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.PackCodes(r); got != key {
+			t.Fatalf("PackCodes(%v) = %#x, Pack = %#x", r, got, key)
+		}
+		back, err := p.Unpack(key, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("round trip %v → %#x → %v", r, key, back)
+		}
+		for j := range r {
+			if p.IsWildcard(key, j) != (r[j] == Wildcard) {
+				t.Fatalf("IsWildcard(%#x, %d) wrong for %v", key, j, r)
+			}
+		}
+	}
+}
+
+func TestPackerSetAndWildcards(t *testing.T) {
+	p, _ := NewPacker([]int{5, 9, 2})
+	if w, err := p.Unpack(p.AllWildcards(), nil); err != nil || !w.Equal(AllWildcards(3)) {
+		t.Fatalf("AllWildcards unpacks to %v (%v)", w, err)
+	}
+	key := p.AllWildcards()
+	key = p.Set(key, 1, 4)
+	r, err := p.Unpack(key, nil)
+	if err != nil || !r.Equal(Rule{Wildcard, 4, Wildcard}) {
+		t.Fatalf("Set produced %v (%v)", r, err)
+	}
+	if key|p.FieldMask(1) != p.AllWildcards() {
+		t.Error("FieldMask OR does not restore the wildcard")
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	p, _ := NewPacker([]int{5, 9})
+	if _, err := p.Pack(Rule{1}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := p.Pack(Rule{5, 0}); err == nil {
+		t.Error("out-of-domain code accepted")
+	}
+	if _, err := p.Pack(Rule{-7, 0}); err == nil {
+		t.Error("negative non-wildcard code accepted")
+	}
+}
+
+func TestUnpackCorruptKeys(t *testing.T) {
+	p, _ := NewPacker([]int{5, 9}) // widths 3+4 = 7 bits
+	if _, err := p.Unpack(1<<7, nil); err == nil {
+		t.Error("stray high bit accepted")
+	}
+	// Field value 6 is above domain 5 but below the wildcard pattern 7.
+	if _, err := p.Unpack(6, nil); err == nil {
+		t.Error("between-domain-and-wildcard field accepted")
+	}
+}
+
+// TestKeyScratchAllocs pins the scratch-buffer paths the cube pipeline
+// depends on at zero allocations.
+func TestKeyScratchAllocs(t *testing.T) {
+	r := Rule{3, Wildcard, 7}
+	p, _ := NewPacker([]int{9, 4, 11})
+	keyBuf := make([]byte, 0, 12)
+	dec := make(Rule, 3)
+	var key string
+	{
+		b := r.AppendKey(keyBuf[:0])
+		key = string(b)
+	}
+	codes := []int32{3, Wildcard, 7}
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"AppendKey", func() { keyBuf = r.AppendKey(keyBuf[:0]) }},
+		{"DecodeKey", func() {
+			if _, err := DecodeKey(key, 3, dec); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"PackCodes", func() { _ = p.PackCodes(codes) }},
+		{"Unpack", func() {
+			if _, err := p.Unpack(p.PackCodes(codes), dec); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, c := range checks {
+		if got := testing.AllocsPerRun(100, c.fn); got != 0 {
+			t.Errorf("%s allocates %v times per run, want 0", c.name, got)
+		}
+	}
+}
+
+// FuzzPackUnpack round-trips arbitrary rules through every packer the seed
+// corpus pins at the 63/64/65-bit boundary plus whatever widths the fuzzer
+// invents, and cross-checks the packed representation against string keys.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add(uint8(3), uint8(59), int32(1), int32(2), int32(3), int32(4))    // 63 bits
+	f.Add(uint8(3), uint8(60), int32(0), int32(-1), int32(5), int32(100)) // 64 bits
+	f.Add(uint8(3), uint8(61), int32(-1), int32(-1), int32(0), int32(0))  // 65 bits
+	f.Add(uint8(0), uint8(8), int32(200), int32(0), int32(0), int32(0))
+	f.Fuzz(func(t *testing.T, dims, total uint8, c0, c1, c2, c3 int32) {
+		d := int(dims)%4 + 1
+		bits := int(total)%66 + d // at least 1 bit per field
+		if max := 62 + d - 1; bits > max {
+			bits = max // the wide field caps at 62 bits (domain must fit int)
+		}
+		doms := domainsForBits(d, bits)
+		p, ok := NewPacker(doms)
+		if (bits <= 64) != ok {
+			t.Fatalf("NewPacker(%v) ok=%v for %d bits", doms, ok, bits)
+		}
+		if !ok {
+			return
+		}
+		codes := []int32{c0, c1, c2, c3}[:d]
+		r := make(Rule, d)
+		for j, c := range codes {
+			if c == Wildcard || c < 0 {
+				r[j] = Wildcard
+			} else {
+				r[j] = int32(int(c) % doms[j])
+			}
+		}
+		key, err := p.Pack(r)
+		if err != nil {
+			t.Fatalf("Pack(%v): %v", r, err)
+		}
+		back, err := p.Unpack(key, nil)
+		if err != nil {
+			t.Fatalf("Unpack(Pack(%v)): %v", r, err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("round trip %v → %#x → %v", r, key, back)
+		}
+		// The packed and string representations must agree on identity.
+		r2, err := FromKey(back.Key(), d)
+		if err != nil || !r2.Equal(r) {
+			t.Fatalf("string key round trip diverged: %v vs %v (%v)", r2, r, err)
+		}
+	})
+}

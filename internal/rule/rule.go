@@ -160,25 +160,40 @@ func LCA(a, b []int32, dst Rule) Rule {
 // rules with equal contents compare equal; distinct rules of the same arity
 // produce distinct keys.
 func (r Rule) Key() string {
-	b := make([]byte, 0, len(r)*4)
+	return string(r.AppendKey(make([]byte, 0, len(r)*4)))
+}
+
+// AppendKey appends the Key encoding of r to dst and returns it. Hot loops
+// reuse one scratch buffer across calls and look maps up via m[string(buf)],
+// which the compiler turns into an allocation-free access.
+func (r Rule) AppendKey(dst []byte) []byte {
 	for _, v := range r {
 		u := uint32(v)
-		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+		dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
 	}
-	return string(b)
+	return dst
 }
 
 // FromKey decodes a rule produced by Key, given the arity d.
 func FromKey(key string, d int) (Rule, error) {
+	return DecodeKey(key, d, nil)
+}
+
+// DecodeKey is FromKey into a caller-provided destination (allocated when
+// too small), for decode loops that reuse one scratch rule.
+func DecodeKey(key string, d int, dst Rule) (Rule, error) {
 	if len(key) != d*4 {
 		return nil, fmt.Errorf("rule: key has %d bytes, want %d for arity %d", len(key), d*4, d)
 	}
-	r := make(Rule, d)
+	if cap(dst) < d {
+		dst = make(Rule, d)
+	}
+	dst = dst[:d]
 	for j := 0; j < d; j++ {
 		u := uint32(key[j*4]) | uint32(key[j*4+1])<<8 | uint32(key[j*4+2])<<16 | uint32(key[j*4+3])<<24
-		r[j] = int32(u)
+		dst[j] = int32(u)
 	}
-	return r, nil
+	return dst, nil
 }
 
 // String renders the rule with raw codes, e.g. "(0, *, 3)".
@@ -230,25 +245,43 @@ func Parse(vals []string, ds *dataset.Dataset) (Rule, error) {
 	return r, nil
 }
 
+// MaxFreeAttrs bounds generalization enumeration: a rule with n free
+// (constant) attributes among the enumerated positions has 2^n ancestors,
+// and past 2^30 the enumeration would exhaust memory long before finishing.
+// Wider requests are rejected as a BlowupError instead of attempted.
+const MaxFreeAttrs = 30
+
+// BlowupError reports a generalization whose 2^Free ancestor count exceeds
+// the enumerable limit. It is a property of the queried dataset's shape, so
+// servers surface it to the client rather than treating it as internal.
+type BlowupError struct{ Free int }
+
+func (e *BlowupError) Error() string {
+	return fmt.Sprintf("rule: generalization over %d free attributes would emit 2^%d ancestors (limit 2^%d)",
+		e.Free, e.Free, MaxFreeAttrs)
+}
+
 // ForEachGeneralization enumerates the ancestors of r obtainable by
 // wildcarding subsets of its constant attributes at the given positions.
 // Positions that are already wildcards contribute nothing. When includeSelf
 // is true the empty subset (r itself) is visited too. The rule passed to fn
 // is only valid for the duration of the call; fn must Clone it to retain it.
+// More than MaxFreeAttrs constant attributes among positions is a
+// BlowupError.
 //
 // This is the mapper of the data-cube algorithm (Section 3.1): with
 // positions = all attributes it emits the entire cube lattice CL(r); with
 // positions restricted to a column group it emits one stage of the
 // column-grouping pipeline (Section 4.3).
-func (r Rule) ForEachGeneralization(positions []int, includeSelf bool, fn func(Rule)) {
+func (r Rule) ForEachGeneralization(positions []int, includeSelf bool, fn func(Rule)) error {
 	free := make([]int, 0, len(positions))
 	for _, p := range positions {
 		if r[p] != Wildcard {
 			free = append(free, p)
 		}
 	}
-	if len(free) > 30 {
-		panic(fmt.Sprintf("rule: generalization over %d free attributes would emit 2^%d ancestors", len(free), len(free)))
+	if len(free) > MaxFreeAttrs {
+		return &BlowupError{Free: len(free)}
 	}
 	buf := r.Clone()
 	total := 1 << uint(len(free))
@@ -264,6 +297,7 @@ func (r Rule) ForEachGeneralization(positions []int, includeSelf bool, fn func(R
 		}
 		fn(buf)
 	}
+	return nil
 }
 
 // AllPositions returns [0, 1, …, d-1], the position list covering every

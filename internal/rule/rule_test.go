@@ -1,6 +1,7 @@
 package rule
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -281,12 +282,25 @@ func TestForEachGeneralizationBlowupGuard(t *testing.T) {
 	for i := range r {
 		r[i] = 1
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("40-constant generalization did not panic")
-		}
-	}()
-	r.ForEachGeneralization(AllPositions(40), true, func(Rule) {})
+	err := r.ForEachGeneralization(AllPositions(40), true, func(Rule) {
+		t.Error("callback invoked despite blow-up")
+	})
+	var blowup *BlowupError
+	if !errors.As(err, &blowup) {
+		t.Fatalf("40-constant generalization: err = %v, want BlowupError", err)
+	}
+	if blowup.Free != 40 {
+		t.Errorf("BlowupError.Free = %d, want 40", blowup.Free)
+	}
+	// Exactly MaxFreeAttrs free attributes is still allowed (boundary).
+	ok := make(Rule, MaxFreeAttrs)
+	for i := range ok {
+		ok[i] = 1
+	}
+	n := 0
+	if err := ok.ForEachGeneralization([]int{0, 1}, false, func(Rule) { n++ }); err != nil || n != 3 {
+		t.Errorf("narrow generalization: err=%v n=%d", err, n)
+	}
 }
 
 func randomRule(r *rand.Rand, d int) Rule {

@@ -423,26 +423,3 @@ func (c *Client) DoStream(method, path, contentType string, body io.Reader, leng
 		Body:        resp.Body,
 	}, nil
 }
-
-func publicRules(rules []sirum.Rule) []RuleJSON {
-	out := make([]RuleJSON, 0, len(rules))
-	for _, r := range rules {
-		rj := RuleJSON{Display: r.String(), Avg: r.Avg, Count: r.Count, Gain: r.Gain}
-		for _, c := range r.Conditions {
-			rj.Conditions = append(rj.Conditions, ConditionJSON{Attr: c.Attr, Value: c.Value})
-		}
-		out = append(out, rj)
-	}
-	return out
-}
-
-func mineResponse(res *sirum.Result) MineResponse {
-	return MineResponse{
-		Rules:      publicRules(res.Rules),
-		KL:         res.KL,
-		InfoGain:   res.InfoGain,
-		Iterations: res.Iterations,
-		WallNS:     res.WallTime,
-		Metrics:    res.Metrics,
-	}
-}

@@ -36,7 +36,7 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key cacheKey
-	val any // MineResponse or ExploreResponse, stored by value
+	val any // pre-encoded open-envelope body ([]byte); see encode.go
 }
 
 func newResultCache(max int) *resultCache {

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"unicode/utf8"
+
+	"sirum"
+)
+
+// Hand-rolled response encoding for the three query endpoints. The generic
+// path (mineResponse → json.Marshal) built a full []RuleJSON intermediate —
+// one slice, one Conditions slice and several strings per rule — before a
+// second full-size buffer inside the encoder; on a large explore result the
+// response was materialized three times. Here rules append straight into one
+// byte buffer that is also what the result cache stores, so cache hits write
+// the precomputed bytes with zero encoding work.
+//
+// Cached bodies are "open envelopes": everything up to but excluding the
+// closing brace. writeOpenBody finishes them with a constant tail — either
+// "}\n" or ",\"cached\":true}\n" — written separately so a cached slice is
+// never appended to. Appending would let two concurrent cache hits race on
+// the slice's backing array; separate writes keep the shared bytes
+// immutable.
+
+var (
+	bodyClose       = []byte("}\n")
+	bodyCloseCached = []byte(",\"cached\":true}\n")
+)
+
+// writeOpenBody completes and writes an open-envelope body.
+func writeOpenBody(w http.ResponseWriter, status int, open []byte, cached bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(open)
+	if cached {
+		w.Write(bodyCloseCached)
+	} else {
+		w.Write(bodyClose)
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, matching
+// encoding/json with HTML escaping off: quote, backslash and control
+// characters are escaped, invalid UTF-8 is replaced with U+FFFD, and the
+// line separators U+2028/U+2029 are escaped for JS embedding.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '"', '\\':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	return append(append(dst, s[start:]...), '"')
+}
+
+// appendFloat appends f the way encoding/json renders float64 values
+// (shortest round-trippable form, 'e' notation only for extreme
+// magnitudes), except that NaN and infinities — which json.Marshal rejects,
+// turning a whole response into an encoding error — render as 0.
+func appendFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, '0')
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Like json: trim the leading zero off a small negative exponent
+		// ("1e-07" → "1e-7").
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// appendRule appends one rule in RuleJSON's wire shape. A rule with no
+// conditions encodes "conditions":null (the slice the generic encoder built
+// was nil) and gain carries omitempty.
+func appendRule(dst []byte, r sirum.Rule) []byte {
+	dst = append(dst, `{"conditions":`...)
+	if len(r.Conditions) == 0 {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i, c := range r.Conditions {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"attr":`...)
+			dst = appendJSONString(dst, c.Attr)
+			dst = append(dst, `,"value":`...)
+			dst = appendJSONString(dst, c.Value)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"display":`...)
+	dst = appendJSONString(dst, r.String())
+	dst = append(dst, `,"avg":`...)
+	dst = appendFloat(dst, r.Avg)
+	dst = append(dst, `,"count":`...)
+	dst = strconv.AppendInt(dst, r.Count, 10)
+	if r.Gain != 0 {
+		dst = append(dst, `,"gain":`...)
+		dst = appendFloat(dst, r.Gain)
+	}
+	return append(dst, '}')
+}
+
+// appendRules appends a rule array; an empty rule set encodes "[]", never
+// null, matching the non-nil slice publicRules always returned.
+func appendRules(dst []byte, rules []sirum.Rule) []byte {
+	dst = append(dst, '[')
+	for i, r := range rules {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendRule(dst, r)
+	}
+	return append(dst, ']')
+}
+
+// appendMarshal appends v through the stock encoder (HTML escaping off, no
+// trailing newline) — used for QueryMetrics, whose maps are not on the hot
+// path and not worth hand-encoding.
+func appendMarshal(dst []byte, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return dst, err
+	}
+	return append(dst, bytes.TrimRight(buf.Bytes(), "\n")...), nil
+}
+
+// appendMineFields appends MineResponse's fields without the surrounding
+// braces, shared between the mine and explore envelopes.
+func appendMineFields(dst []byte, res *sirum.Result) ([]byte, error) {
+	dst = append(dst, `"rules":`...)
+	dst = appendRules(dst, res.Rules)
+	dst = append(dst, `,"kl":`...)
+	dst = appendFloat(dst, res.KL)
+	dst = append(dst, `,"info_gain":`...)
+	dst = appendFloat(dst, res.InfoGain)
+	dst = append(dst, `,"iterations":`...)
+	dst = strconv.AppendInt(dst, int64(res.Iterations), 10)
+	dst = append(dst, `,"wall_ns":`...)
+	dst = strconv.AppendInt(dst, int64(res.WallTime), 10)
+	dst = append(dst, `,"metrics":`...)
+	return appendMarshal(dst, res.Metrics)
+}
+
+// appendMineOpen builds the open-envelope body of a MineResponse.
+func appendMineOpen(res *sirum.Result) ([]byte, error) {
+	dst := make([]byte, 0, 256+64*len(res.Rules))
+	return appendMineFields(append(dst, '{'), res)
+}
+
+// appendExploreOpen builds the open-envelope body of an ExploreResponse:
+// the prior rule set followed by the embedded mine fields.
+func appendExploreOpen(prior []sirum.Rule, res *sirum.Result) ([]byte, error) {
+	dst := make([]byte, 0, 256+64*(len(prior)+len(res.Rules)))
+	dst = append(dst, `{"prior":`...)
+	dst = appendRules(dst, prior)
+	dst = append(dst, ',')
+	return appendMineFields(dst, res)
+}
+
+// appendAppendOpen builds the open-envelope body of an AppendResponse.
+func appendAppendOpen(res *sirum.AppendResult) []byte {
+	dst := make([]byte, 0, 128+64*len(res.Rules))
+	dst = append(dst, `{"remined":`...)
+	dst = strconv.AppendBool(dst, res.Remined)
+	dst = append(dst, `,"rows":`...)
+	dst = strconv.AppendInt(dst, int64(res.Rows), 10)
+	dst = append(dst, `,"kl":`...)
+	dst = appendFloat(dst, res.KL)
+	dst = append(dst, `,"rules":`...)
+	return appendRules(dst, res.Rules)
+}

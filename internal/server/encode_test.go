@@ -1,0 +1,362 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sirum"
+)
+
+// genericRules and genericMine are test-local copies of the reflection-based
+// encoding the serve path used before the open-envelope encoder (publicRules
+// / mineResponse). The equivalence tests below pin the hand-rolled encoder to
+// this shape: any byte stream the new encoder emits must decode to exactly
+// what the generic encoder would have produced.
+func genericRules(rules []sirum.Rule) []RuleJSON {
+	out := make([]RuleJSON, 0, len(rules))
+	for _, r := range rules {
+		rj := RuleJSON{Display: r.String(), Avg: r.Avg, Count: r.Count, Gain: r.Gain}
+		for _, c := range r.Conditions {
+			rj.Conditions = append(rj.Conditions, ConditionJSON{Attr: c.Attr, Value: c.Value})
+		}
+		out = append(out, rj)
+	}
+	return out
+}
+
+func genericMine(res *sirum.Result) MineResponse {
+	return MineResponse{
+		Rules:      genericRules(res.Rules),
+		KL:         res.KL,
+		InfoGain:   res.InfoGain,
+		Iterations: res.Iterations,
+		WallNS:     res.WallTime,
+		Metrics:    res.Metrics,
+	}
+}
+
+// genericEncode marshals v the way writeJSON did: stock encoder, HTML
+// escaping off.
+func genericEncode(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		t.Fatalf("generic encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// nastyResult exercises every encoding edge the wire shape has: empty rule
+// lists stay [], nil conditions stay null, omitempty gain, unicode and
+// invalid UTF-8 in dictionary strings, HTML characters that must NOT be
+// escaped, floats across the f/e format boundary.
+func nastyResult() *sirum.Result {
+	return &sirum.Result{
+		Rules: []sirum.Rule{
+			{Avg: 42.5, Count: 3},
+			{
+				Conditions: []sirum.Condition{
+					{Attr: "Day", Value: `Fri"day\`},
+					{Attr: "Città", Value: "Łódź\t日本\n"},
+					{Attr: "html", Value: "<b>&amp;</b>"},
+					{Attr: "bad\xffutf8", Value: "line sep "},
+				},
+				Avg: -0.000000123, Count: 9_876_543_210, Gain: 1.25e21,
+			},
+			{
+				Conditions: []sirum.Condition{{Attr: "zero", Value: ""}},
+				Avg:        math.MaxFloat64, Count: 0, Gain: 0.1,
+			},
+		},
+		KL:         0.6931471805599453,
+		InfoGain:   1.5e-7,
+		Iterations: 4,
+		WallTime:   123456789 * time.Nanosecond,
+		Metrics: sirum.QueryMetrics{
+			Counters: map[string]int64{"rows_scanned": 42, "lca_comparisons": 7},
+			Phases:   map[string]time.Duration{"cube": 5 * time.Millisecond},
+		},
+	}
+}
+
+// TestMineOpenEnvelopeMatchesGenericEncoding pins the hand-rolled mine body
+// to the generic encoder's wire shape, both decoded and byte-for-byte.
+func TestMineOpenEnvelopeMatchesGenericEncoding(t *testing.T) {
+	res := nastyResult()
+	open, err := appendMineOpen(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := append(append([]byte(nil), open...), bodyClose...)
+	if !json.Valid(body) {
+		t.Fatalf("open envelope + close is not valid JSON:\n%s", body)
+	}
+	wantBytes := genericEncode(t, genericMine(res))
+	if !bytes.Equal(body, wantBytes) {
+		t.Errorf("wire bytes diverge from the generic encoder:\n got %s\nwant %s", body, wantBytes)
+	}
+
+	var got, want MineResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(wantBytes, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("decoded response diverges:\n got %+v\nwant %+v", got, want)
+	}
+
+	cached := append(append([]byte(nil), open...), bodyCloseCached...)
+	var hit MineResponse
+	if err := json.Unmarshal(cached, &hit); err != nil {
+		t.Fatalf("cached close: %v", err)
+	}
+	if !hit.Cached {
+		t.Error("cached close did not set cached=true")
+	}
+	hit.Cached = false
+	if !reflect.DeepEqual(hit, want) {
+		t.Error("cached body differs beyond the cached flag")
+	}
+}
+
+// TestExploreOpenEnvelopeMatchesGenericEncoding does the same for the
+// explore envelope, whose embedded MineResponse fields must inline after
+// the prior array exactly as the reflection encoder inlined them.
+func TestExploreOpenEnvelopeMatchesGenericEncoding(t *testing.T) {
+	res := nastyResult()
+	prior := []sirum.Rule{
+		{Avg: 1, Count: 2},
+		{Conditions: []sirum.Condition{{Attr: "A", Value: "x"}}, Avg: 3.5, Count: 4, Gain: 0.5},
+	}
+	open, err := appendExploreOpen(prior, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := append(append([]byte(nil), open...), bodyClose...)
+	wantBytes := genericEncode(t, ExploreResponse{Prior: genericRules(prior), MineResponse: genericMine(res)})
+	if !bytes.Equal(body, wantBytes) {
+		t.Errorf("explore wire bytes diverge:\n got %s\nwant %s", body, wantBytes)
+	}
+
+	// An empty prior must stay [], not null.
+	open, err = appendExploreOpen(nil, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(open, []byte(`{"prior":[]`)) {
+		t.Errorf("empty prior encoded as %s", open[:20])
+	}
+}
+
+func TestAppendOpenEnvelopeMatchesGenericEncoding(t *testing.T) {
+	res := &sirum.AppendResult{
+		Remined: true,
+		Rows:    12345,
+		KL:      0.25,
+		Rules:   nastyResult().Rules,
+	}
+	body := append(appendAppendOpen(res), bodyClose...)
+	wantBytes := genericEncode(t, AppendResponse{
+		Remined: res.Remined, Rows: res.Rows, KL: res.KL, Rules: genericRules(res.Rules),
+	})
+	if !bytes.Equal(body, wantBytes) {
+		t.Errorf("append wire bytes diverge:\n got %s\nwant %s", body, wantBytes)
+	}
+}
+
+func TestAppendFloatMatchesJSON(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 1.5, 42.5, -12345.678,
+		0.1, 0.2, 0.1 + 0.2, 1.0 / 3.0,
+		1e-6, 9.999e-7, 1e-7, 5e-324, math.SmallestNonzeroFloat64,
+		1e20, 9.99e20, 1e21, 1.0000000000000002e21, math.MaxFloat64,
+		0.6931471805599453, 1.25e21, -1.5e-7,
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		cases = append(cases, f)
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(appendFloat(nil, f)); got != string(want) {
+			t.Fatalf("appendFloat(%v) = %s, want %s", f, got, want)
+		}
+	}
+	// json.Marshal rejects these outright; the encoder renders 0 so one bad
+	// aggregate cannot void an entire response.
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := string(appendFloat(nil, f)); got != "0" {
+			t.Errorf("appendFloat(%v) = %s, want 0", f, got)
+		}
+	}
+}
+
+func TestAppendJSONStringMatchesJSON(t *testing.T) {
+	cases := []string{
+		"", "plain", `quote" back\ slash`, "new\nline\rtab\t",
+		"nul\x00ctl\x1funit\x1e", "héllo wörld 日本語 🎉", "é",
+		"line and seps", "<script>alert(1)&amp;</script>",
+		"\xff\xfe invalid", "truncated \xc3", "\x80 continuation first",
+		strings.Repeat("長い文字列", 50),
+	}
+	for _, s := range cases {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(s); err != nil {
+			t.Fatal(err)
+		}
+		want := strings.TrimRight(buf.String(), "\n")
+		if got := string(appendJSONString(nil, s)); got != want {
+			t.Fatalf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+// TestEncodeScratchZeroAllocs pins the scalar encoding paths at zero
+// allocations when the destination has capacity — the property the serve
+// path's single-buffer design depends on.
+func TestEncodeScratchZeroAllocs(t *testing.T) {
+	buf := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = appendJSONString(buf[:0], "Destination=London and 日本語")
+		buf = appendFloat(buf, 123.456)
+		buf = appendFloat(buf, 1.5e-9)
+	})
+	if allocs != 0 {
+		t.Errorf("scalar append paths allocate %v times per run, want 0", allocs)
+	}
+}
+
+// rawCall performs one round trip and returns status and raw body — the
+// wire-level view the decoded helpers hide.
+func rawCall(t *testing.T, method, url string, in any) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestMineWireBodies checks the serve path end to end at the byte level: a
+// cold response closes with "}\n" and no cached marker, the cache hit
+// replays the identical open envelope closed with the cached marker.
+func TestMineWireBodies(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	createIncome(t, ts.URL, "wire", 800)
+	mineURL := ts.URL + "/v1/datasets/wire/mine"
+	req := MineRequest{K: 2, SampleSize: 16, Seed: 2}
+
+	status, cold := rawCall(t, "POST", mineURL, req)
+	if status != http.StatusOK {
+		t.Fatalf("cold mine: status %d: %s", status, cold)
+	}
+	if !json.Valid(cold) {
+		t.Fatalf("cold body is not valid JSON: %s", cold)
+	}
+	if !bytes.HasSuffix(cold, bodyClose) || bytes.Contains(cold, []byte(`"cached"`)) {
+		t.Fatalf("cold body close malformed: ...%s", cold[max(0, len(cold)-40):])
+	}
+
+	status, hit := rawCall(t, "POST", mineURL, req)
+	if status != http.StatusOK {
+		t.Fatalf("repeat mine: status %d", status)
+	}
+	if !bytes.HasSuffix(hit, bodyCloseCached) {
+		t.Fatalf("cache hit close malformed: ...%s", hit[max(0, len(hit)-40):])
+	}
+	if !bytes.Equal(hit[:len(hit)-len(bodyCloseCached)], cold[:len(cold)-len(bodyClose)]) {
+		t.Error("cache hit open envelope differs from the cold one")
+	}
+}
+
+// wideCSV builds a CSV document with dims attribute columns (two distinct
+// values each) plus a measure column.
+func wideCSV(dims, rows int) string {
+	var b strings.Builder
+	for j := 0; j < dims; j++ {
+		fmt.Fprintf(&b, "d%02d,", j)
+	}
+	b.WriteString("m\n")
+	for i := 0; i < rows; i++ {
+		for j := 0; j < dims; j++ {
+			fmt.Fprintf(&b, "v%d,", (i+j)%2)
+		}
+		fmt.Fprintf(&b, "%d\n", i+1)
+	}
+	return b.String()
+}
+
+// TestGeneralizationBlowupSurfacesAsBadRequest pins satellite behavior of
+// the blow-up guard: a 62-attribute schema splits into 31-column groups,
+// whose 2^31-ancestor map stage must surface as a 400 with the library's
+// error text — not a panic tearing down the handler — and the server keeps
+// serving afterwards.
+func TestGeneralizationBlowupSurfacesAsBadRequest(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	var info SessionInfo
+	status := call(t, "POST", ts.URL+"/v1/datasets", CreateRequest{
+		ID:      "wide",
+		CSV:     wideCSV(62, 6),
+		Measure: "m",
+		Prepare: PrepareSpec{SampleSize: 4, Seed: 1},
+	}, &info)
+	if status != http.StatusCreated {
+		t.Fatalf("create wide session: status %d", status)
+	}
+	if len(info.Dims) != 62 {
+		t.Fatalf("wide session has %d dims", len(info.Dims))
+	}
+
+	st, body := rawCall(t, "POST", ts.URL+"/v1/datasets/wide/mine", MineRequest{K: 1, SampleSize: 4, Seed: 1})
+	if st != http.StatusBadRequest {
+		t.Fatalf("mine over 62 attributes: status %d, body %s", st, body)
+	}
+	var apiErr ErrorResponse
+	if err := json.Unmarshal(body, &apiErr); err != nil {
+		t.Fatalf("error body is not JSON: %s", body)
+	}
+	if !strings.Contains(apiErr.Error, "free attributes") {
+		t.Errorf("error %q does not mention the blow-up", apiErr.Error)
+	}
+
+	// The daemon survived and still answers.
+	var h HealthResponse
+	if status := call(t, "GET", ts.URL+"/v1/healthz", nil, &h); status != http.StatusOK || h.Status != "ok" {
+		t.Errorf("health after blow-up: status %d, %+v", status, h)
+	}
+}

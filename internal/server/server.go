@@ -287,9 +287,12 @@ func errf(status int, format string, args ...any) error {
 }
 
 // mapError classifies an error into an HTTP status: explicit apiErrors keep
-// theirs; library validation errors (the "sirum:"/"miner:"/"explore:"
-// prefixes — bad variant, foreign backend, mismatched schema or sample
-// options) are the caller's fault; anything else is internal.
+// theirs; library validation errors (the "sirum:"/"miner:"/"explore:"/
+// "rule:" prefixes — bad variant, foreign backend, mismatched schema or
+// sample options, a generalization blow-up over a too-wide schema) are the
+// caller's fault; anything else — including a "cube:" corrupt-key error,
+// which indicates pipeline state corruption rather than caller input — is
+// internal.
 func mapError(err error) (int, string) {
 	var ae *apiError
 	if errors.As(err, &ae) {
@@ -299,7 +302,7 @@ func mapError(err error) (int, string) {
 	if strings.Contains(msg, "session is closed") {
 		return http.StatusConflict, msg
 	}
-	for _, prefix := range []string{"sirum:", "miner:", "explore:", "dataset:", "datagen:"} {
+	for _, prefix := range []string{"sirum:", "miner:", "explore:", "dataset:", "datagen:", "rule:"} {
 		if strings.HasPrefix(msg, prefix) {
 			return http.StatusBadRequest, msg
 		}
@@ -638,10 +641,8 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) error {
 	}
 	key := cacheKey{session: sess.key, chain: dsSpec.Chain, query: qSpec.Fingerprint()}
 	if v, ok := s.cacheGet(key); ok {
-		resp := v.(MineResponse)
-		resp.Cached = true
 		sess.queries.Add(1)
-		writeJSON(w, http.StatusOK, resp)
+		writeOpenBody(w, http.StatusOK, v.([]byte), true)
 		return nil
 	}
 	release, err := s.admit(r.Context())
@@ -654,9 +655,12 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	resp := mineResponse(res)
-	s.cachePut(sess, key, resp)
-	writeJSON(w, http.StatusOK, resp)
+	body, err := appendMineOpen(res)
+	if err != nil {
+		return err
+	}
+	s.cachePut(sess, key, body)
+	writeOpenBody(w, http.StatusOK, body, false)
 	return nil
 }
 
@@ -673,10 +677,8 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) error {
 	dsSpec, qSpec := sess.p.ExploreSpec(opts)
 	key := cacheKey{session: sess.key, chain: dsSpec.Chain, query: qSpec.Fingerprint()}
 	if v, ok := s.cacheGet(key); ok {
-		resp := v.(ExploreResponse)
-		resp.Cached = true
 		sess.queries.Add(1)
-		writeJSON(w, http.StatusOK, resp)
+		writeOpenBody(w, http.StatusOK, v.([]byte), true)
 		return nil
 	}
 	release, err := s.admit(r.Context())
@@ -689,12 +691,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	resp := ExploreResponse{
-		Prior:        publicRules(res.Prior),
-		MineResponse: mineResponse(res.Result),
+	body, err := appendExploreOpen(res.Prior, res.Result)
+	if err != nil {
+		return err
 	}
-	s.cachePut(sess, key, resp)
-	writeJSON(w, http.StatusOK, resp)
+	s.cachePut(sess, key, body)
+	writeOpenBody(w, http.StatusOK, body, false)
 	return nil
 }
 
@@ -741,12 +743,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	storeMax(&sess.rows, int64(res.Rows))
-	writeJSON(w, http.StatusOK, AppendResponse{
-		Remined: res.Remined,
-		Rows:    res.Rows,
-		KL:      res.KL,
-		Rules:   publicRules(res.Rules),
-	})
+	writeOpenBody(w, http.StatusOK, appendAppendOpen(res), false)
 	return nil
 }
 
