@@ -162,6 +162,7 @@ func (b *Bitset) Clone() *Bitset {
 // keys up repeatedly should use AppendKey with a reused scratch buffer
 // instead: map lookups via string(buf) do not allocate.
 func (b *Bitset) Key() string {
+	//sirum:allow zerocopykey deliberate copy: cold convenience accessor; hot loops use AppendKey + m[string(buf)]
 	return string(b.AppendKey(make([]byte, 0, len(b.words)*8)))
 }
 

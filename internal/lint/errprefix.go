@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// errPrefixByPackage maps checked packages to the error-message prefix the
+// server's status mapping keys on: "rule:" errors map to 400 (caller input),
+// "cube:" errors to 500 (pipeline corruption). See server.mapError.
+var errPrefixByPackage = map[string]string{
+	"internal/rule": "rule: ",
+	"internal/cube": "cube: ",
+}
+
+func errPrefixCheck() *Check {
+	return &Check{
+		Name: "errprefix",
+		Doc:  "rule/cube error messages must carry their package prefix (drives 400/500 mapping)",
+		Run:  runErrPrefix,
+	}
+}
+
+func runErrPrefix(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	var prefix string
+	for suffix, pre := range errPrefixByPackage {
+		if pathIn(p, suffix) {
+			prefix = pre
+			break
+		}
+	}
+	if prefix == "" {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			qual := obj.Pkg().Path() + "." + sel.Sel.Name
+			if qual != "fmt.Errorf" && qual != "errors.New" {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // dynamic message: out of scope
+			}
+			msg, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !strings.HasPrefix(msg, prefix) {
+				report(lit.Pos(), "error message %q must start with %q so server.mapError classifies it correctly", msg, prefix)
+			}
+			return true
+		})
+	}
+}

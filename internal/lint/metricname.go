@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// metricFamilyPattern is the naming contract for this project's Prometheus
+// families: the sirum prefix keeps the cluster rollup's namespace coherent.
+var metricFamilyPattern = regexp.MustCompile(`^sirum[a-z0-9_]*$`)
+
+// helpLinePattern extracts concrete family names from literal exposition
+// text ("# HELP sirumd_sessions ..."). Format verbs like %s never match.
+var helpLinePattern = regexp.MustCompile(`# HELP ([A-Za-z_:][A-Za-z0-9_:]*)`)
+
+func metricNameCheck() *Check {
+	return &Check{
+		Name: "metricname",
+		Doc:  "metric families must match ^sirum[a-z0-9_]*$ and be registered exactly once",
+		Run:  runMetricName,
+	}
+}
+
+// metricReg is one family registration site: a gauge()/counter() helper call
+// with a literal name, or a literal "# HELP <name>" exposition fragment.
+type metricReg struct {
+	name string
+	pos  token.Pos
+}
+
+func runMetricName(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !pathIn(p, "internal/server", "internal/router") {
+		return
+	}
+	var regs []metricReg
+	for _, f := range p.Files {
+		if isTestFile(p, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok || (id.Name != "gauge" && id.Name != "counter") || len(n.Args) == 0 {
+					return true
+				}
+				lit, ok := n.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if name, err := strconv.Unquote(lit.Value); err == nil {
+					regs = append(regs, metricReg{name: name, pos: lit.Pos()})
+				}
+			case *ast.BasicLit:
+				if n.Kind != token.STRING {
+					return true
+				}
+				s, err := strconv.Unquote(n.Value)
+				if err != nil {
+					return true
+				}
+				for _, m := range helpLinePattern.FindAllStringSubmatch(s, -1) {
+					regs = append(regs, metricReg{name: m[1], pos: n.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	firstAt := make(map[string]token.Pos, len(regs))
+	for _, r := range regs {
+		if !metricFamilyPattern.MatchString(r.name) {
+			report(r.pos, "metric family %q must match ^sirum[a-z0-9_]*$", r.name)
+		}
+		if prev, ok := firstAt[r.name]; ok {
+			report(r.pos, "metric family %q is registered more than once (first at %s); duplicate HELP/TYPE blocks corrupt the exposition document", r.name, p.Fset.Position(prev))
+			continue
+		}
+		firstAt[r.name] = r.pos
+	}
+}

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lifecycleClosers maps the engine lifecycle types to the methods that
+// discharge them.
+var lifecycleClosers = map[string]map[string]bool{
+	"Ref":        {"Release": true},
+	"QueryScope": {"Finish": true, "Close": true},
+}
+
+func pairedLifecycleCheck() *Check {
+	return &Check{
+		Name: "pairedlifecycle",
+		Doc:  "engine.Ref / QueryScope acquisitions must be released in the same function or handed off",
+		Run:  runPairedLifecycle,
+	}
+}
+
+// lifecycleTypeName returns "Ref" or "QueryScope" when t is a pointer to one
+// of the engine lifecycle types, else "".
+func lifecycleTypeName(t types.Type) string {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "engine" {
+		return ""
+	}
+	if _, ok := lifecycleClosers[obj.Name()]; !ok {
+		return ""
+	}
+	return obj.Name()
+}
+
+func runPairedLifecycle(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	// The engine package itself constructs and plumbs these values; the
+	// invariant binds their consumers.
+	if pathIn(p, "internal/engine") {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLifecycleBody(p, fd, report)
+		}
+	}
+}
+
+// yield is one lifecycle acquisition inside a function body.
+type yield struct {
+	obj      types.Object // the bound variable; nil when bound to blank
+	typeName string       // "Ref" or "QueryScope"
+	pos      token.Pos
+}
+
+func checkLifecycleBody(p *Package, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	var yields []yield
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[call]
+		if !ok {
+			return true
+		}
+		// Align each lifecycle-typed result with its LHS binding.
+		var results []types.Type
+		if tuple, ok := tv.Type.(*types.Tuple); ok {
+			for i := 0; i < tuple.Len(); i++ {
+				results = append(results, tuple.At(i).Type())
+			}
+		} else {
+			results = []types.Type{tv.Type}
+		}
+		if len(results) != len(as.Lhs) {
+			return true
+		}
+		for i, rt := range results {
+			name := lifecycleTypeName(rt)
+			if name == "" {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			y := yield{typeName: name, pos: as.Lhs[i].Pos()}
+			if id.Name != "_" {
+				if obj := p.Info.Defs[id]; obj != nil {
+					y.obj = obj
+				} else if obj := p.Info.Uses[id]; obj != nil {
+					y.obj = obj // plain = assignment to an existing variable
+				}
+			}
+			yields = append(yields, y)
+		}
+		return true
+	})
+
+	for _, y := range yields {
+		if y.obj == nil {
+			report(y.pos, "*engine.%s result is discarded; it must be %s", y.typeName, closerHint(y.typeName))
+			continue
+		}
+		checkYieldUsage(p, fd, y, report)
+	}
+}
+
+func closerHint(typeName string) string {
+	if typeName == "Ref" {
+		return "Released (defer or all return paths) or handed off"
+	}
+	return "Finished (defer or all return paths) or handed off"
+}
+
+func checkYieldUsage(p *Package, fd *ast.FuncDecl, y yield, report func(pos token.Pos, format string, args ...any)) {
+	closers := lifecycleClosers[y.typeName]
+	var (
+		deferred   bool
+		escapes    bool
+		closerPos  []token.Pos
+		returnPos  []token.Pos
+		closerSeen bool
+	)
+	inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			returnPos = append(returnPos, ret.Pos())
+			return
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != y.obj {
+			return
+		}
+		parent := parentOf(stack)
+		if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id && closers[sel.Sel.Name] {
+			// x.Release / x.Finish: a call discharges here; a method value
+			// (e.g. "return cd, ref.Release, nil") hands the obligation off.
+			gp := grandParentOf(stack)
+			if call, ok := gp.(*ast.CallExpr); ok && call.Fun == sel {
+				closerSeen = true
+				closerPos = append(closerPos, call.Pos())
+				if underDefer(stack) {
+					deferred = true
+				}
+				return
+			}
+			escapes = true
+			return
+		}
+		// Any other use that moves the value out of the function transfers
+		// the release obligation: returning it, storing it, passing it on.
+		switch pr := parent.(type) {
+		case *ast.ReturnStmt:
+			escapes = true
+		case *ast.CallExpr:
+			if pr.Fun != id { // argument, not the callee
+				escapes = true
+			}
+		case *ast.CompositeLit, *ast.KeyValueExpr:
+			escapes = true
+		case *ast.AssignStmt:
+			for _, rhs := range pr.Rhs {
+				if rhs == id && !allBlank(pr.Lhs) {
+					escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			if pr.Value == id {
+				escapes = true
+			}
+		}
+	})
+	switch {
+	case deferred, escapes:
+		return
+	case !closerSeen:
+		report(y.pos, "*engine.%s acquired here is never %s", y.typeName, closerHint(y.typeName))
+	default:
+		// Non-deferred closer: every return after the yield must be
+		// preceded by a closer call in source order, or a path leaks.
+		for _, ret := range returnPos {
+			if ret <= y.pos {
+				continue
+			}
+			released := false
+			for _, c := range closerPos {
+				if c < ret {
+					released = true
+					break
+				}
+			}
+			if !released {
+				report(y.pos, "*engine.%s acquired here is not released on all paths: return at %s precedes every %s call (defer it, or release before returning)", y.typeName, p.Fset.Position(ret), closerNames(y.typeName))
+			}
+		}
+	}
+}
+
+func closerNames(typeName string) string {
+	if typeName == "Ref" {
+		return "Release"
+	}
+	return "Finish/Close"
+}
+
+func grandParentOf(stack []ast.Node) ast.Node {
+	seen := 0
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		seen++
+		if seen == 2 {
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// underDefer reports whether the node at the top of the stack sits inside a
+// defer statement (directly or through a deferred closure).
+func underDefer(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+)
+
+// pinnedEncodeAllowlist names the internal/server files where the stock
+// encoder is legitimate: request/client decoding, journal persistence and
+// the pinned encoder's own cold-path fallback.
+var pinnedEncodeAllowlist = map[string]bool{
+	"api.go":      true,
+	"snapshot.go": true,
+	"encode.go":   true,
+}
+
+// pinnedEncodeBanned are the encoding/json entry points that would bypass
+// the byte-pinned open-envelope encoder on a response path.
+var pinnedEncodeBanned = map[string]bool{
+	"Marshal":       true,
+	"MarshalIndent": true,
+	"NewEncoder":    true,
+}
+
+func pinnedEncodeCheck() *Check {
+	return &Check{
+		Name: "pinnedencode",
+		Doc:  "internal/server responses must use the pinned open-envelope encoder, not encoding/json",
+		Run:  runPinnedEncode,
+	}
+}
+
+func runPinnedEncode(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !pathIn(p, "internal/server") {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p, f) {
+			continue
+		}
+		base := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+		if pinnedEncodeAllowlist[base] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !pinnedEncodeBanned[sel.Sel.Name] {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/json" {
+				return true
+			}
+			report(call.Pos(), "json.%s in %s bypasses the pinned open-envelope encoder (encode.go); responses must go through writeOpenBody/appendMarshal or move to an allowlisted file", sel.Sel.Name, base)
+			return true
+		})
+	}
+}

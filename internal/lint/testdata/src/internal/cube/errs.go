@@ -1,0 +1,34 @@
+// Fixture for the errprefix check: error constructors in internal/cube must
+// carry the "cube: " prefix that server.mapError keys on.
+package cube
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBad = errors.New("bad thing") // want:errprefix "cube: "
+
+var errOK = errors.New("cube: bad thing") // ok
+
+func validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n) // want:errprefix "cube: "
+	}
+	if n > 10 {
+		return fmt.Errorf("cube: count %d over limit", n) // ok
+	}
+	if n == 7 {
+		//sirum:allow errprefix — relays a foreign subsystem's message verbatim
+		return errors.New("upstream: seven is cursed")
+	}
+	return dynamic("cube: computed %d", n)
+}
+
+// dynamic messages are out of scope: only literals are checked.
+func dynamic(format string, args ...any) error {
+	return fmt.Errorf(format, args...) // ok: non-literal message
+}
+
+var _ = errBad
+var _ = errOK

@@ -1,0 +1,29 @@
+// Minimal stand-in for sirum/internal/engine: just enough surface for the
+// pairedlifecycle fixtures to type-check. The check matches lifecycle types
+// by package name and type name, so this package must be named engine and
+// declare Ref and QueryScope.
+package engine
+
+type CachedData struct{}
+
+type Ref struct{}
+
+func (r *Ref) Release() {}
+
+type DataPool struct{}
+
+func (p *DataPool) Acquire(id string) (*CachedData, *Ref, bool) { return &CachedData{}, &Ref{}, true }
+
+func (p *DataPool) Put(id string, cd *CachedData) (*CachedData, *Ref) { return cd, &Ref{} }
+
+type Backend interface {
+	Pool() *DataPool
+}
+
+type QueryScope struct{}
+
+func NewQueryScope(b Backend) *QueryScope { return &QueryScope{} }
+
+func (s *QueryScope) Finish() {}
+
+func (s *QueryScope) Close() error { return nil }

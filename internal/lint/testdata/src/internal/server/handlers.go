@@ -1,0 +1,31 @@
+// Fixture for the pinnedencode check: stock-encoder calls outside the
+// allowlisted files must be reported.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+func renderMine(v any) ([]byte, error) {
+	return json.Marshal(v) // want:pinnedencode "bypasses the pinned"
+}
+
+func renderList(v any) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf) // want:pinnedencode "bypasses the pinned"
+	return enc.Encode(v)
+}
+
+func renderPretty(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ") // want:pinnedencode "bypasses the pinned"
+}
+
+func renderHealth(v any) ([]byte, error) {
+	//sirum:allow pinnedencode — control-plane response, not a result path
+	return json.Marshal(v)
+}
+
+func decodeBody(b []byte, v any) error {
+	return json.Unmarshal(b, v) // ok: decoding is never pinned
+}

@@ -122,6 +122,7 @@ func (s *RCTScaler) Snapshot() []RCTRow {
 				bs[i] = '0'
 			}
 		}
+		//sirum:allow zerocopykey deliberate copy: Snapshot is a cold inspection path and each row owns its string
 		out = append(out, RCTRow{BA: string(bs), Count: row.count, SumM: row.sumM, SumMhat: row.sumMhat})
 	}
 	return out

@@ -160,6 +160,7 @@ func LCA(a, b []int32, dst Rule) Rule {
 // rules with equal contents compare equal; distinct rules of the same arity
 // produce distinct keys.
 func (r Rule) Key() string {
+	//sirum:allow zerocopykey deliberate copy: cold convenience accessor; hot loops use AppendKey + m[string(buf)]
 	return string(r.AppendKey(make([]byte, 0, len(r)*4)))
 }
 

@@ -324,6 +324,7 @@ func (s *Server) wrap(h func(w http.ResponseWriter, r *http.Request) error) http
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	//sirum:allow pinnedencode control-plane envelope only (errors, listings, health); result bodies stream via writeOpenBody
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	enc.Encode(v)

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# specguard.sh — fail CI when internal/spec encoding files change without a
+# spec.Version bump.
+#
+# spec.Version is baked into every plan fingerprint (internal/spec/spec.go);
+# cache snapshots and cross-shard session routing key on it. A change to the
+# canonical encoding that keeps the old version silently revalidates stale
+# fingerprints — exactly the bug class the FuzzSpecFingerprint corpus caught
+# in PR 5. This guard makes the bump mechanical: touch internal/spec/*.go
+# (tests excluded), bump const Version.
+#
+# Base resolution, in order:
+#   1. $SPECGUARD_BASE            — explicit ref, for local runs
+#   2. merge-base with origin/$GITHUB_BASE_REF   — pull requests
+#   3. HEAD~1                     — pushes
+# If no base resolves (shallow clone, root commit), the guard skips rather
+# than false-positives.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+base=""
+if [ -n "${SPECGUARD_BASE:-}" ]; then
+    base="$SPECGUARD_BASE"
+elif [ -n "${GITHUB_BASE_REF:-}" ] && git rev-parse --verify -q "origin/$GITHUB_BASE_REF" >/dev/null; then
+    base=$(git merge-base HEAD "origin/$GITHUB_BASE_REF")
+elif git rev-parse --verify -q HEAD~1 >/dev/null; then
+    base="HEAD~1"
+fi
+if [ -z "$base" ]; then
+    echo "specguard: no base commit to diff against; skipping"
+    exit 0
+fi
+
+changed=$(git diff --name-only "$base" HEAD -- 'internal/spec/*.go' | grep -v '_test\.go$' || true)
+if [ -z "$changed" ]; then
+    echo "specguard: internal/spec unchanged vs $base"
+    exit 0
+fi
+
+echo "specguard: internal/spec changed vs $base:"
+echo "$changed" | sed 's/^/  /'
+
+# Capture before grep -q: under pipefail, grep -q exiting early would SIGPIPE
+# git diff and fail the pipeline even on a match.
+specdiff=$(git diff "$base" HEAD -- internal/spec/spec.go)
+if grep -Eq '^\+[[:space:]]*const[[:space:]]+Version' <<<"$specdiff"; then
+    echo "specguard: spec.Version bumped — OK"
+    exit 0
+fi
+
+echo "specguard: internal/spec encoding files changed but spec.Version did not." >&2
+echo "specguard: bump 'const Version' in internal/spec/spec.go (fingerprints," >&2
+echo "specguard: snapshots and shard routing key on it), or revert the change." >&2
+exit 1
