@@ -582,11 +582,17 @@ func TopByGain[K cmp.Ordered](c engine.Backend, candidates *engine.PColl[map[K]c
 		}
 		return h
 	})
+	return mergeTopK(tops, n)
+}
+
+// mergeTopK merges the per-partition heaps into the global top n, descending
+// gain with a deterministic key tie-break. Gather cost is negligible: n
+// candidates per partition.
+func mergeTopK[K cmp.Ordered](tops *engine.PColl[[]Candidate[K]], n int) []Candidate[K] {
 	var all []Candidate[K]
 	for _, part := range tops.Parts() {
 		all = append(all, part...)
 	}
-	// Gather cost is negligible: n candidates per partition.
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Gain != all[j].Gain {
 			return all[i].Gain > all[j].Gain

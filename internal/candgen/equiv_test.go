@@ -58,6 +58,28 @@ func collectAsStringKeys[K interface {
 	return out
 }
 
+// collectTablesAsStringKeys is collectAsStringKeys for the table-backed
+// pipeline: partitions are key-disjoint after the cube shuffle, so entries
+// are gathered directly off each table.
+func collectTablesAsStringKeys(t *testing.T, c engine.Backend, parts *engine.PColl[*cube.PackedTable], codec PackedCodec) map[string]cube.Agg {
+	t.Helper()
+	out := make(map[string]cube.Agg)
+	for _, part := range parts.Parts() {
+		part.ForEach(func(k uint64, v cube.Agg) {
+			r, err := codec.DecodeRule(k, nil)
+			if err != nil {
+				t.Fatalf("decoding candidate key %#x: %v", k, err)
+			}
+			key := r.Key()
+			if _, dup := out[key]; dup {
+				t.Fatalf("candidate key %#x present in two table partitions", k)
+			}
+			out[key] = v
+		})
+	}
+	return out
+}
+
 func compareCandidates(t *testing.T, label string, ds *dataset.Dataset, str, packed map[string]cube.Agg) {
 	t.Helper()
 	if len(str) != len(packed) {
@@ -77,11 +99,12 @@ func compareCandidates(t *testing.T, label string, ds *dataset.Dataset, str, pac
 }
 
 // TestPackedStringCandidatesEquivalentConcurrent is the cross-representation
-// property of the packed-key fast path: over randomized datasets, the packed
-// and string pipelines — leaf instances, cube stages, sample fix-up —
-// produce identical candidate maps (same rules, aggregates equal up to
-// summation order). The Concurrent name opts the test into the CI race run,
-// so the per-part map handling of both representations is also race-checked.
+// property of the packed-key fast path: over randomized datasets, all three
+// pipelines — string keys, packed maps, and arena-recycled PackedTables —
+// produce identical candidate maps through leaf instances, cube stages and
+// sample fix-up (same rules, aggregates equal up to summation order). The
+// Concurrent name opts the test into the CI race run, so the per-part state
+// handling of every representation is also race-checked.
 func TestPackedStringCandidatesEquivalentConcurrent(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -99,11 +122,13 @@ func TestPackedStringCandidatesEquivalentConcurrent(t *testing.T) {
 			if !ok {
 				t.Fatalf("%s does not pack (%d dims)", tc.name, d)
 			}
-			cs, cp := newTestCluster(), newTestCluster()
+			cs, cp, ct := newTestCluster(), newTestCluster(), newTestCluster()
 			defer cs.Close()
 			defer cp.Close()
-			cds, cdp := cacheFor(t, cs, ds), cacheFor(t, cp, ds)
+			defer ct.Close()
+			cds, cdp, cdt := cacheFor(t, cs, ds), cacheFor(t, cp, ds), cacheFor(t, ct, ds)
 			strCodec, packCodec := NewStringCodec(d), NewPackedCodec(packer)
+			pk := cube.PackedKeys{P: packer}
 			groups := cube.SplitGroups(d, 2)
 
 			// Sampled LCA pipeline, indexed and naive.
@@ -117,11 +142,19 @@ func TestPackedStringCandidatesEquivalentConcurrent(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				tl, err := packCodec.LCATables(ct, cdt, s, indexed, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
 				sc, err := cube.ComputeKeyed[string](cs, sl, strCodec, groups)
 				if err != nil {
 					t.Fatal(err)
 				}
 				pc, err := cube.ComputeKeyed[uint64](cp, pl, packCodec, groups)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tt, err := cube.ComputeTables(ct, tl, pk, groups)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -133,13 +166,19 @@ func TestPackedStringCandidatesEquivalentConcurrent(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				if err := AdjustTablesForSample(ct, tt, s, packCodec); err != nil {
+					t.Fatal(err)
+				}
 				label := "lca/naive"
 				if indexed {
 					label = "lca/indexed"
 				}
-				compareCandidates(t, label, ds,
-					collectAsStringKeys(t, cs, sa, strCodec),
+				strRules := collectAsStringKeys(t, cs, sa, strCodec)
+				compareCandidates(t, label, ds, strRules,
 					collectAsStringKeys(t, cp, pa, packCodec))
+				compareCandidates(t, label+"/tables", ds, strRules,
+					collectTablesAsStringKeys(t, ct, tt, packCodec))
+				cube.ReleaseTables(ct, tt)
 			}
 
 			// Exhaustive pipeline.
@@ -151,6 +190,10 @@ func TestPackedStringCandidatesEquivalentConcurrent(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			te, err := packCodec.ExhaustiveTables(ct, cdt)
+			if err != nil {
+				t.Fatal(err)
+			}
 			sc, err := cube.ComputeKeyed[string](cs, se, strCodec, groups)
 			if err != nil {
 				t.Fatal(err)
@@ -159,9 +202,16 @@ func TestPackedStringCandidatesEquivalentConcurrent(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			compareCandidates(t, "exhaustive", ds,
-				collectAsStringKeys(t, cs, sc, strCodec),
+			tcx, err := cube.ComputeTables(ct, te, pk, groups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			strRules := collectAsStringKeys(t, cs, sc, strCodec)
+			compareCandidates(t, "exhaustive", ds, strRules,
 				collectAsStringKeys(t, cp, pc, packCodec))
+			compareCandidates(t, "exhaustive/tables", ds, strRules,
+				collectTablesAsStringKeys(t, ct, tcx, packCodec))
+			cube.ReleaseTables(ct, tcx)
 		})
 	}
 }

@@ -20,8 +20,17 @@
 // emitted ancestor. StringKeys is the general fallback for wider schemas:
 // rule.Key strings of 4 bytes per attribute, emitted through a scratch
 // buffer and an AggTable so only the first emission of each distinct
-// ancestor materializes a string. Both representations produce identical
-// candidate sets; the equivalence tests pin that.
+// ancestor materializes a string.
+//
+// On the packed path the round state itself is flat: ComputeTables runs the
+// same map/shuffle/merge structure over PackedTable — an open-addressing
+// []uint64/[]Agg table with linear probing and in-place merge — instead of
+// rebuilding a map[uint64]Agg per stage. Tables are borrowed from the
+// backend's per-query scratch arena (BorrowTable/Release, the engine.Scratch
+// contract) and Reset between stages, so a warm multi-stage cube reuses the
+// same backing arrays across all stages and allocates nothing in steady
+// state. All representations produce identical candidate sets; the
+// equivalence tests pin that.
 package cube
 
 import (

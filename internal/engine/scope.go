@@ -28,6 +28,11 @@ type QueryScope struct {
 	// borrowed column belongs to exactly one block of this query's fork.
 	borrowMu sync.Mutex
 	borrowed [][]float64
+	// scratch tracks live Scratch borrows (see BorrowScratch) the same way:
+	// each structure belongs to exactly one partition of one stage of this
+	// query, so the mutex only guards the bookkeeping. ReleaseScratch returns
+	// one early; Finish sweeps the rest.
+	scratch []Scratch
 }
 
 // NewQueryScope wraps b with a fresh private registry. Wrapping another
@@ -140,9 +145,14 @@ func (s *QueryScope) Finish() {
 	s.borrowMu.Lock()
 	cols := s.borrowed
 	s.borrowed = nil
+	scr := s.scratch
+	s.scratch = nil
 	s.borrowMu.Unlock()
 	if len(cols) > 0 {
 		s.base.arena().put(cols)
+	}
+	for _, sc := range scr {
+		s.base.arena().putScratch(sc)
 	}
 	base := s.base.Reg()
 	for k, v := range s.reg.Counters() {
@@ -187,4 +197,53 @@ func (s *QueryScope) borrowColumn(n int) []float64 {
 	s.borrowed = append(s.borrowed, col)
 	s.borrowMu.Unlock()
 	return col
+}
+
+// borrowScratch takes a recycled scratch structure from the backend arena and
+// records it for return at Finish; nil when the arena has none free (the
+// caller allocates and registers via trackScratch). Borrow traffic is booked
+// on the query registry so the arena's hit rate is observable per query.
+func (s *QueryScope) borrowScratch(hint int) Scratch {
+	s.reg.Add(metrics.CtrScratchBorrows, 1)
+	sc := s.base.arena().getScratch(hint)
+	if sc == nil {
+		return nil
+	}
+	s.reg.Add(metrics.CtrScratchReuses, 1)
+	s.borrowMu.Lock()
+	s.scratch = append(s.scratch, sc)
+	s.borrowMu.Unlock()
+	return sc
+}
+
+// trackScratch records a freshly allocated scratch structure for return at
+// Finish.
+func (s *QueryScope) trackScratch(sc Scratch) {
+	if sc == nil {
+		return
+	}
+	s.borrowMu.Lock()
+	s.scratch = append(s.scratch, sc)
+	s.borrowMu.Unlock()
+}
+
+// releaseScratch drops sc from the tracked borrows and returns it to the
+// arena so the same query's later rounds can reuse it. Unknown structures are
+// returned to the arena anyway — they were headed there at Finish regardless.
+func (s *QueryScope) releaseScratch(sc Scratch) {
+	if sc == nil {
+		return
+	}
+	s.borrowMu.Lock()
+	for i, have := range s.scratch {
+		if have == sc {
+			last := len(s.scratch) - 1
+			s.scratch[i] = s.scratch[last]
+			s.scratch[last] = nil
+			s.scratch = s.scratch[:last]
+			break
+		}
+	}
+	s.borrowMu.Unlock()
+	s.base.arena().putScratch(sc)
 }

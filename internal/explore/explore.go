@@ -4,6 +4,13 @@
 // group-by queries; SIRUM treats those cells as prior knowledge and
 // recommends the k rules carrying the most information beyond what the
 // analyst has seen.
+//
+// Exploration mines without sample pruning, so every run walks the full
+// exhaustive cube — the heaviest pipeline in the repository. On packable
+// schemas the miner runs it over arena-recycled cube.PackedTables (flat
+// open-addressing round state instead of per-stage Go maps), which is what
+// keeps a prepared session's repeated explores allocation-free in steady
+// state; see the cube package doc.
 package explore
 
 import (

@@ -26,12 +26,15 @@
 // bypass the cache or cache bytes the hot path cannot re-serve.
 //
 // pairedlifecycle — a call whose results include an *engine.Ref (DataPool
-// Put/Acquire) or an *engine.QueryScope (NewQueryScope) must pair it with
-// Release / Finish / Close in the same function: deferred, called on every
-// path, or handed off (returned, stored, or passed along, which transfers
-// the obligation to the receiver). Unreleased refs pin pool entries and
-// their spill files forever (the PR 3 lifecycle bug class); unfinished
-// scopes drop a query's operator metrics from the session's lifetime totals.
+// Put/Acquire), an *engine.QueryScope (NewQueryScope) or a *cube.PackedTable
+// (BorrowTable) must pair it with Release / Finish / Close in the same
+// function: deferred, called on every path, or handed off (returned, stored,
+// or passed along, which transfers the obligation to the receiver).
+// Unreleased refs pin pool entries and their spill files forever (the PR 3
+// lifecycle bug class); unfinished scopes drop a query's operator metrics
+// from the session's lifetime totals; unreleased tables silently fall out of
+// the scratch arena, turning the cube's zero-allocation steady state back
+// into an allocation storm.
 //
 // errprefix — fmt.Errorf / errors.New message literals in internal/rule must
 // carry the "rule: " prefix and in internal/cube the "cube: " prefix. The

@@ -6,40 +6,54 @@ import (
 	"go/types"
 )
 
-// lifecycleClosers maps the engine lifecycle types to the methods that
-// discharge them.
-var lifecycleClosers = map[string]map[string]bool{
-	"Ref":        {"Release": true},
-	"QueryScope": {"Finish": true, "Close": true},
+// lifecycleType identifies a tracked lifecycle type by its package and type
+// name.
+type lifecycleType struct{ pkg, name string }
+
+// lifecycleSpec describes how a lifecycle type is discharged and how its
+// diagnostics read.
+type lifecycleSpec struct {
+	closers map[string]bool // methods that discharge the obligation
+	done    string          // past participle for diagnostics
+	names   string          // closer method list for diagnostics
+}
+
+// lifecycleSpecs maps the tracked lifecycle types to the methods that
+// discharge them: engine pool references and query scopes, and the cube's
+// arena-borrowed tables.
+var lifecycleSpecs = map[lifecycleType]lifecycleSpec{
+	{"engine", "Ref"}:        {closers: map[string]bool{"Release": true}, done: "Released", names: "Release"},
+	{"engine", "QueryScope"}: {closers: map[string]bool{"Finish": true, "Close": true}, done: "Finished", names: "Finish/Close"},
+	{"cube", "PackedTable"}:  {closers: map[string]bool{"Release": true}, done: "Released", names: "Release"},
 }
 
 func pairedLifecycleCheck() *Check {
 	return &Check{
 		Name: "pairedlifecycle",
-		Doc:  "engine.Ref / QueryScope acquisitions must be released in the same function or handed off",
+		Doc:  "engine.Ref / QueryScope and cube.PackedTable acquisitions must be released in the same function or handed off",
 		Run:  runPairedLifecycle,
 	}
 }
 
-// lifecycleTypeName returns "Ref" or "QueryScope" when t is a pointer to one
-// of the engine lifecycle types, else "".
-func lifecycleTypeName(t types.Type) string {
+// lifecycleTypeOf returns the tracked lifecycle type t points to, if any.
+func lifecycleTypeOf(t types.Type) (lifecycleType, bool) {
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
-		return ""
+		return lifecycleType{}, false
 	}
 	named, ok := ptr.Elem().(*types.Named)
 	if !ok {
-		return ""
+		return lifecycleType{}, false
 	}
 	obj := named.Obj()
-	if obj.Pkg() == nil || obj.Pkg().Name() != "engine" {
-		return ""
+	if obj.Pkg() == nil {
+		return lifecycleType{}, false
 	}
-	if _, ok := lifecycleClosers[obj.Name()]; !ok {
-		return ""
+	lt := lifecycleType{pkg: obj.Pkg().Name(), name: obj.Name()}
+	if _, ok := lifecycleSpecs[lt]; !ok {
+		return lifecycleType{}, false
 	}
-	return obj.Name()
+	return lt, true
 }
 
 func runPairedLifecycle(p *Package, report func(pos token.Pos, format string, args ...any)) {
@@ -64,9 +78,9 @@ func runPairedLifecycle(p *Package, report func(pos token.Pos, format string, ar
 
 // yield is one lifecycle acquisition inside a function body.
 type yield struct {
-	obj      types.Object // the bound variable; nil when bound to blank
-	typeName string       // "Ref" or "QueryScope"
-	pos      token.Pos
+	obj types.Object // the bound variable; nil when bound to blank
+	lt  lifecycleType
+	pos token.Pos
 }
 
 func checkLifecycleBody(p *Package, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
@@ -97,15 +111,15 @@ func checkLifecycleBody(p *Package, fd *ast.FuncDecl, report func(pos token.Pos,
 			return true
 		}
 		for i, rt := range results {
-			name := lifecycleTypeName(rt)
-			if name == "" {
+			lt, ok := lifecycleTypeOf(rt)
+			if !ok {
 				continue
 			}
 			id, ok := as.Lhs[i].(*ast.Ident)
 			if !ok {
 				continue
 			}
-			y := yield{typeName: name, pos: as.Lhs[i].Pos()}
+			y := yield{lt: lt, pos: as.Lhs[i].Pos()}
 			if id.Name != "_" {
 				if obj := p.Info.Defs[id]; obj != nil {
 					y.obj = obj
@@ -120,22 +134,19 @@ func checkLifecycleBody(p *Package, fd *ast.FuncDecl, report func(pos token.Pos,
 
 	for _, y := range yields {
 		if y.obj == nil {
-			report(y.pos, "*engine.%s result is discarded; it must be %s", y.typeName, closerHint(y.typeName))
+			report(y.pos, "*%s.%s result is discarded; it must be %s", y.lt.pkg, y.lt.name, closerHint(y.lt))
 			continue
 		}
 		checkYieldUsage(p, fd, y, report)
 	}
 }
 
-func closerHint(typeName string) string {
-	if typeName == "Ref" {
-		return "Released (defer or all return paths) or handed off"
-	}
-	return "Finished (defer or all return paths) or handed off"
+func closerHint(lt lifecycleType) string {
+	return lifecycleSpecs[lt].done + " (defer or all return paths) or handed off"
 }
 
 func checkYieldUsage(p *Package, fd *ast.FuncDecl, y yield, report func(pos token.Pos, format string, args ...any)) {
-	closers := lifecycleClosers[y.typeName]
+	closers := lifecycleSpecs[y.lt].closers
 	var (
 		deferred   bool
 		escapes    bool
@@ -195,7 +206,7 @@ func checkYieldUsage(p *Package, fd *ast.FuncDecl, y yield, report func(pos toke
 	case deferred, escapes:
 		return
 	case !closerSeen:
-		report(y.pos, "*engine.%s acquired here is never %s", y.typeName, closerHint(y.typeName))
+		report(y.pos, "*%s.%s acquired here is never %s", y.lt.pkg, y.lt.name, closerHint(y.lt))
 	default:
 		// Non-deferred closer: every return after the yield must be
 		// preceded by a closer call in source order, or a path leaks.
@@ -211,17 +222,10 @@ func checkYieldUsage(p *Package, fd *ast.FuncDecl, y yield, report func(pos toke
 				}
 			}
 			if !released {
-				report(y.pos, "*engine.%s acquired here is not released on all paths: return at %s precedes every %s call (defer it, or release before returning)", y.typeName, p.Fset.Position(ret), closerNames(y.typeName))
+				report(y.pos, "*%s.%s acquired here is not released on all paths: return at %s precedes every %s call (defer it, or release before returning)", y.lt.pkg, y.lt.name, p.Fset.Position(ret), lifecycleSpecs[y.lt].names)
 			}
 		}
 	}
-}
-
-func closerNames(typeName string) string {
-	if typeName == "Ref" {
-		return "Release"
-	}
-	return "Finish/Close"
 }
 
 func grandParentOf(stack []ast.Node) ast.Node {

@@ -1,0 +1,17 @@
+// Minimal stand-in for sirum/internal/cube: just enough surface for the
+// pairedlifecycle fixtures to type-check. The check matches lifecycle types
+// by package name and type name, so this package must be named cube and
+// declare PackedTable with its Release closer.
+package cube
+
+import "sirum/internal/engine"
+
+type PackedTable struct{}
+
+func NewPackedTable(hint int) *PackedTable { return &PackedTable{} }
+
+func BorrowTable(c engine.Backend, hint int) *PackedTable { return &PackedTable{} }
+
+func (t *PackedTable) Len() int { return 0 }
+
+func (t *PackedTable) Release(c engine.Backend) {}

@@ -1,0 +1,64 @@
+// Fixture for the pairedlifecycle check over arena-borrowed cube tables:
+// every *cube.PackedTable borrow must be Released, deferred, or handed off,
+// exactly like the engine lifecycle types.
+package miner
+
+import (
+	"sirum/internal/cube"
+	"sirum/internal/engine"
+)
+
+type tableHolder struct {
+	t *cube.PackedTable
+}
+
+func leakTable(b engine.Backend) int {
+	t := cube.BorrowTable(b, 8) // want:pairedlifecycle "never Released"
+	return t.Len()
+}
+
+func discardedTable(b engine.Backend) {
+	_ = cube.BorrowTable(b, 8) // want:pairedlifecycle "discarded"
+}
+
+func tableErrPath(b engine.Backend, fail bool) bool {
+	t := cube.BorrowTable(b, 8) // want:pairedlifecycle "not released on all paths"
+	if fail {
+		return false
+	}
+	t.Release(b)
+	return true
+}
+
+func goodTable(b engine.Backend) {
+	t := cube.BorrowTable(b, 8)
+	defer t.Release(b)
+}
+
+func linearTable(b engine.Backend) {
+	t := cube.BorrowTable(b, 8) // ok: released before the function ends
+	t.Release(b)
+}
+
+func tableEscapes(b engine.Backend) *cube.PackedTable {
+	t := cube.BorrowTable(b, 8)
+	return t // ok: handed off to the caller
+}
+
+func tableStored(b engine.Backend, h *tableHolder) {
+	t := cube.BorrowTable(b, 8)
+	h.t = t // ok: stored; the holder owns it now
+}
+
+func tableHandoff(b engine.Backend) {
+	t := cube.BorrowTable(b, 8)
+	consumeTable(t) // ok: passed along
+}
+
+func suppressedTable(b engine.Backend) {
+	//sirum:allow pairedlifecycle — released by the fixture harness out of band
+	t := cube.BorrowTable(b, 8)
+	_ = t
+}
+
+func consumeTable(*cube.PackedTable) {}

@@ -27,6 +27,8 @@ const (
 	CtrScalingLoops   = "scaling_loops"    // iterative scaling inner-loop iterations
 	CtrTasks          = "tasks"            // engine tasks executed
 	CtrStages         = "stages"           // engine stages executed
+	CtrScratchBorrows = "scratch_borrows"  // scratch tables borrowed from the backend arena
+	CtrScratchReuses  = "scratch_reuses"   // borrows served from the arena free list
 )
 
 // Well-known phase names (Figure 3.1 / 3.2 breakdowns).

@@ -178,6 +178,9 @@ func mineKeyed[K cmp.Ordered](p *Prep, qc engine.Backend, opt Options, wallStart
 			picked, e = q.selectRules(cands, nCands, selected, min(opt.RulesPerIter, ruleBudget-len(res.Rules)))
 			return e
 		})
+		// picked holds value copies; the candidate tables go back to the
+		// arena so the next iteration reuses their backing arrays.
+		cands.release(q.c)
 		if err != nil {
 			return nil, err
 		}
@@ -312,10 +315,32 @@ func newQuery[K cmp.Ordered](p *Prep, qc engine.Backend, opt Options, codec cand
 	return q, nil
 }
 
+// candSet carries one round's candidate aggregates in whichever container
+// the key representation produced: per-partition maps on the general path,
+// arena-recycled PackedTables on the packed path. Exactly one field is
+// non-nil. Callers release the set once its entries are consumed so the next
+// iteration reuses the tables' backing arrays (a no-op for maps).
+type candSet[K cmp.Ordered] struct {
+	maps   *engine.PColl[map[K]cube.Agg]
+	tables *engine.PColl[*cube.PackedTable]
+}
+
+// release returns table partitions to the backend arena.
+func (cs candSet[K]) release(c engine.Backend) {
+	if cs.tables != nil {
+		cube.ReleaseTables(c, cs.tables)
+	}
+}
+
 // generateCandidates runs one rule-generation round: candidate pruning (LCA
 // computation), ancestor generation (the cube), gain-input preparation (the
 // sample fix-up). Phases are timed separately to reproduce Figure 3.2.
-func (q *query[K]) generateCandidates(groups [][]int) (*engine.PColl[map[K]cube.Agg], int64, error) {
+// Packed-key queries run the whole round over flat tables; the dynamic cast
+// is safe because a PackedCodec only ever inhabits Codec[uint64].
+func (q *query[K]) generateCandidates(groups [][]int) (candSet[K], int64, error) {
+	if pc, ok := any(q.codec).(candgen.PackedCodec); ok {
+		return q.generateTableCandidates(pc, groups)
+	}
 	var lcas *engine.PColl[map[K]cube.Agg]
 	wallStart := time.Now()
 	simStart := q.c.SimTime()
@@ -338,7 +363,7 @@ func (q *query[K]) generateCandidates(groups [][]int) (*engine.PColl[map[K]cube.
 		return err
 	})
 	if err != nil {
-		return nil, 0, err
+		return candSet[K]{}, 0, err
 	}
 
 	var cands *engine.PColl[map[K]cube.Agg]
@@ -348,7 +373,7 @@ func (q *query[K]) generateCandidates(groups [][]int) (*engine.PColl[map[K]cube.
 		return err
 	})
 	if err != nil {
-		return nil, 0, err
+		return candSet[K]{}, 0, err
 	}
 
 	err = q.timed(metrics.PhaseGainComputing, func() error {
@@ -369,21 +394,104 @@ func (q *query[K]) generateCandidates(groups [][]int) (*engine.PColl[map[K]cube.
 		return nil
 	})
 	if err != nil {
-		return nil, 0, err
+		return candSet[K]{}, 0, err
 	}
 	n := cube.CountCandidates(q.c, cands)
 	q.c.Reg().Add(metrics.CtrCandidates, n)
 	q.c.Reg().AddPhase(metrics.PhaseRuleGen, time.Since(wallStart))
 	q.c.Reg().AddSimPhase(metrics.PhaseRuleGen, q.c.SimTime()-simStart)
-	return cands, n, nil
+	return candSet[K]{maps: cands}, n, nil
+}
+
+// generateTableCandidates is the packed-key round over arena-recycled flat
+// tables: leaf instances (memoized, LCA or exhaustive) land in borrowed
+// PackedTables, the cube runs table-native (cube.ComputeTables), and the
+// sample fix-up mutates aggregates in place. Each intermediate collection is
+// released the moment it is consumed, so a query's iterations cycle the same
+// backing arrays through the arena instead of allocating the candidate
+// universe per stage.
+func (q *query[K]) generateTableCandidates(pc candgen.PackedCodec, groups [][]int) (candSet[K], int64, error) {
+	var lcas *engine.PColl[*cube.PackedTable]
+	wallStart := time.Now()
+	simStart := q.c.SimTime()
+	err := q.timed(metrics.PhaseCandPruning, func() error {
+		var err error
+		switch {
+		case q.memo != nil:
+			// Prepared fast path: the candidate keys, support sums and row
+			// coverage are Mhat-independent, so only the estimate sums are
+			// recomputed from this query's fork.
+			m, ok := any(q.memo).(*lcaMemo[uint64])
+			if !ok {
+				return fmt.Errorf("miner: internal: LCA memo key representation mismatch")
+			}
+			lcas, err = memoTableParts(m, q.c, q.data)
+		case q.sample != nil:
+			if q.opt.useShuffleJoin() {
+				q.c.Repartition(q.p.dataBytes, 0)
+			}
+			lcas, err = pc.LCATables(q.c, q.data, q.sample, q.opt.useIndex(), q.index)
+		default:
+			lcas, err = pc.ExhaustiveTables(q.c, q.data)
+		}
+		return err
+	})
+	if err != nil {
+		return candSet[K]{}, 0, err
+	}
+
+	var cands *engine.PColl[*cube.PackedTable]
+	err = q.timed(metrics.PhaseAncestorGen, func() error {
+		var err error
+		cands, err = cube.ComputeTables(q.c, lcas, pc.PackedKeys, groups)
+		return err
+	})
+	// The leaf tables are consumed by the cube's round-0 shuffle; recycle
+	// them before the fix-up borrows more.
+	cube.ReleaseTables(q.c, lcas)
+	if err != nil {
+		return candSet[K]{}, 0, err
+	}
+
+	err = q.timed(metrics.PhaseGainComputing, func() error {
+		if q.sample != nil {
+			if err := candgen.AdjustTablesForSample(q.c, cands, q.sample, pc); err != nil {
+				return err
+			}
+		}
+		if q.opt.PruneRedundantAncestors {
+			var err error
+			cands, err = pruneRedundantTables(q.c, cands, pc)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		cube.ReleaseTables(q.c, cands)
+		return candSet[K]{}, 0, err
+	}
+	n := cube.CountTableCandidates(q.c, cands)
+	q.c.Reg().Add(metrics.CtrCandidates, n)
+	q.c.Reg().AddPhase(metrics.PhaseRuleGen, time.Since(wallStart))
+	q.c.Reg().AddSimPhase(metrics.PhaseRuleGen, q.c.SimTime()-simStart)
+	return candSet[K]{tables: cands}, n, nil
 }
 
 // selectRules picks up to l rules for this iteration: the top candidate by
 // gain, then further candidates that are mutually disjoint with every rule
 // already picked this iteration, rank within the top TopPercent of all
 // candidates, and gain at least MinGainRatio of the top gain (Section 4.4).
-func (q *query[K]) selectRules(cands *engine.PColl[map[K]cube.Agg], total int64, selected map[K]bool, l int) ([]candgen.Candidate[K], error) {
-	pool := candgen.TopByGain(q.c, cands, q.opt.TopPoolSize, selected)
+func (q *query[K]) selectRules(cands candSet[K], total int64, selected map[K]bool, l int) ([]candgen.Candidate[K], error) {
+	var pool []candgen.Candidate[K]
+	if cands.tables != nil {
+		// Tables only exist on the packed path, where K is uint64.
+		top := candgen.TopByGainTables(q.c, cands.tables, q.opt.TopPoolSize, any(selected).(map[uint64]bool))
+		pool = any(top).([]candgen.Candidate[K])
+	} else {
+		pool = candgen.TopByGain(q.c, cands.maps, q.opt.TopPoolSize, selected)
+	}
 	if len(pool) == 0 {
 		return nil, nil
 	}
@@ -479,6 +587,54 @@ func pruneRedundant[K cmp.Ordered](c engine.Backend, cands *engine.PColl[map[K]c
 		}
 		return out
 	}), nil
+}
+
+// pruneRedundantTables is pruneRedundant over table partitions: survivors are
+// copied into fresh borrowed tables and the originals recycled.
+func pruneRedundantTables(c engine.Backend, cands *engine.PColl[*cube.PackedTable], codec candgen.PackedCodec) (*engine.PColl[*cube.PackedTable], error) {
+	d := codec.NumDims()
+	counts := make(map[uint64]float64)
+	for _, part := range cands.Parts() {
+		part.ForEach(func(k uint64, agg cube.Agg) { counts[k] = agg.Count })
+	}
+	redundant := make(map[uint64]bool)
+	buf := make(rule.Rule, d)
+	for k := range counts {
+		child, err := codec.DecodeRule(k, buf)
+		if err != nil {
+			return nil, fmt.Errorf("miner: corrupt candidate key: %w", err)
+		}
+		buf = child
+		for j := 0; j < d; j++ {
+			if child[j] == rule.Wildcard {
+				continue
+			}
+			v := child[j]
+			child[j] = rule.Wildcard
+			pk, err := codec.EncodeRule(child)
+			child[j] = v
+			if err != nil {
+				return nil, fmt.Errorf("miner: %w", err)
+			}
+			if pc, ok := counts[pk]; ok && pc == counts[k] {
+				redundant[pk] = true
+			}
+		}
+	}
+	if len(redundant) == 0 {
+		return cands, nil
+	}
+	out := engine.MapParts(c, cands, "miner/prune-redundant", func(_ int, part *cube.PackedTable) *cube.PackedTable {
+		kept := cube.BorrowTable(c, part.Len())
+		part.ForEach(func(k uint64, v cube.Agg) {
+			if !redundant[k] {
+				kept.Add(k, v)
+			}
+		})
+		return kept
+	})
+	cube.ReleaseTables(c, cands)
+	return out, nil
 }
 
 // currentKL computes the divergence between the measure and estimate columns

@@ -324,6 +324,29 @@ func buildLCAMemo[K cmp.Ordered](c engine.Backend, data *engine.CachedData, s *c
 	return memo, nil
 }
 
+// memoTableParts is lcaMemo.parts into borrowed flat tables — the packed
+// replay path. A free function rather than a method because only K = uint64
+// has a table representation; generateTableCandidates proves the cast.
+func memoTableParts(m *lcaMemo[uint64], c engine.Backend, data *engine.CachedData) (*engine.PColl[*cube.PackedTable], error) {
+	out := make([]*cube.PackedTable, data.NumBlocks())
+	err := data.Scan("miner/lca-replay", false, func(bi int, b *engine.TupleBlock) {
+		mb := &m.blocks[bi]
+		local := cube.BorrowTable(c, len(mb.keys))
+		for ki, k := range mb.keys {
+			var sm float64
+			for _, r := range mb.rows[mb.rowStart[ki]:mb.rowStart[ki+1]] {
+				sm += b.Mhat[r]
+			}
+			local.Add(k, cube.Agg{SumM: mb.sumM[ki], SumMhat: sm, Count: mb.count[ki]})
+		}
+		out[bi] = local
+	})
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewPColl(out), nil
+}
+
 // parts materializes this round's candidate aggregates from the memo and the
 // query's current estimates: one scan summing Mhat over each key's covered
 // rows.
