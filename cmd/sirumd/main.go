@@ -8,7 +8,7 @@
 // Usage:
 //
 //	sirumd [-addr :8080] [-inflight 16] [-cache 256] [-snapshot dir]
-//	       [-shard-id s0] [-advertise http://host:8080]
+//	       [-nofsync] [-shard-id s0] [-advertise http://host:8080]
 //	sirumd -selftest [-dataset income] [-rows 5000] [-queries 64]
 //	       [-concurrency 8] [-k 3] [-sample 16]
 //
@@ -27,6 +27,8 @@
 //	POST   /v1/datasets/{id}/mine   {"k":5,"sample_size":16}
 //	POST   /v1/datasets/{id}/explore {"k":4,"group_bys":2}
 //	POST   /v1/datasets/{id}/append {"rows":[{"dims":[...],"measure":1.5}]}
+//	GET    /v1/datasets/{id}/export migration document: manifest + data + journal
+//	POST   /v1/datasets/import      rebuild a session from an export document
 //	GET    /v1/metrics              Prometheus-style text metrics
 //	GET    /v1/healthz
 //
@@ -68,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	inflight := fs.Int("inflight", 0, "max concurrently executing queries (0 = 2x cores); excess requests queue")
 	cache := fs.Int("cache", 0, "result cache entries (0 = 256 default, negative disables)")
 	snapshot := fs.String("snapshot", "", "session persistence directory: journal the registry and restore it on boot (empty disables)")
+	nofsync := fs.Bool("nofsync", false, "skip fsync on snapshot writes: faster, but a crash can lose acknowledged appends (benchmarks and tests only)")
 	shardID := fs.String("shard-id", "", "logical shard name reported to routers via /v1/healthz and /v1/metrics (empty = standalone)")
 	advertise := fs.String("advertise", "", "address other nodes reach this daemon at, if it differs from -addr")
 	selftest := fs.Bool("selftest", false, "start on a loopback port, run the load generator and a restart-from-snapshot pass, and exit")
@@ -83,7 +86,7 @@ func run(args []string, out io.Writer) error {
 
 	conf := server.Config{
 		MaxInFlight: *inflight, CacheEntries: *cache, SnapshotDir: *snapshot,
-		ShardID: *shardID, Advertise: *advertise,
+		ShardID: *shardID, Advertise: *advertise, NoFsync: *nofsync,
 	}
 	if *selftest {
 		if conf.SnapshotDir == "" {

@@ -10,6 +10,7 @@
 //
 //	sirumr -shards http://h1:8080,http://h2:8080 [-addr :8090]
 //	       [-replicas 128] [-health 2s] [-timeout 2m]
+//	sirumr migrate -shard s1 [-router http://127.0.0.1:8090] [-timeout 10m]
 //	sirumr -selftest [-shard-count 3] [-sessions 32] [-dataset income]
 //	       [-rows 2000] [-queries 64] [-concurrency 8] [-k 3] [-sample 16]
 //
@@ -18,8 +19,15 @@
 //	GET  /v1/shards                    topology with health and session counts
 //	POST /v1/shards/{id}/drain         stop placing new sessions on a shard
 //	POST /v1/shards/{id}/undrain       resume placements
+//	POST /v1/shards/{id}/migrate       drain a shard and move its sessions off
+//	GET  /v1/datasets/{id}/export      a session's migration document
 //	GET  /v1/metrics                   cluster rollup of every shard's metrics
 //	GET  /v1/healthz                   ok | degraded | down
+//
+// The migrate subcommand drives POST /v1/shards/{id}/migrate against a
+// running router and prints each moved session with its verified
+// fingerprint and epoch; it exits non-zero while any session remains on
+// the origin (re-run to resume — migration is idempotent).
 //
 // The order of -shards is the cluster's identity: placement hashes shard
 // positions, so keep the list stable across router restarts.
@@ -58,6 +66,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "migrate" {
+		return runMigrate(args[1:], out)
+	}
 	fs := flag.NewFlagSet("sirumr", flag.ContinueOnError)
 	addr := fs.String("addr", ":8090", "listen address")
 	shards := fs.String("shards", "", "comma-separated shard base URLs, in stable topology order")
@@ -104,6 +115,41 @@ func run(args []string, out io.Writer) error {
 	rt.Start()
 	defer rt.Close()
 	return serve(out, rt, *addr)
+}
+
+// runMigrate drives POST /v1/shards/{id}/migrate against a running router:
+// the operator-facing half of decommissioning a shard.
+func runMigrate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sirumr migrate", flag.ContinueOnError)
+	routerURL := fs.String("router", "http://127.0.0.1:8090", "router base URL")
+	shardID := fs.String("shard", "", "logical shard id to drain and empty (see GET /v1/shards)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall request timeout (every session re-prepares on its destination)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shardID == "" {
+		return errors.New("-shard is required (a logical shard id from GET /v1/shards)")
+	}
+	c := &server.Client{BaseURL: strings.TrimRight(*routerURL, "/"), HTTP: &http.Client{Timeout: *timeout}}
+	var resp router.MigrateResponse
+	if err := c.Do("POST", "/v1/shards/"+*shardID+"/migrate", nil, &resp); err != nil {
+		return err
+	}
+	for _, m := range resp.Moved {
+		note := ""
+		if m.Resumed {
+			note = " (resumed)"
+		}
+		fmt.Fprintf(out, "moved %s: %s -> %s fingerprint=%s epoch=%d%s\n", m.ID, m.From, m.To, m.Fingerprint, m.Epoch, note)
+	}
+	for _, f := range resp.Failed {
+		fmt.Fprintf(out, "failed %s: %s\n", f.ID, f.Error)
+	}
+	fmt.Fprintf(out, "shard %s: %d moved, %d remaining (draining=%v)\n", resp.Shard, len(resp.Moved), resp.Remaining, resp.Draining)
+	if resp.Remaining > 0 {
+		return fmt.Errorf("%d sessions still on shard %s; re-run migrate to resume", resp.Remaining, resp.Shard)
+	}
+	return nil
 }
 
 // serve runs the router until SIGINT/SIGTERM. The router holds no
@@ -231,5 +277,172 @@ func runSelftest(out io.Writer, shardCount int, cfg server.LoadConfig) error {
 		return fmt.Errorf("selftest: shard imbalance: max %d sessions vs mean %.1f (over 2x)", max, mean)
 	}
 	fmt.Fprintf(out, "balance: max %d sessions per shard vs mean %.1f over %d sessions — within 2x\n", max, mean, total)
+	if err := migratePass(out, cfg.BaseURL, daemons, cfg); err != nil {
+		return fmt.Errorf("migrate pass: %w", err)
+	}
 	return nil
+}
+
+// migratePass proves decommissioning end to end: spread a handful of
+// sessions over the cluster (some grown past epoch 0 by appends), pick the
+// fullest shard, record per-session baselines, migrate the whole shard
+// through the router, then verify the origin emptied, every sampled
+// session serves from its new home with an identical fingerprint and
+// epoch, answers match the pre-migration baselines, and a repeat query
+// hits the destination's result cache.
+func migratePass(out io.Writer, baseURL string, daemons []*shardDaemon, cfg server.LoadConfig) error {
+	rc := &server.Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 10 * time.Minute}}
+
+	// The load storm deletes its sessions on the way out, so the pass
+	// seeds its own: six sessions (two named, four anonymous), two of
+	// them appended to so migration replays a non-empty append journal.
+	var ids []string
+	for i := 0; i < 6; i++ {
+		req := server.CreateRequest{
+			Generator: &server.GeneratorSpec{Name: cfg.Dataset, Rows: cfg.Rows, Seed: 1},
+			Prepare:   server.PrepareSpec{SampleSize: cfg.SampleSize, Seed: 1},
+		}
+		if i < 2 {
+			req.ID = fmt.Sprintf("migrate-pass-%d", i)
+		}
+		info, err := rc.CreateSession(req)
+		if err != nil {
+			return fmt.Errorf("creating session %d: %w", i, err)
+		}
+		ids = append(ids, info.ID)
+		if i%3 == 0 {
+			dims := make([]string, len(info.Dims))
+			for d := range dims {
+				dims[d] = "migrated-row"
+			}
+			if _, err := rc.AppendRows(info.ID, server.AppendRequest{
+				Rows: []server.RowJSON{{Dims: dims, Measure: 5}},
+			}); err != nil {
+				return fmt.Errorf("appending to %s: %w", info.ID, err)
+			}
+		}
+	}
+	defer func() {
+		for _, id := range ids {
+			rc.DeleteSession(id)
+		}
+	}()
+
+	// The fullest shard gives the migration the most to prove.
+	origin, originSessions := -1, server.ListResponse{}
+	for i, d := range daemons {
+		sc := &server.Client{BaseURL: d.base, HTTP: &http.Client{Timeout: time.Minute}}
+		list, err := sc.ListSessions()
+		if err != nil {
+			return fmt.Errorf("listing shard %d: %w", i, err)
+		}
+		if origin < 0 || len(list.Sessions) > len(originSessions.Sessions) {
+			origin, originSessions = i, list
+		}
+	}
+	if len(originSessions.Sessions) == 0 {
+		return errors.New("no shard holds any sessions")
+	}
+	originID := fmt.Sprintf("s%d", origin)
+
+	type baseline struct {
+		id          string
+		fingerprint string
+		epoch       int64
+		rules       []string
+	}
+	mineReq := server.MineRequest{K: cfg.K, SampleSize: cfg.SampleSize, Seed: 7}
+	ruleList := func(resp server.MineResponse) []string {
+		rules := make([]string, 0, len(resp.Rules))
+		for _, r := range resp.Rules {
+			rules = append(rules, r.Display)
+		}
+		return rules
+	}
+	var baselines []baseline
+	for _, info := range originSessions.Sessions {
+		if len(baselines) == 3 {
+			break
+		}
+		got, err := rc.GetSession(info.ID)
+		if err != nil {
+			return err
+		}
+		if got.Stats == nil {
+			return fmt.Errorf("session %s reports no stats through the router", info.ID)
+		}
+		resp, err := rc.Mine(info.ID, mineReq)
+		if err != nil {
+			return err
+		}
+		baselines = append(baselines, baseline{
+			id: info.ID, fingerprint: got.Stats.Fingerprint, epoch: got.Stats.Epoch, rules: ruleList(resp),
+		})
+	}
+
+	var migrated router.MigrateResponse
+	if err := rc.Do("POST", "/v1/shards/"+originID+"/migrate", nil, &migrated); err != nil {
+		return err
+	}
+	if migrated.Remaining > 0 {
+		return fmt.Errorf("%d of %d sessions failed to migrate off %s: %s",
+			migrated.Remaining, len(originSessions.Sessions), originID, migrated.Failed[0].Error)
+	}
+	if len(migrated.Moved) != len(originSessions.Sessions) {
+		return fmt.Errorf("moved %d sessions, want %d", len(migrated.Moved), len(originSessions.Sessions))
+	}
+
+	// The origin must be empty: every copy deleted, not just retargeted.
+	sc := &server.Client{BaseURL: daemons[origin].base, HTTP: &http.Client{Timeout: time.Minute}}
+	left, err := sc.ListSessions()
+	if err != nil {
+		return err
+	}
+	if len(left.Sessions) > 0 {
+		return fmt.Errorf("origin %s still holds %d sessions after migration", originID, len(left.Sessions))
+	}
+
+	for _, b := range baselines {
+		got, err := rc.GetSession(b.id)
+		if err != nil {
+			return fmt.Errorf("session %s after migration: %w", b.id, err)
+		}
+		if got.Stats == nil || got.Stats.Fingerprint != b.fingerprint || got.Stats.Epoch != b.epoch {
+			return fmt.Errorf("session %s changed identity across migration: fingerprint/epoch mismatch", b.id)
+		}
+		fresh, err := rc.Mine(b.id, mineReq)
+		if err != nil {
+			return fmt.Errorf("mining %s on its new home: %w", b.id, err)
+		}
+		if got := ruleList(fresh); !equalStrings(got, b.rules) {
+			return fmt.Errorf("session %s answers differently on its new home: %v vs %v", b.id, got, b.rules)
+		}
+		repeat, err := rc.Mine(b.id, mineReq)
+		if err != nil {
+			return err
+		}
+		if !repeat.Cached {
+			return fmt.Errorf("repeat query on migrated session %s missed the destination's result cache", b.id)
+		}
+	}
+	// Put the emptied shard back in rotation so the selftest ends with a
+	// healthy cluster (and exercises undrain while at it).
+	if err := rc.Do("POST", "/v1/shards/"+originID+"/undrain", nil, nil); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "migrate: %d sessions off %s, origin empty, %d verified by fingerprint+epoch+baseline, repeat queries cached on destination\n",
+		len(migrated.Moved), originID, len(baselines))
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -26,15 +26,17 @@
 // bypass the cache or cache bytes the hot path cannot re-serve.
 //
 // pairedlifecycle — a call whose results include an *engine.Ref (DataPool
-// Put/Acquire), an *engine.QueryScope (NewQueryScope) or a *cube.PackedTable
-// (BorrowTable) must pair it with Release / Finish / Close in the same
-// function: deferred, called on every path, or handed off (returned, stored,
-// or passed along, which transfers the obligation to the receiver).
-// Unreleased refs pin pool entries and their spill files forever (the PR 3
-// lifecycle bug class); unfinished scopes drop a query's operator metrics
-// from the session's lifetime totals; unreleased tables silently fall out of
-// the scratch arena, turning the cube's zero-allocation steady state back
-// into an allocation storm.
+// Put/Acquire), an *engine.QueryScope (NewQueryScope), a *cube.PackedTable
+// (BorrowTable) or a *sirum.Prepared (Dataset.Prepare) must pair it with
+// Release / Finish / Close in the same function: deferred, called on every
+// path, or handed off (returned, stored, or passed along, which transfers
+// the obligation to the receiver). Unreleased refs pin pool entries and
+// their spill files forever (the PR 3 lifecycle bug class); unfinished
+// scopes drop a query's operator metrics from the session's lifetime
+// totals; unreleased tables silently fall out of the scratch arena, turning
+// the cube's zero-allocation steady state back into an allocation storm;
+// an unclosed Prepared leaks a whole mining substrate on the session
+// rebuild paths (create, snapshot restore, migration import).
 //
 // errprefix — fmt.Errorf / errors.New message literals in internal/rule must
 // carry the "rule: " prefix and in internal/cube the "cube: " prefix. The
@@ -64,7 +66,11 @@
 //
 // pairedlifecycle is a per-function, source-order heuristic, not a CFG
 // analysis: a value is "released on all paths" when its closer is deferred,
-// or when no return statement precedes every closer call in source order.
-// Branchy flows that release before each of several returns may need a
+// or when every return after the acquisition is preceded in source order by
+// a closer call or a handoff. Returns on the acquisition's own error path
+// ("if err != nil" over the error bound by the same assignment), returns
+// inside other function literals, and returns outside the variable's
+// declaring scope are exempt — nothing was held on those paths. Branchy
+// flows that release before each of several returns may still need a
 // suppression; genuinely leaked error paths are exactly what it catches.
 package lint

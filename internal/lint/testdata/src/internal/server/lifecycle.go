@@ -1,0 +1,74 @@
+// Fixture for the pairedlifecycle check over *sirum.Prepared: the session
+// rebuild paths (create, restore, import) acquire a whole prepared mining
+// substrate, which must be Closed on every non-handoff path.
+package server
+
+import "sirum"
+
+func leakPrepared(ds *sirum.Dataset) error {
+	p, err := ds.Prepare(sirum.PrepareOptions{}) // want:pairedlifecycle "never Closed"
+	if err != nil {
+		return err
+	}
+	_, err = p.Mine(sirum.Options{})
+	return err
+}
+
+func deferredPrepared(ds *sirum.Dataset) error {
+	p, err := ds.Prepare(sirum.PrepareOptions{})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	_, err = p.Mine(sirum.Options{})
+	return err
+}
+
+func leakOnEarlyReturn(ds *sirum.Dataset) (*sirum.Prepared, error) {
+	p, err := ds.Prepare(sirum.PrepareOptions{}) // want:pairedlifecycle "not released on all paths"
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.Mine(sirum.Options{}); err != nil {
+		return nil, err // leaks p: no Close before this return
+	}
+	return p, nil
+}
+
+func verifyThenHandOff(ds *sirum.Dataset) (*sirum.Prepared, error) {
+	p, err := ds.Prepare(sirum.PrepareOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.Mine(sirum.Options{}); err != nil {
+		p.Close()
+		return nil, err
+	}
+	return p, nil // handoff: the caller owns p now
+}
+
+func closureThenClose(ds *sirum.Dataset, run func(func() error) error) error {
+	p, err := ds.Prepare(sirum.PrepareOptions{})
+	if err != nil {
+		return err
+	}
+	// The closure's return leaves the closure, not this function: with
+	// Close called before the real exit, no path leaks p.
+	runErr := run(func() error {
+		_, err := p.Mine(sirum.Options{})
+		return err
+	})
+	p.Close()
+	return runErr
+}
+
+type registry struct{ p *sirum.Prepared }
+
+func storeInRegistry(ds *sirum.Dataset, reg *registry) error {
+	p, err := ds.Prepare(sirum.PrepareOptions{})
+	if err != nil {
+		return err
+	}
+	reg.p = p // handoff: the registry owns p now
+	return nil
+}

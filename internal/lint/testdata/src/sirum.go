@@ -1,0 +1,19 @@
+// Minimal stand-in for the sirum root package: just enough surface for
+// the pairedlifecycle fixtures to type-check. The check matches lifecycle
+// types by package name and type name, so this package must be named sirum
+// and declare Prepared with a Close method.
+package sirum
+
+type Dataset struct{}
+
+type Options struct{}
+
+type PrepareOptions struct{}
+
+type Prepared struct{}
+
+func (d *Dataset) Prepare(opts PrepareOptions) (*Prepared, error) { return &Prepared{}, nil }
+
+func (p *Prepared) Close() error { return nil }
+
+func (p *Prepared) Mine(opts Options) (int, error) { return 0, nil }

@@ -31,6 +31,37 @@ type ShardsResponse struct {
 	Shards []ShardInfo `json:"shards"`
 }
 
+// MigratedSession reports one session moved off a shard by /migrate.
+type MigratedSession struct {
+	ID   string `json:"id"`
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Fingerprint and Epoch are the destination's verified identity —
+	// equal to the origin's at the moment of the cut.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Epoch       int64  `json:"epoch,omitempty"`
+	// Resumed marks a session a prior migrate attempt had already cut
+	// over; this run only finished deleting the origin's copy.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// MigrationFailure reports one session that stayed on the origin.
+type MigrationFailure struct {
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
+// MigrateResponse is POST /v1/shards/{id}/migrate: the shard is left
+// draining, Moved lists the sessions now serving elsewhere, Failed the
+// ones still on the origin (re-run migrate to retry them).
+type MigrateResponse struct {
+	Shard     string             `json:"shard"`
+	Draining  bool               `json:"draining"`
+	Moved     []MigratedSession  `json:"moved"`
+	Failed    []MigrationFailure `json:"failed,omitempty"`
+	Remaining int                `json:"remaining"`
+}
+
 // HealthResponse is the router's GET /v1/healthz: "ok" with every shard
 // up, "degraded" with some down, "down" with none reachable.
 type HealthResponse struct {

@@ -115,16 +115,19 @@ type Router struct {
 	ring   *ring
 
 	mu         sync.Mutex
-	table      map[string]*shard // session id → home shard
-	nextID     int               // auto-assigned session ids r1, r2, ...
+	table      map[string]*shard        // session id → home shard
+	gates      map[string]*sync.RWMutex // session id → migration write gate
+	nextID     int                      // auto-assigned session ids r1, r2, ...
 	lastResync time.Time
 
 	proxied   atomic.Int64 // requests relayed to a shard (any status)
 	proxyErrs atomic.Int64 // transport failures talking to shards
+	migrated  atomic.Int64 // sessions moved off a shard by /migrate
 
-	loop     sync.Once
-	stop     chan struct{}
-	loopDone chan struct{}
+	loop      sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+	loopDone  chan struct{}
 }
 
 // New builds a router over the given topology and primes its view of the
@@ -141,6 +144,7 @@ func New(conf Config) (*Router, error) {
 		mux:      http.NewServeMux(),
 		ring:     newRing(len(conf.Shards), conf.Replicas),
 		table:    make(map[string]*shard),
+		gates:    make(map[string]*sync.RWMutex),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
@@ -167,11 +171,13 @@ func New(conf Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/datasets/{id}", rt.wrap(rt.handleSession))
 	rt.mux.HandleFunc("DELETE /v1/datasets/{id}", rt.wrap(rt.handleSession))
 	rt.mux.HandleFunc("POST /v1/datasets/{id}/{op}", rt.wrap(rt.handleSession))
+	rt.mux.HandleFunc("GET /v1/datasets/{id}/export", rt.wrap(rt.handleExportProxy))
 	rt.mux.HandleFunc("GET /v1/metrics", rt.wrap(rt.handleMetrics))
 	rt.mux.HandleFunc("GET /v1/healthz", rt.wrap(rt.handleHealth))
 	rt.mux.HandleFunc("GET /v1/shards", rt.wrap(rt.handleShards))
 	rt.mux.HandleFunc("POST /v1/shards/{id}/drain", rt.wrap(rt.handleDrain(true)))
 	rt.mux.HandleFunc("POST /v1/shards/{id}/undrain", rt.wrap(rt.handleDrain(false)))
+	rt.mux.HandleFunc("POST /v1/shards/{id}/migrate", rt.wrap(rt.handleMigrate))
 	rt.CheckHealth()
 	rt.Resync()
 	return rt, nil
@@ -205,13 +211,11 @@ func (rt *Router) Start() {
 }
 
 // Close stops the health loop. The shards are not touched: the router owns
-// no sessions, only the map of where they live.
+// no sessions, only the map of where they live. Idempotent and safe to
+// call concurrently: a select-then-close would let two callers both see
+// the channel open and double-close it.
 func (rt *Router) Close() error {
-	select {
-	case <-rt.stop:
-	default:
-		close(rt.stop)
-	}
+	rt.closeOnce.Do(func() { close(rt.stop) })
 	if rt.conf.HealthInterval >= 0 {
 		rt.loop.Do(func() { close(rt.loopDone) }) // loop never started
 		<-rt.loopDone
@@ -281,6 +285,8 @@ func (rt *Router) Resync() []server.SessionInfo {
 	wg.Wait()
 
 	newTable := make(map[string]*shard)
+	claimants := make(map[string][]*shard) // every shard listing each id
+	maxAuto := 0
 	var merged []server.SessionInfo
 	for _, res := range results {
 		if res.err != nil {
@@ -288,6 +294,10 @@ func (rt *Router) Resync() []server.SessionInfo {
 		}
 		res.sh.sessions.Store(int64(len(res.list.Sessions)))
 		for _, info := range res.list.Sessions {
+			if n, ok := parseAutoID(info.ID); ok && n > maxAuto {
+				maxAuto = n
+			}
+			claimants[info.ID] = append(claimants[info.ID], res.sh)
 			if _, dup := newTable[info.ID]; dup {
 				continue // split-brain id: first shard in topology order wins
 			}
@@ -297,7 +307,21 @@ func (rt *Router) Resync() []server.SessionInfo {
 	}
 	rt.mu.Lock()
 	for id, sh := range newTable {
+		if cur, ok := rt.table[id]; ok && cur != sh && containsShard(claimants[id], cur) {
+			// Two shards list the id and the table already points at one of
+			// them: keep it. The duplicate is a migration whose origin
+			// delete has not landed yet — the table was retargeted
+			// deliberately, and flipping back by topology order would route
+			// appends to the abandoned copy.
+			continue
+		}
 		rt.table[id] = sh
+	}
+	// Seed the auto-id counter past every id the cluster already holds, so
+	// a restarted router (or one that booted while a shard was unreachable)
+	// never re-assigns a live session's id.
+	if maxAuto > rt.nextID {
+		rt.nextID = maxAuto
 	}
 	rt.lastResync = time.Now()
 	rt.mu.Unlock()
@@ -369,7 +393,10 @@ func (rt *Router) dropTable(id string) {
 
 // assignID picks the next free auto id. Auto-id sessions route by this
 // name (spec.RoutingKeyForID), so a burst of identical anonymous specs
-// spreads across the ring instead of piling onto one shard.
+// spreads across the ring instead of piling onto one shard. The counter
+// is seeded past every id seen in resyncs; the table check alone is not
+// enough, because a shard unreachable during a resync keeps its sessions
+// out of the table without freeing their ids.
 func (rt *Router) assignID() string {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -380,6 +407,51 @@ func (rt *Router) assignID() string {
 			return id
 		}
 	}
+}
+
+// parseAutoID extracts n from a router-assigned session id "r<n>".
+func parseAutoID(id string) (int, bool) {
+	if len(id) < 2 || id[0] != 'r' {
+		return 0, false
+	}
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+func containsShard(shards []*shard, sh *shard) bool {
+	for _, s := range shards {
+		if s == sh {
+			return true
+		}
+	}
+	return false
+}
+
+// sessionGate returns the session's migration write gate. Writers (append,
+// delete) hold it shared around locate-and-forward; migrateSession holds
+// it exclusively across export → import → cutover, so a write either
+// completes on the origin before the consistent cut or routes to the
+// destination after it — never lost in between. Gates are never deleted:
+// they are two words each, and freeing one early would let a writer slip
+// past a migration already holding it.
+func (rt *Router) sessionGate(id string) *sync.RWMutex {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	g := rt.gates[id]
+	if g == nil {
+		g = &sync.RWMutex{}
+		rt.gates[id] = g
+	}
+	return g
 }
 
 // apiError, errf, writeJSON and wrap mirror the shard daemon's uniform
@@ -451,20 +523,24 @@ func relayStream(w http.ResponseWriter, resp *server.StreamResponse) {
 }
 
 // capReader streams a request body through the router's size cap, recording
-// whether the cap fired so the proxy can answer 413 instead of blaming the
-// shard for the aborted upload.
+// why the stream failed — the cap firing, or the client's own connection
+// dying mid-upload — so the proxy can answer 413 or 400 instead of blaming
+// the shard for an upload the client aborted.
 type capReader struct {
 	r        io.Reader
 	limit    int64
 	tooLarge bool
+	readErr  error // first client-side read failure (not EOF, not the cap)
 }
 
 func (cr *capReader) Read(p []byte) (int, error) {
 	n, err := cr.r.Read(p)
-	if err != nil {
+	if err != nil && err != io.EOF {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			cr.tooLarge = true
+		} else if cr.readErr == nil {
+			cr.readErr = err
 		}
 	}
 	return n, err
@@ -487,8 +563,9 @@ func (rt *Router) forward(sh *shard, method, path, contentType string, body []by
 // forwardStream proxies one request to a shard end to end without buffering:
 // the client body streams up (under the size cap carried by body, when set)
 // and the shard response streams back. Transport failures mark the shard
-// down exactly like forward, except a cap-aborted upload is the client's
-// fault and answers 413.
+// down exactly like forward — unless the failure was the client's: a
+// cap-aborted upload answers 413 and a client body stream that died
+// mid-upload answers 400, neither touching the shard's health.
 func (rt *Router) forwardStream(sh *shard, method, path, contentType string, body *capReader, length int64) (*server.StreamResponse, error) {
 	var rd io.Reader
 	if body != nil {
@@ -498,6 +575,13 @@ func (rt *Router) forwardStream(sh *shard, method, path, contentType string, bod
 	if err != nil {
 		if body != nil && body.tooLarge {
 			return nil, errf(http.StatusRequestEntityTooLarge, "request body over %d bytes", body.limit)
+		}
+		if body != nil && body.readErr != nil {
+			// The shard connection held; the *client's* body stream died
+			// mid-upload. That is not the shard's fault — marking it down
+			// would take a healthy shard out of rotation on every dropped
+			// client connection.
+			return nil, errf(http.StatusBadRequest, "reading request body: %v", body.readErr)
 		}
 		rt.proxyErrs.Add(1)
 		rt.markDown(sh, err)
@@ -519,48 +603,41 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) error {
 		return errf(http.StatusBadRequest, "bad request body: %v", err)
 	}
 
-	var key [32]byte
 	if req.ID == "" {
-		req.ID = rt.assignID()
-		key = spec.RoutingKeyForID(req.ID)
-		// The body changed (an id was assigned), so re-encode it for the
-		// shard; explicit-id bodies forward byte-identical.
-		if body, err = json.Marshal(req); err != nil {
-			return err
-		}
-	} else {
-		if !server.ValidSessionID(req.ID) {
-			return errf(http.StatusBadRequest, "session id %q: want 1-64 chars of [A-Za-z0-9._-], starting alphanumeric", req.ID)
-		}
-		rt.mu.Lock()
-		_, exists := rt.table[req.ID]
-		rt.mu.Unlock()
-		if exists {
-			return errf(http.StatusConflict, "dataset %q already exists", req.ID)
-		}
-		ds, err := req.DatasetSpec()
-		if err != nil {
-			// Every DatasetSpec failure is a malformed source description;
-			// the shard would reject it with 400 too, just one hop later.
-			return errf(http.StatusBadRequest, "%v", err)
-		}
-		key = spec.RoutingKey(ds)
-		// A named create whose home shard is down must wait, not fall
-		// through the ring: the router cannot prove the id unused on a
-		// shard it cannot reach, and landing the name elsewhere would
-		// split-brain it when the shard returns with its sessions.
-		// (Draining is different — a draining shard is reachable and its
-		// sessions are in the table, so the successor is safe.)
-		if home := rt.shards[rt.ring.walk(key)[0]]; home.down.Load() {
-			return errf(http.StatusServiceUnavailable,
-				"home shard %s for dataset %q is down; retry when it returns", home.label(), req.ID)
-		}
+		return rt.createAutoID(w, req)
+	}
+	if !server.ValidSessionID(req.ID) {
+		return errf(http.StatusBadRequest, "session id %q: want 1-64 chars of [A-Za-z0-9._-], starting alphanumeric", req.ID)
+	}
+	rt.mu.Lock()
+	_, exists := rt.table[req.ID]
+	rt.mu.Unlock()
+	if exists {
+		return errf(http.StatusConflict, "dataset %q already exists", req.ID)
+	}
+	ds, err := req.DatasetSpec()
+	if err != nil {
+		// Every DatasetSpec failure is a malformed source description;
+		// the shard would reject it with 400 too, just one hop later.
+		return errf(http.StatusBadRequest, "%v", err)
+	}
+	key := spec.RoutingKey(ds)
+	// A named create whose home shard is down must wait, not fall
+	// through the ring: the router cannot prove the id unused on a
+	// shard it cannot reach, and landing the name elsewhere would
+	// split-brain it when the shard returns with its sessions.
+	// (Draining is different — a draining shard is reachable and its
+	// sessions are in the table, so the successor is safe.)
+	if home := rt.shards[rt.ring.walk(key)[0]]; home.down.Load() {
+		return errf(http.StatusServiceUnavailable,
+			"home shard %s for dataset %q is down; retry when it returns", home.label(), req.ID)
 	}
 
 	sh, err := rt.place(key)
 	if err != nil {
 		return err
 	}
+	// Explicit-id bodies forward byte-identical.
 	raw, err := rt.forward(sh, "POST", "/v1/datasets", "application/json", body)
 	if err != nil {
 		return err
@@ -573,18 +650,66 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
+// createAutoID places an anonymous create under a router-assigned id. A
+// shard answering 409 means the id is live on a shard the table did not
+// know about (say, one unreachable during a boot resync) — the client
+// never chose the id, so relaying the conflict would be a bogus failure;
+// assign the next id and retry instead. The retry bound only guards
+// against a misbehaving shard that 409s everything.
+func (rt *Router) createAutoID(w http.ResponseWriter, req server.CreateRequest) error {
+	for attempt := 0; ; attempt++ {
+		req.ID = rt.assignID()
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		sh, err := rt.place(spec.RoutingKeyForID(req.ID))
+		if err != nil {
+			return err
+		}
+		raw, err := rt.forward(sh, "POST", "/v1/datasets", "application/json", body)
+		if err != nil {
+			return err
+		}
+		if raw.Status == http.StatusConflict && attempt < 16 {
+			continue
+		}
+		if raw.Status == http.StatusCreated {
+			rt.setTable(req.ID, sh)
+			sh.sessions.Add(1)
+		}
+		relay(w, raw)
+		return nil
+	}
+}
+
 // handleSession proxies every per-session operation — get, delete, mine,
 // explore, append — to the session's home shard.
 func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("id")
 	path := "/v1/datasets/" + id
-	switch op := r.PathValue("op"); op {
+	op := r.PathValue("op")
+	switch op {
 	case "":
 	case "mine", "explore", "append":
 		path += "/" + op
 	default:
 		return errf(http.StatusNotFound, "unknown operation %q", op)
 	}
+	// Every session operation takes the migration gate shared, *before*
+	// the table lookup: a migration holds it exclusively across its
+	// consistent cut and cutover, so an operation either lands on the
+	// origin before the export or waits and routes to the destination —
+	// never in the window where the origin copy is being deleted. Holding
+	// the gate through the relay also keeps in-flight reads draining on
+	// the origin until cutover. The ungated precheck keeps unknown ids
+	// from growing the gate map.
+	if rt.locate(id) == nil {
+		return errf(http.StatusNotFound, "unknown dataset %q", id)
+	}
+	g := rt.sessionGate(id)
+	g.RLock()
+	defer g.RUnlock()
 	sh := rt.locate(id)
 	if sh == nil {
 		return errf(http.StatusNotFound, "unknown dataset %q", id)
@@ -616,6 +741,35 @@ func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) error {
 		// The table thought the session lived there but the shard disagrees
 		// (e.g. it restarted without its snapshot): forget the stale entry
 		// so the next lookup resyncs instead of bouncing off it forever.
+		rt.dropTable(id)
+	}
+	relayStream(w, resp)
+	return nil
+}
+
+// handleExportProxy relays GET /v1/datasets/{id}/export to the session's
+// home shard, so operators can pull a migration document through the
+// router (migrateSession itself talks to the origin shard directly).
+func (rt *Router) handleExportProxy(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	if rt.locate(id) == nil {
+		return errf(http.StatusNotFound, "unknown dataset %q", id)
+	}
+	g := rt.sessionGate(id)
+	g.RLock()
+	defer g.RUnlock()
+	sh := rt.locate(id)
+	if sh == nil {
+		return errf(http.StatusNotFound, "unknown dataset %q", id)
+	}
+	if sh.down.Load() {
+		return errf(http.StatusServiceUnavailable, "dataset %q lives on shard %s, which is marked down", id, sh.label())
+	}
+	resp, err := rt.forwardStream(sh, http.MethodGet, "/v1/datasets/"+id+"/export", "", nil, -1)
+	if err != nil {
+		return err
+	}
+	if resp.Status == http.StatusNotFound {
 		rt.dropTable(id)
 	}
 	relayStream(w, resp)

@@ -321,6 +321,22 @@ func (c *Client) AppendRows(id string, req AppendRequest) (AppendResponse, error
 	return resp, err
 }
 
+// Export fetches a session's migration document: its journaled identity
+// plus the fingerprint/epoch/chain header an importer must reproduce.
+func (c *Client) Export(id string) (ExportDocument, error) {
+	var doc ExportDocument
+	err := c.Do("GET", "/v1/datasets/"+id+"/export", nil, &doc)
+	return doc, err
+}
+
+// Import rebuilds an exported session on the target daemon and returns its
+// info (stats included, so callers can verify fingerprint and epoch).
+func (c *Client) Import(doc ExportDocument) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.Do("POST", "/v1/datasets/import", doc, &info)
+	return info, err
+}
+
 // Health fetches the daemon's liveness and load counters.
 func (c *Client) Health() (HealthResponse, error) {
 	var resp HealthResponse

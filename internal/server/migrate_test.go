@@ -1,0 +1,219 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestClient wraps an httptest server in the typed shard client.
+func newTestClient(ts *httptest.Server) *Client {
+	return &Client{BaseURL: ts.URL, HTTP: &http.Client{Timeout: time.Minute}}
+}
+
+// seedExportSessions creates the two session shapes migration must carry:
+// a generator-backed session with appended rows (journal replay must land
+// them) and a CSV-backed one (the spill must travel in the document).
+func seedExportSessions(t *testing.T, c *Client) {
+	t.Helper()
+	if _, err := c.CreateSession(CreateRequest{
+		ID:        "gen",
+		Generator: &GeneratorSpec{Name: "income", Rows: 200, Seed: 3},
+		Prepare:   PrepareSpec{SampleSize: 16, Seed: 1},
+	}); err != nil {
+		t.Fatalf("creating gen: %v", err)
+	}
+	info, err := c.GetSession("gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := make([]string, len(info.Dims))
+	for i := range dims {
+		dims[i] = "exported"
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.AppendRows("gen", AppendRequest{Rows: []RowJSON{{Dims: dims, Measure: float64(10 + i)}}}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if _, err := c.CreateSession(CreateRequest{ID: "csv", CSV: testCSVData, Measure: "Delay"}); err != nil {
+		t.Fatalf("creating csv: %v", err)
+	}
+}
+
+const testCSVData = "Day,City,Delay\nMon,NY,10\nMon,LA,12\nTue,NY,14\nTue,LA,9\nWed,NY,22\nWed,LA,7\n"
+
+// TestExportImportRoundTrip is the transfer-format contract: an export
+// document imported on a second daemon rebuilds a session that is
+// fingerprint-, epoch- and result-identical, journals it durably, resumes
+// idempotently, and refuses documents whose header does not match the
+// rebuilt content.
+func TestExportImportRoundTrip(t *testing.T) {
+	_, ts1 := testServer(t, Config{ShardID: "src"})
+	c1 := newTestClient(ts1)
+	seedExportSessions(t, c1)
+
+	mreq := MineRequest{K: 3, SampleSize: 16, Seed: 9}
+	baseGen, err := c1.Mine("gen", mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCSV, err := c1.Mine("csv", mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	genDoc, err := c1.Export("gen")
+	if err != nil {
+		t.Fatalf("exporting gen: %v", err)
+	}
+	if genDoc.Manifest.ID != "gen" || genDoc.Epoch != 2 || genDoc.Fingerprint == "" || len(genDoc.Appends) != 2 {
+		t.Fatalf("export header: id=%q epoch=%d fp=%q appends=%d",
+			genDoc.Manifest.ID, genDoc.Epoch, genDoc.Fingerprint, len(genDoc.Appends))
+	}
+	csvDoc, err := c1.Export("csv")
+	if err != nil {
+		t.Fatalf("exporting csv: %v", err)
+	}
+	if csvDoc.CSV == "" {
+		t.Fatal("csv export lost its spill")
+	}
+
+	dir2 := t.TempDir()
+	s2 := New(Config{ShardID: "dst", SnapshotDir: dir2})
+	ts2 := httptest.NewServer(s2.Handler())
+	c2 := newTestClient(ts2)
+
+	for _, doc := range []ExportDocument{genDoc, csvDoc} {
+		info, err := c2.Import(doc)
+		if err != nil {
+			t.Fatalf("importing %q: %v", doc.Manifest.ID, err)
+		}
+		if info.Stats == nil || info.Stats.Fingerprint != doc.Fingerprint || info.Stats.Epoch != doc.Epoch {
+			t.Fatalf("import of %q reports stats %+v, want fp %s epoch %d",
+				doc.Manifest.ID, info.Stats, doc.Fingerprint, doc.Epoch)
+		}
+	}
+	gotGen, err := c2.Mine("gen", mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameMineResult(&gotGen, &baseGen); err != nil {
+		t.Fatalf("gen rules diverge after import: %v", err)
+	}
+	gotCSV, err := c2.Mine("csv", mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameMineResult(&gotCSV, &baseCSV); err != nil {
+		t.Fatalf("csv rules diverge after import: %v", err)
+	}
+
+	// Re-importing the same document is a no-op resume, not a conflict.
+	if _, err := c2.Import(genDoc); err != nil {
+		t.Fatalf("idempotent re-import: %v", err)
+	}
+
+	// A header that does not match the rebuilt content must be refused.
+	tampered := genDoc
+	tampered.Manifest.ID = "tampered-fp"
+	tampered.Fingerprint = strings.Repeat("0", len(genDoc.Fingerprint))
+	if _, err := c2.Import(tampered); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("tampered fingerprint accepted: %v", err)
+	}
+	short := genDoc
+	short.Manifest.ID = "tampered-epoch"
+	short.Epoch = genDoc.Epoch + 1
+	if _, err := c2.Import(short); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("tampered epoch accepted: %v", err)
+	}
+
+	// A different session squatting on a live id must be refused too.
+	squatter := csvDoc
+	squatter.Manifest.ID = "gen"
+	if _, err := c2.Import(squatter); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("conflicting import over live id accepted: %v", err)
+	}
+
+	// The import journaled: a fresh daemon over the same snapshot dir
+	// restores both sessions at their migrated epochs and rules.
+	ts2.Close()
+	s2.Close()
+	s3 := New(Config{ShardID: "dst", SnapshotDir: dir2})
+	if n, err := s3.Restore(); err != nil || n != 2 {
+		t.Fatalf("restore after import: n=%d err=%v", n, err)
+	}
+	ts3 := httptest.NewServer(s3.Handler())
+	defer func() { ts3.Close(); s3.Close() }()
+	c3 := newTestClient(ts3)
+	info, err := c3.GetSession("gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stats.Epoch != genDoc.Epoch || info.Stats.Fingerprint != genDoc.Fingerprint {
+		t.Fatalf("restored stats %+v, want fp %s epoch %d", info.Stats, genDoc.Fingerprint, genDoc.Epoch)
+	}
+	restored, err := c3.Mine("gen", mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameMineResult(&restored, &baseGen); err != nil {
+		t.Fatalf("gen rules diverge after restore: %v", err)
+	}
+}
+
+// TestExportUnknownSession pins the 404 surface.
+func TestExportUnknownSession(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	c := newTestClient(ts)
+	if _, err := c.Export("ghost"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("export of unknown session: %v", err)
+	}
+}
+
+// TestSnapshotterFsync pins the durability fix: with persistence on, the
+// snapshotter must sync files and directories before acknowledging, and
+// the NoFsync escape hatch must suppress every one of those syncs.
+func TestSnapshotterFsync(t *testing.T) {
+	s, ts := testServer(t, Config{SnapshotDir: t.TempDir()})
+	c := newTestClient(ts)
+	seedExportSessions(t, c)
+	if n := s.snap.syncs.Load(); n == 0 {
+		t.Fatal("no fsync recorded despite persistence being enabled")
+	}
+
+	s2, ts2 := testServer(t, Config{SnapshotDir: t.TempDir(), NoFsync: true})
+	c2 := newTestClient(ts2)
+	seedExportSessions(t, c2)
+	if n := s2.snap.syncs.Load(); n != 0 {
+		t.Fatalf("%d fsyncs recorded with NoFsync set", n)
+	}
+}
+
+// TestConcurrentServerClose proves Close is safe to race with itself: all
+// callers return, sessions tear down exactly once. Run with -race.
+func TestConcurrentServerClose(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		s := New(Config{})
+		ts := httptest.NewServer(s.Handler())
+		c := newTestClient(ts)
+		if _, err := c.CreateSession(CreateRequest{ID: "x", CSV: testCSVData, Measure: "Delay"}); err != nil {
+			t.Fatal(err)
+		}
+		ts.Close()
+		var wg sync.WaitGroup
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.Close(); err != nil {
+					t.Errorf("concurrent close: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -66,6 +66,11 @@ type Config struct {
 	// here on create/append/delete, and Restore re-prepares it on boot.
 	// Empty disables persistence.
 	SnapshotDir string
+	// NoFsync skips the fsync the snapshotter otherwise issues before
+	// acknowledging a create or append. Durability then only covers process
+	// crashes, not power loss — acceptable for tests and benchmarks, not
+	// for production journals.
+	NoFsync bool
 	// ShardID names this daemon within a multi-node cluster; it is reported
 	// in /v1/healthz and /v1/metrics so a router can label the shard by its
 	// logical identity rather than its address. Empty for standalone daemons.
@@ -148,9 +153,15 @@ type session struct {
 	// journalMu orders append-journal records with their application, so
 	// the on-disk replay sequence matches the in-memory one; dropped
 	// (guarded by it) stops an in-flight append from resurrecting the
-	// journal of a session deleted under it.
+	// journal of a session deleted under it. The manifest/csv/appends
+	// trio (also guarded by it after registration) mirrors the on-disk
+	// journal in memory: it is the session's portable identity, what
+	// /export serializes — kept even when persistence is off.
 	journalMu sync.Mutex
 	dropped   bool
+	m         manifest
+	csv       string
+	appends   []appendRecord
 }
 
 // New builds a server with an empty session registry. When
@@ -171,7 +182,7 @@ func New(conf Config) *Server {
 		// A broken directory must not silently disable persistence: the
 		// error is kept and returned by Restore and by every handler that
 		// would have journaled (see persistence()).
-		s.snap, s.snapErr = newSnapshotter(conf.SnapshotDir)
+		s.snap, s.snapErr = newSnapshotter(conf.SnapshotDir, !conf.NoFsync)
 	}
 	s.mux.HandleFunc("POST /v1/datasets", s.wrap(s.handleCreate))
 	s.mux.HandleFunc("GET /v1/datasets", s.wrap(s.handleList))
@@ -180,6 +191,8 @@ func New(conf Config) *Server {
 	s.mux.HandleFunc("POST /v1/datasets/{id}/mine", s.wrap(s.handleMine))
 	s.mux.HandleFunc("POST /v1/datasets/{id}/explore", s.wrap(s.handleExplore))
 	s.mux.HandleFunc("POST /v1/datasets/{id}/append", s.wrap(s.handleAppend))
+	s.mux.HandleFunc("GET /v1/datasets/{id}/export", s.wrap(s.handleExport))
+	s.mux.HandleFunc("POST /v1/datasets/import", s.wrap(s.handleImport))
 	s.mux.HandleFunc("GET /v1/metrics", s.wrap(s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/healthz", s.wrap(s.handleHealth))
 	return s
@@ -214,6 +227,24 @@ func (s *Server) Restore() (int, error) {
 }
 
 func (s *Server) restoreSession(e snapshotEntry) error {
+	ds, p, err := s.rebuildSession(e)
+	if err != nil {
+		return err
+	}
+	if _, err := s.addSession(e.m.ID, ds, p, e); err != nil {
+		p.Close()
+		return err
+	}
+	return nil
+}
+
+// rebuildSession materializes a journaled session: the dataset built from
+// its manifest source, prepared, and every journaled append replayed in
+// order. This is the one replay path — Restore and /import both use it —
+// so a rebuilt session reaches exactly the rows, epoch and content chain
+// the journal describes, which is what makes import verification by
+// fingerprint trustworthy.
+func (s *Server) rebuildSession(e snapshotEntry) (*sirum.Dataset, *sirum.Prepared, error) {
 	ds, err := buildDataset(CreateRequest{
 		Generator: e.m.Generator,
 		CSV:       e.csv,
@@ -221,28 +252,24 @@ func (s *Server) restoreSession(e snapshotEntry) error {
 		Ignore:    e.m.Ignore,
 	})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	p, err := ds.Prepare(e.m.Prepare.options())
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	for i, rec := range e.appends {
 		batch, err := buildBatch(ds, rec.Rows)
 		if err != nil {
 			p.Close()
-			return fmt.Errorf("replaying append %d: %w", i, err)
+			return nil, nil, fmt.Errorf("replaying append %d: %w", i, err)
 		}
 		if _, err := p.Append(batch, rec.Mine.options()); err != nil {
 			p.Close()
-			return fmt.Errorf("replaying append %d: %w", i, err)
+			return nil, nil, fmt.Errorf("replaying append %d: %w", i, err)
 		}
 	}
-	if _, err := s.addSession(e.m.ID, ds, p, e.m.CreatedAt); err != nil {
-		p.Close()
-		return err
-	}
-	return nil
+	return ds, p, nil
 }
 
 // Close drains in-flight queries, then closes and unregisters every session.
@@ -449,8 +476,11 @@ func buildBatch(ds *sirum.Dataset, rows []RowJSON) (*sirum.Dataset, error) {
 
 // addSession installs a prepared session in the registry under id (one is
 // assigned when empty), deriving its cache identity from the canonical
-// specs. The caller owns p until addSession succeeds.
-func (s *Server) addSession(id string, ds *sirum.Dataset, p *sirum.Prepared, created time.Time) (*session, error) {
+// specs. e carries the session's journaled identity (manifest, CSV spill,
+// replayed appends); the manifest's ID and CSVFile are normalized here so
+// auto-assigned ids journal correctly. The caller owns p until addSession
+// succeeds.
+func (s *Server) addSession(id string, ds *sirum.Dataset, p *sirum.Prepared, e snapshotEntry) (*session, error) {
 	key := spec.SessionKey(p.DatasetSpec(), p.PrepSpec())
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -468,7 +498,13 @@ func (s *Server) addSession(id string, ds *sirum.Dataset, p *sirum.Prepared, cre
 	} else if _, exists := s.sessions[id]; exists {
 		return nil, errf(http.StatusConflict, "dataset %q already exists", id)
 	}
-	sess := &session{id: id, ds: ds, p: p, key: key, created: created}
+	e.m.ID = id
+	e.m.CSVFile = ""
+	if e.csv != "" {
+		e.m.CSVFile = id + ".csv"
+	}
+	sess := &session{id: id, ds: ds, p: p, key: key, created: e.m.CreatedAt,
+		m: e.m, csv: e.csv, appends: e.appends}
 	sess.rows.Store(int64(p.NumRows()))
 	s.sessions[id] = sess
 	return sess, nil
@@ -530,29 +566,45 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) error {
 		p.Close()
 		return err
 	}
-	sess, err := s.addSession(req.ID, ds, p, s.conf.Now())
+	sess, err := s.addSession(req.ID, ds, p, snapshotEntry{m: manifest{
+		CreatedAt: s.conf.Now(),
+		Generator: req.Generator,
+		Measure:   req.Measure,
+		Ignore:    req.Ignore,
+		Prepare:   req.Prepare,
+	}, csv: req.CSV})
 	if err != nil {
 		p.Close()
 		return err
 	}
 	if snap != nil {
-		m := manifest{
-			ID:        sess.id,
-			CreatedAt: sess.created,
-			Generator: req.Generator,
-			Measure:   req.Measure,
-			Ignore:    req.Ignore,
-			Prepare:   req.Prepare,
-		}
-		if req.CSV != "" {
-			m.CSVFile = sess.id + ".csv"
-		}
-		if err := snap.save(m, req.CSV); err != nil {
+		if err := s.journalSession(snap, sess); err != nil {
 			s.dropSession(sess.id)
 			return errf(http.StatusInternalServerError, "journaling session: %v", err)
 		}
 	}
 	writeJSON(w, http.StatusCreated, s.info(sess, false))
+	return nil
+}
+
+// journalSession persists a just-registered session — manifest, CSV spill
+// and any append records it already carries — under its journal lock:
+// save clears the append journal file, so an append racing in between
+// registration and save would otherwise have its record silently dropped.
+func (s *Server) journalSession(snap *snapshotter, sess *session) error {
+	sess.journalMu.Lock()
+	defer sess.journalMu.Unlock()
+	if sess.dropped {
+		return fmt.Errorf("session %q was deleted", sess.id)
+	}
+	if err := snap.save(sess.m, sess.csv); err != nil {
+		return err
+	}
+	for _, rec := range sess.appends {
+		if err := snap.appendBatch(sess.id, rec); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -732,11 +784,15 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) error {
 		return errf(http.StatusConflict, "dataset %q was deleted", sess.id)
 	}
 	res, err := sess.p.Append(batch, req.options())
-	if err == nil && snap != nil {
-		if jerr := snap.appendBatch(sess.id, appendRecord{Rows: req.Rows, Mine: req.MineRequest}); jerr != nil {
-			// The append is applied in memory but not durable; tell the
-			// client rather than silently diverging from the journal.
-			err = errf(http.StatusInternalServerError, "append applied but not journaled: %v", jerr)
+	if err == nil {
+		rec := appendRecord{Rows: req.Rows, Mine: req.MineRequest}
+		sess.appends = append(sess.appends, rec)
+		if snap != nil {
+			if jerr := snap.appendBatch(sess.id, rec); jerr != nil {
+				// The append is applied in memory but not durable; tell the
+				// client rather than silently diverging from the journal.
+				err = errf(http.StatusInternalServerError, "append applied but not journaled: %v", jerr)
+			}
 		}
 	}
 	sess.journalMu.Unlock()

@@ -679,7 +679,7 @@ func TestServerCacheSharingAndDivergentAppends(t *testing.T) {
 // unacknowledged append) is dropped, while corruption before the end of
 // the journal still fails loudly.
 func TestSnapshotterToleratesTornTail(t *testing.T) {
-	sn, err := newSnapshotter(t.TempDir())
+	sn, err := newSnapshotter(t.TempDir(), true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,15 +25,47 @@ import (
 //	<id>.session.json   manifest: source + prepare options + creation time
 //	<id>.csv            the raw CSV document (CSV sources only)
 //	<id>.appends.jsonl  one JSON record per Append, in applied order
+//
+// Journal writes are fsynced (file contents, and the directory after a
+// rename or file creation) before the daemon acknowledges the request, so
+// "applied but not journaled" keeps meaning what it says across power
+// loss, not just process crashes. Config.NoFsync turns the syncs off for
+// tests and benchmarks.
 type snapshotter struct {
-	dir string
+	dir   string
+	sync  bool         // fsync before acknowledging (off under Config.NoFsync)
+	syncs atomic.Int64 // fsync calls issued, for tests and metrics
 }
 
-func newSnapshotter(dir string) (*snapshotter, error) {
+func newSnapshotter(dir string, sync bool) (*snapshotter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("snapshot dir: %w", err)
 	}
-	return &snapshotter{dir: dir}, nil
+	return &snapshotter{dir: dir, sync: sync}, nil
+}
+
+// syncFile flushes written contents to stable storage (no-op under NoFsync).
+func (sn *snapshotter) syncFile(f *os.File) error {
+	if !sn.sync {
+		return nil
+	}
+	sn.syncs.Add(1)
+	return f.Sync()
+}
+
+// syncDir makes directory-entry changes (renames, file creations, removals)
+// durable; without it a synced file can still vanish with the power.
+func (sn *snapshotter) syncDir() error {
+	if !sn.sync {
+		return nil
+	}
+	d, err := os.Open(sn.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	sn.syncs.Add(1)
+	return d.Sync()
 }
 
 // manifest is the durable identity of one session: enough to rebuild it
@@ -63,13 +96,30 @@ func (sn *snapshotter) appendsPath(id string) string {
 }
 
 // writeFileAtomic writes via a temp file and rename so a crash mid-write
-// never leaves a torn manifest for the next boot to choke on.
-func writeFileAtomic(path string, data []byte) error {
+// never leaves a torn manifest for the next boot to choke on. The temp
+// file is synced before the rename (a rename can otherwise land before the
+// contents) and the directory after it (or the rename itself is lost).
+func (sn *snapshotter) writeFileAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := sn.syncFile(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return sn.syncDir()
 }
 
 // save journals a newly created session. Any append journal left behind
@@ -81,7 +131,7 @@ func writeFileAtomic(path string, data []byte) error {
 func (sn *snapshotter) save(m manifest, csv string) error {
 	os.Remove(sn.appendsPath(m.ID))
 	if m.CSVFile != "" {
-		if err := writeFileAtomic(sn.csvPath(m.ID), []byte(csv)); err != nil {
+		if err := sn.writeFileAtomic(sn.csvPath(m.ID), []byte(csv)); err != nil {
 			return fmt.Errorf("spilling csv for %q: %w", m.ID, err)
 		}
 	}
@@ -89,19 +139,24 @@ func (sn *snapshotter) save(m manifest, csv string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFileAtomic(sn.manifestPath(m.ID), buf); err != nil {
+	if err := sn.writeFileAtomic(sn.manifestPath(m.ID), buf); err != nil {
 		return fmt.Errorf("writing manifest for %q: %w", m.ID, err)
 	}
 	return nil
 }
 
-// appendBatch journals one applied Append for id.
+// appendBatch journals one applied Append for id, fsyncing the record (and
+// the directory when this append created the journal file) before the
+// append is acknowledged.
 func (sn *snapshotter) appendBatch(id string, rec appendRecord) error {
 	buf, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	f, err := os.OpenFile(sn.appendsPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := sn.appendsPath(id)
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("journaling append for %q: %w", id, err)
 	}
@@ -109,15 +164,28 @@ func (sn *snapshotter) appendBatch(id string, rec appendRecord) error {
 		f.Close()
 		return fmt.Errorf("journaling append for %q: %w", id, err)
 	}
-	return f.Close()
+	if err := sn.syncFile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("journaling append for %q: %w", id, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if created {
+		if err := sn.syncDir(); err != nil {
+			return fmt.Errorf("journaling append for %q: %w", id, err)
+		}
+	}
+	return nil
 }
 
 // delete removes a session's journal files (deleted sessions must not come
-// back on the next boot).
+// back on the next boot); the directory sync makes the removals durable.
 func (sn *snapshotter) delete(id string) {
 	for _, p := range []string{sn.manifestPath(id), sn.csvPath(id), sn.appendsPath(id)} {
 		os.Remove(p)
 	}
+	sn.syncDir()
 }
 
 // snapshotEntry is one journaled session read back off disk.
